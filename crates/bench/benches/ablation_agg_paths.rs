@@ -1,0 +1,56 @@
+//! Ablation: the three aggregation implementations.
+//!
+//! * `direct` — hash aggregation over the presence matrices (our default);
+//! * `frames` — the paper's Algorithm 2 verbatim on the columnar engine
+//!   (unpivot → merge → dedup → group-count), the authors' pandas shape;
+//! * `static_fast` — the §4.2 shortcut valid when all attributes are static.
+//!
+//! Quantifies what the paper's static-attribute optimization buys and what
+//! the dataframe formulation costs relative to direct hashing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphtempo::aggregate::{
+    aggregate, aggregate_static_fast, aggregate_via_frames, AggMode,
+};
+use std::sync::OnceLock;
+use tempo_bench::datasets::{attrs, dblp};
+use tempo_graph::TemporalGraph;
+
+fn graph() -> &'static TemporalGraph {
+    static G: OnceLock<TemporalGraph> = OnceLock::new();
+    G.get_or_init(dblp)
+}
+
+fn bench(c: &mut Criterion) {
+    let g = graph();
+    let mut group = c.benchmark_group("ablation_agg_paths");
+    group.sample_size(10);
+
+    let gender = attrs(g, &["gender"]);
+    let mixed = attrs(g, &["gender", "publications"]);
+    for mode in [AggMode::Distinct, AggMode::All] {
+        let tag = match mode {
+            AggMode::Distinct => "DIST",
+            AggMode::All => "ALL",
+        };
+        group.bench_function(format!("direct/gender/{tag}"), |b| {
+            b.iter(|| aggregate(g, &gender, mode))
+        });
+        group.bench_function(format!("static_fast/gender/{tag}"), |b| {
+            b.iter(|| aggregate_static_fast(g, &gender, mode).expect("static attrs"))
+        });
+        group.bench_function(format!("frames/gender/{tag}"), |b| {
+            b.iter(|| aggregate_via_frames(g, &gender, mode).expect("valid graph"))
+        });
+        group.bench_function(format!("direct/gender+pubs/{tag}"), |b| {
+            b.iter(|| aggregate(g, &mixed, mode))
+        });
+        group.bench_function(format!("frames/gender+pubs/{tag}"), |b| {
+            b.iter(|| aggregate_via_frames(g, &mixed, mode).expect("valid graph"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

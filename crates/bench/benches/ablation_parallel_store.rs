@@ -1,0 +1,34 @@
+//! Ablation: parallel per-timepoint materialization.
+//!
+//! The paper's implementation leans on the Modin multiprocess dataframe
+//! library; our analogue fans per-timepoint aggregation out over crossbeam
+//! scoped threads. This bench measures the store-build speedup across
+//! thread counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphtempo::materialize::TimepointStore;
+use std::sync::OnceLock;
+use tempo_bench::datasets::{attrs, dblp};
+use tempo_graph::TemporalGraph;
+
+fn graph() -> &'static TemporalGraph {
+    static G: OnceLock<TemporalGraph> = OnceLock::new();
+    G.get_or_init(dblp)
+}
+
+fn bench(c: &mut Criterion) {
+    let g = graph();
+    let ids = attrs(g, &["gender", "publications"]);
+    let mut group = c.benchmark_group("ablation_parallel_store");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| b.iter(|| TimepointStore::build(g, &ids)));
+    for threads in [2usize, 4, 8] {
+        group.bench_function(format!("threads{threads}"), |b| {
+            b.iter(|| TimepointStore::build_parallel(g, &ids, threads))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

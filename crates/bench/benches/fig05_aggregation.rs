@@ -1,0 +1,52 @@
+//! Criterion bench for Fig. 5: per-timepoint aggregation cost per
+//! attribute combination (DIST).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphtempo::aggregate::{aggregate, AggMode};
+use graphtempo::ops::project_point;
+use std::sync::OnceLock;
+use tempo_bench::datasets::{attrs, dblp, movielens};
+use tempo_graph::{TemporalGraph, TimePoint};
+
+fn dblp_graph() -> &'static TemporalGraph {
+    static G: OnceLock<TemporalGraph> = OnceLock::new();
+    G.get_or_init(dblp)
+}
+
+fn ml_graph() -> &'static TemporalGraph {
+    static G: OnceLock<TemporalGraph> = OnceLock::new();
+    G.get_or_init(movielens)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig05_aggregation");
+    group.sample_size(20);
+
+    let g = dblp_graph();
+    let last = TimePoint((g.domain().len() - 1) as u32);
+    let proj = project_point(g, last).expect("projection");
+    for combo in [&["gender"][..], &["publications"][..], &["gender", "publications"][..]] {
+        let ids = attrs(&proj, combo);
+        group.bench_function(format!("dblp_2020/{}", combo.join("+")), |b| {
+            b.iter(|| aggregate(&proj, &ids, AggMode::Distinct))
+        });
+    }
+
+    let g = ml_graph();
+    let aug = TimePoint(3);
+    let proj = project_point(g, aug).expect("projection");
+    for combo in [
+        &["gender"][..],
+        &["rating"][..],
+        &["gender", "age", "occupation", "rating"][..],
+    ] {
+        let ids = attrs(&proj, combo);
+        group.bench_function(format!("movielens_aug/{}", combo.join("+")), |b| {
+            b.iter(|| aggregate(&proj, &ids, AggMode::Distinct))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

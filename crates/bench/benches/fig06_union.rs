@@ -1,0 +1,41 @@
+//! Criterion bench for Fig. 6: union + aggregation (DIST, ALL) cost as the
+//! interval extends, static vs time-varying attributes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphtempo::aggregate::{aggregate, AggMode};
+use graphtempo::ops::union;
+use std::sync::OnceLock;
+use tempo_bench::datasets::{attrs, dblp};
+use tempo_graph::{TemporalGraph, TimePoint, TimeSet};
+
+fn graph() -> &'static TemporalGraph {
+    static G: OnceLock<TemporalGraph> = OnceLock::new();
+    G.get_or_init(dblp)
+}
+
+fn bench(c: &mut Criterion) {
+    let g = graph();
+    let n = g.domain().len();
+    let mut group = c.benchmark_group("fig06_union");
+    group.sample_size(10);
+    for end in [5usize, 10, n - 1] {
+        let t1 = TimeSet::range(n, 0, end - 1);
+        let t2 = TimeSet::point(n, TimePoint(end as u32));
+        group.bench_function(format!("op/len{}", end + 1), |b| {
+            b.iter(|| union(g, &t1, &t2).expect("union"))
+        });
+        let u = union(g, &t1, &t2).expect("union");
+        for name in ["gender", "publications"] {
+            let ids = attrs(&u, &[name]);
+            for (mode, tag) in [(AggMode::Distinct, "DIST"), (AggMode::All, "ALL")] {
+                group.bench_function(format!("agg/{name}/{tag}/len{}", end + 1), |b| {
+                    b.iter(|| aggregate(&u, &ids, mode))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

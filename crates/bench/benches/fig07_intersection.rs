@@ -1,0 +1,43 @@
+//! Criterion bench for Fig. 7: intersection (entities spanning the whole
+//! interval) + aggregation cost as the interval extends.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphtempo::aggregate::{aggregate, AggMode};
+use graphtempo::ops::{event_graph, Event, SideTest};
+use std::sync::OnceLock;
+use tempo_bench::datasets::{attrs, dblp};
+use tempo_graph::{TemporalGraph, TimePoint, TimeSet};
+
+fn graph() -> &'static TemporalGraph {
+    static G: OnceLock<TemporalGraph> = OnceLock::new();
+    G.get_or_init(dblp)
+}
+
+fn bench(c: &mut Criterion) {
+    let g = graph();
+    let n = g.domain().len();
+    let mut group = c.benchmark_group("fig07_intersection");
+    group.sample_size(10);
+    for end in [2usize, 5, 10] {
+        let t1 = TimeSet::range(n, 0, end - 1);
+        let t2 = TimeSet::point(n, TimePoint(end as u32));
+        group.bench_function(format!("op/len{}", end + 1), |b| {
+            b.iter(|| {
+                event_graph(g, Event::Stability, &t1, &t2, SideTest::All, SideTest::Any)
+                    .expect("intersection")
+            })
+        });
+        let ix = event_graph(g, Event::Stability, &t1, &t2, SideTest::All, SideTest::Any)
+            .expect("intersection");
+        for name in ["gender", "publications"] {
+            let ids = attrs(&ix, &[name]);
+            group.bench_function(format!("agg/{name}/DIST/len{}", end + 1), |b| {
+                b.iter(|| aggregate(&ix, &ids, AggMode::Distinct))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench for Fig. 9: difference 𝒯new − 𝒯old(∪) + aggregation as
+//! 𝒯old extends backward (output shrinks — cheaper than Fig. 8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphtempo::aggregate::{aggregate, AggMode};
+use graphtempo::ops::difference;
+use std::sync::OnceLock;
+use tempo_bench::datasets::{attrs, dblp};
+use tempo_graph::{TemporalGraph, TimePoint, TimeSet};
+
+fn graph() -> &'static TemporalGraph {
+    static G: OnceLock<TemporalGraph> = OnceLock::new();
+    G.get_or_init(dblp)
+}
+
+fn bench(c: &mut Criterion) {
+    let g = graph();
+    let n = g.domain().len();
+    let tnew = TimeSet::point(n, TimePoint((n - 1) as u32));
+    let mut group = c.benchmark_group("fig09_difference_new_minus_old");
+    group.sample_size(10);
+    for start in [n - 2, n / 2, 0] {
+        let told = TimeSet::range(n, start, n - 2);
+        let len = n - 1 - start;
+        group.bench_function(format!("op/old_len{len}"), |b| {
+            b.iter(|| difference(g, &tnew, &told).expect("difference"))
+        });
+        let d = difference(g, &tnew, &told).expect("difference");
+        for name in ["gender", "publications"] {
+            let ids = attrs(&d, &[name]);
+            for (mode, tag) in [(AggMode::Distinct, "DIST"), (AggMode::All, "ALL")] {
+                group.bench_function(format!("agg/{name}/{tag}/old_len{len}"), |b| {
+                    b.iter(|| aggregate(&d, &ids, mode))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Exploration pruning study (§3, implicit in the paper): evaluations and
+//! wall-clock time of the monotonicity-pruned strategies versus naive
+//! enumeration of every interval pair, across all twelve Table-1 cases.
+
+use graphtempo::explore::{
+    explore, explore_naive, explore_parallel, suggest_k, ExploreConfig, ExtendSide, Selector,
+    Semantics,
+};
+use graphtempo::ops::Event;
+use tempo_bench::datasets::{attrs, dblp};
+use tempo_bench::report::{secs, timed};
+
+fn main() {
+    let g = dblp();
+    let gender = attrs(&g, &["gender"])[0];
+    let f = g.schema().category(gender, "f").expect("category");
+    let selector = Selector::edge_1attr(f.clone(), f);
+
+    println!(
+        "{:<12} {:<6} {:<4} {:>4} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6}",
+        "event", "extend", "sem", "k", "evals", "naive", "time(s)", "par4(s)", "naive(s)", "same"
+    );
+    for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
+        for extend in [ExtendSide::Old, ExtendSide::New] {
+            for semantics in [Semantics::Union, Semantics::Intersection] {
+                let mut cfg = ExploreConfig {
+                    event,
+                    extend,
+                    semantics,
+                    k: 1,
+                    attrs: vec![gender],
+                    selector: selector.clone(),
+                };
+                let k = suggest_k(&g, &cfg)
+                    .expect("suggest_k succeeds")
+                    .unwrap_or(1)
+                    .max(1);
+                cfg.k = k;
+                let (fast, fast_t) = timed(|| explore(&g, &cfg).expect("explore"));
+                let (par, par_t) = timed(|| explore_parallel(&g, &cfg, 4).expect("parallel"));
+                assert_eq!(par.pairs, fast.pairs, "parallel must match sequential");
+                let (slow, slow_t) = timed(|| explore_naive(&g, &cfg).expect("naive"));
+                println!(
+                    "{:<12} {:<6} {:<4} {:>4} {:>8} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>6}",
+                    format!("{event:?}"),
+                    format!("{extend:?}"),
+                    match semantics {
+                        Semantics::Union => "∪",
+                        Semantics::Intersection => "∩",
+                    },
+                    k,
+                    fast.evaluations,
+                    slow.evaluations,
+                    secs(fast_t),
+                    secs(par_t),
+                    secs(slow_t),
+                    fast.pairs == slow.pairs
+                );
+                assert_eq!(fast.pairs, slow.pairs, "pruned results must match naive");
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Figure 13: exploration of female→female co-rating relationships in
+//! MovieLens — (a) maximal stability intervals under intersection
+//! semantics, (b) minimal growth and (c) minimal shrinkage intervals under
+//! union semantics, across a k schedule initialized from w_th (§3.5).
+//!
+//! Shape to reproduce: the strongest stability sits between adjacent late
+//! months; the biggest growth lands on August (the month edge counts
+//! explode) and the biggest shrinkage right after it.
+
+use tempo_bench::datasets::{attrs, movielens};
+use tempo_bench::explore_runner::run_edge_exploration;
+use tempo_graph::GraphStats;
+
+fn main() {
+    let g = movielens();
+    println!("{}", GraphStats::compute(&g).render_table());
+    let gender = attrs(&g, &["gender"])[0];
+    let f = g
+        .schema()
+        .category(gender, "F")
+        .expect("female category exists");
+    println!("exploring F→F co-rating relationships");
+    run_edge_exploration(&g, gender, f.clone(), f);
+}

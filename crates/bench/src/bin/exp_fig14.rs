@@ -1,0 +1,24 @@
+//! Figure 14: exploration of female→female collaborations in DBLP —
+//! (a) maximal stability intervals under intersection semantics,
+//! (b) minimal growth and (c) minimal shrinkage intervals under union
+//! semantics, across a k schedule initialized from w_th (§3.5).
+//!
+//! Shape to reproduce: stability and growth concentrate in the late years
+//! (the graph keeps growing), and large shrinkage thresholds require long
+//! 𝒯old intervals.
+
+use tempo_bench::datasets::{attrs, dblp};
+use tempo_bench::explore_runner::run_edge_exploration;
+use tempo_graph::GraphStats;
+
+fn main() {
+    let g = dblp();
+    println!("{}", GraphStats::compute(&g).render_table());
+    let gender = attrs(&g, &["gender"])[0];
+    let f = g
+        .schema()
+        .category(gender, "f")
+        .expect("female category exists");
+    println!("exploring f→f collaborations");
+    run_edge_exploration(&g, gender, f.clone(), f);
+}

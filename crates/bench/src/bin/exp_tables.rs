@@ -1,0 +1,43 @@
+//! Tables 3 & 4: per-timepoint node and edge counts of the two datasets,
+//! printed next to the paper's published values.
+
+use tempo_bench::datasets::{dblp, movielens, scale};
+use tempo_datagen::tables::{
+    DBLP_EDGES, DBLP_NODES, DBLP_YEARS, MOVIELENS_EDGES, MOVIELENS_MONTHS, MOVIELENS_NODES,
+};
+use tempo_graph::GraphStats;
+
+fn main() {
+    let s = scale();
+    println!("scale factor: {s} (paper values at scale 1.0)\n");
+
+    println!("Table 3 — DBLP");
+    let g = dblp();
+    let stats = GraphStats::compute(&g);
+    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "year", "nodes", "paper", "edges", "paper");
+    for (t, year) in DBLP_YEARS.iter().enumerate() {
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10}",
+            year,
+            stats.nodes_per_tp[t],
+            DBLP_NODES[t],
+            stats.edges_per_tp[t],
+            DBLP_EDGES[t]
+        );
+    }
+
+    println!("\nTable 4 — MovieLens");
+    let g = movielens();
+    let stats = GraphStats::compute(&g);
+    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "month", "nodes", "paper", "edges", "paper");
+    for (t, month) in MOVIELENS_MONTHS.iter().enumerate() {
+        println!(
+            "{:<6} {:>10} {:>10} {:>10} {:>10}",
+            month,
+            stats.nodes_per_tp[t],
+            MOVIELENS_NODES[t],
+            stats.edges_per_tp[t],
+            MOVIELENS_EDGES[t]
+        );
+    }
+}

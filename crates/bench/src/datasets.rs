@@ -1,0 +1,60 @@
+//! Shared dataset construction for benches and experiment binaries.
+//!
+//! All experiments run on the synthetic DBLP- and MovieLens-like graphs at
+//! a scale controlled by the `GRAPHTEMPO_SCALE` environment variable
+//! (default 0.1; `GRAPHTEMPO_SCALE=1.0` reproduces the paper's dataset
+//! sizes from Tables 3 and 4).
+
+use tempo_datagen::{DblpConfig, MovieLensConfig};
+use tempo_graph::{AttrId, TemporalGraph};
+
+/// The experiment scale factor (`GRAPHTEMPO_SCALE`, default 0.1).
+pub fn scale() -> f64 {
+    std::env::var("GRAPHTEMPO_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.1)
+}
+
+/// Generates the DBLP-like graph at the experiment scale.
+pub fn dblp() -> TemporalGraph {
+    DblpConfig::scaled(scale())
+        .generate()
+        .expect("DBLP generator produces a valid graph")
+}
+
+/// Generates the MovieLens-like graph at the experiment scale.
+pub fn movielens() -> TemporalGraph {
+    MovieLensConfig::scaled(scale())
+        .generate()
+        .expect("MovieLens generator produces a valid graph")
+}
+
+/// Resolves attribute names to ids, panicking on unknown names (experiment
+/// configuration errors should fail loudly).
+pub fn attrs(g: &TemporalGraph, names: &[&str]) -> Vec<AttrId> {
+    names
+        .iter()
+        .map(|n| {
+            g.schema()
+                .id(n)
+                .unwrap_or_else(|_| panic!("attribute {n:?} missing from schema"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_generate_at_tiny_scale() {
+        std::env::set_var("GRAPHTEMPO_SCALE", "0.01");
+        let d = dblp();
+        assert_eq!(d.domain().len(), 21);
+        let m = movielens();
+        assert_eq!(m.domain().len(), 6);
+        assert_eq!(attrs(&d, &["gender", "publications"]).len(), 2);
+        std::env::remove_var("GRAPHTEMPO_SCALE");
+    }
+}

@@ -1,0 +1,88 @@
+//! Shared driver for the exploration experiments (Figs. 13 and 14):
+//! stability (maximal, intersection semantics), growth and shrinkage
+//! (minimal, union semantics) of a single aggregate edge, across a
+//! threshold schedule derived from `w_th` (§3.5).
+
+use graphtempo::explore::{explore, suggest_k, ExploreConfig, ExtendSide, Selector, Semantics};
+use graphtempo::ops::Event;
+use tempo_columnar::Value;
+use tempo_graph::{AttrId, TemporalGraph};
+
+/// One exploration case of Fig. 13/14: event, semantics, and the k
+/// schedule multipliers relative to `w_th`.
+pub struct Case {
+    /// Display name ("stability", "growth", "shrinkage").
+    pub name: &'static str,
+    /// Event explored.
+    pub event: Event,
+    /// Extension side.
+    pub extend: ExtendSide,
+    /// Union (minimal pairs) or intersection (maximal pairs).
+    pub semantics: Semantics,
+    /// Threshold schedule as (label, numerator, denominator) of `w_th`:
+    /// k = max(1, w_th * num / den).
+    pub schedule: [(&'static str, u64, u64); 3],
+}
+
+/// The three cases the paper explores for a specific relationship.
+pub fn paper_cases() -> Vec<Case> {
+    vec![
+        Case {
+            name: "stability (maximal, ∩)",
+            event: Event::Stability,
+            extend: ExtendSide::New,
+            semantics: Semantics::Intersection,
+            // w_th is the max; decrease: k3 = w_th, k2 = w_th/2, k1 small
+            schedule: [("k1", 1, 64), ("k2", 1, 2), ("k3", 1, 1)],
+        },
+        Case {
+            name: "growth (minimal, ∪)",
+            event: Event::Growth,
+            extend: ExtendSide::New,
+            semantics: Semantics::Union,
+            schedule: [("k1", 1, 12), ("k2", 1, 2), ("k3", 1, 1)],
+        },
+        Case {
+            name: "shrinkage (minimal, ∪)",
+            event: Event::Shrinkage,
+            extend: ExtendSide::Old,
+            semantics: Semantics::Union,
+            // w_th is the min; increase: k1 = w_th, k2 = 2·w_th, k3 = 5·w_th
+            schedule: [("k1", 1, 1), ("k2", 2, 1), ("k3", 5, 1)],
+        },
+    ]
+}
+
+/// Runs all cases for the `src → dst` aggregate edge on `attr` and prints
+/// the qualifying interval pairs per threshold.
+pub fn run_edge_exploration(g: &TemporalGraph, attr: AttrId, src: Value, dst: Value) {
+    let selector = Selector::edge_1attr(src, dst);
+    for case in paper_cases() {
+        let mut cfg = ExploreConfig {
+            event: case.event,
+            extend: case.extend,
+            semantics: case.semantics,
+            k: 1,
+            attrs: vec![attr],
+            selector: selector.clone(),
+        };
+        let Some(wth) = suggest_k(g, &cfg).expect("domain has ≥2 points") else {
+            println!("\n-- {}: no events between any consecutive points --", case.name);
+            continue;
+        };
+        println!("\n-- {} — w_th = {wth} --", case.name);
+        for (label, num, den) in case.schedule {
+            let k = (wth.saturating_mul(num) / den).max(1);
+            cfg.k = k;
+            let out = explore(g, &cfg).expect("exploration succeeds");
+            println!(
+                "  {label} = {k}: {} qualifying pairs ({} evaluations)",
+                out.pairs.len(),
+                out.evaluations
+            );
+            for (pair, r) in out.pairs.iter().take(4) {
+                println!("    {} → {r} events", pair.display(g.domain()));
+            }
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! Packed bit vectors and bit matrices.
+//!
+//! The GraphTempo paper (§4) stores the existence of every node and edge as a
+//! binary vector over the time domain: element `t` is 1 iff the entity exists
+//! at time point `t`. [`BitVec`] is one such vector; [`BitMatrix`] stacks one
+//! row per entity, which is exactly the paper's labeled arrays **V** and
+//! **E** (the labels themselves live with the caller).
+
+/// Number of bits per storage word.
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// A fixed-width packed bit vector.
+///
+/// Used both as an entity's presence vector over the time domain and as a
+/// column mask selecting a subset of time points.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    nbits: usize,
+    words: Vec<u64>,
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec[")?;
+        for i in 0..self.nbits {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl BitVec {
+    /// Creates an all-zero vector of `nbits` bits.
+    pub fn zeros(nbits: usize) -> Self {
+        BitVec {
+            nbits,
+            words: vec![0; words_for(nbits)],
+        }
+    }
+
+    /// Creates an all-one vector of `nbits` bits.
+    pub fn ones(nbits: usize) -> Self {
+        let mut v = BitVec {
+            nbits,
+            words: vec![u64::MAX; words_for(nbits)],
+        };
+        v.clear_tail();
+        v
+    }
+
+    /// Builds a vector from an iterator of set-bit positions.
+    ///
+    /// # Panics
+    /// Panics if any position is out of range.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(nbits: usize, idx: I) -> Self {
+        let mut v = Self::zeros(nbits);
+        for i in idx {
+            v.set(i, true);
+        }
+        v
+    }
+
+    /// Builds a vector from a slice of boolean flags.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut v = Self::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Zeroes any bits in the final partial word beyond `nbits`.
+    fn clear_tail(&mut self) {
+        let tail = self.nbits % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits in the vector.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nbits
+    }
+
+    /// True if the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if any bit set in both `self` and `mask`.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn intersects(&self, mask: &BitVec) -> bool {
+        self.check_width(mask);
+        self.words
+            .iter()
+            .zip(&mask.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// True if every bit of `mask` is also set in `self`.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn contains_all(&self, mask: &BitVec) -> bool {
+        self.check_width(mask);
+        self.words
+            .iter()
+            .zip(&mask.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Count of bits set in both `self` and `mask`.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn count_ones_masked(&self, mask: &BitVec) -> usize {
+        self.check_width(mask);
+        self.words
+            .iter()
+            .zip(&mask.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// In-place bitwise OR.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn or_assign(&mut self, other: &BitVec) {
+        self.check_width(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place bitwise AND.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn and_assign(&mut self, other: &BitVec) {
+        self.check_width(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place bitwise AND-NOT (`self &= !other`).
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn and_not_assign(&mut self, other: &BitVec) {
+        self.check_width(other);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Returns `self & mask` as a new vector.
+    pub fn and(&self, mask: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.and_assign(mask);
+        out
+    }
+
+    /// Returns `self | mask` as a new vector.
+    pub fn or(&self, mask: &BitVec) -> BitVec {
+        let mut out = self.clone();
+        out.or_assign(mask);
+        out
+    }
+
+    /// Iterates positions of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+
+    /// Position of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        self.iter_ones().next()
+    }
+
+    /// Position of the highest set bit, if any.
+    pub fn last_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + (WORD_BITS - 1 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    #[inline]
+    fn check_width(&self, other: &BitVec) {
+        assert_eq!(
+            self.nbits, other.nbits,
+            "bit vector width mismatch: {} vs {}",
+            self.nbits, other.nbits
+        );
+    }
+}
+
+/// A dense matrix of bits with a fixed number of columns.
+///
+/// Rows are appended dynamically; this is the storage for the paper's
+/// labeled arrays **V** (node presence) and **E** (edge presence), where
+/// columns correspond to time points.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitMatrix {
+    ncols: usize,
+    words_per_row: usize,
+    nrows: usize,
+    data: Vec<u64>,
+}
+
+impl std::fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "BitMatrix({}x{})", self.nrows, self.ncols)?;
+        for r in 0..self.nrows.min(16) {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if self.nrows > 16 {
+            writeln!(f, "  ... {} more rows", self.nrows - 16)?;
+        }
+        Ok(())
+    }
+}
+
+impl BitMatrix {
+    /// Creates an empty matrix with `ncols` columns and no rows.
+    pub fn new(ncols: usize) -> Self {
+        BitMatrix {
+            ncols,
+            words_per_row: words_for(ncols),
+            nrows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an all-zero matrix with `nrows` rows.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        let wpr = words_for(ncols);
+        BitMatrix {
+            ncols,
+            words_per_row: wpr,
+            nrows,
+            data: vec![0; nrows * wpr],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Appends an all-zero row, returning its index.
+    pub fn push_empty_row(&mut self) -> usize {
+        self.data.extend(std::iter::repeat_n(0, self.words_per_row));
+        self.nrows += 1;
+        self.nrows - 1
+    }
+
+    /// Appends a row copied from a [`BitVec`], returning its index.
+    ///
+    /// # Panics
+    /// Panics if the vector width differs from `ncols`.
+    pub fn push_row(&mut self, row: &BitVec) -> usize {
+        assert_eq!(row.len(), self.ncols, "row width mismatch");
+        self.data.extend_from_slice(&row.words);
+        self.nrows += 1;
+        self.nrows - 1
+    }
+
+    #[inline]
+    fn row_words(&self, r: usize) -> &[u64] {
+        debug_assert!(r < self.nrows);
+        &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    #[inline]
+    fn row_words_mut(&mut self, r: usize) -> &mut [u64] {
+        debug_assert!(r < self.nrows);
+        &mut self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    }
+
+    /// Reads cell `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        assert!(r < self.nrows && c < self.ncols, "index out of range");
+        (self.row_words(r)[c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
+    }
+
+    /// Writes cell `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(r < self.nrows && c < self.ncols, "index out of range");
+        let w = &mut self.row_words_mut(r)[c / WORD_BITS];
+        let mask = 1u64 << (c % WORD_BITS);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Copies row `r` out as a [`BitVec`].
+    pub fn row(&self, r: usize) -> BitVec {
+        BitVec {
+            nbits: self.ncols,
+            words: self.row_words(r).to_vec(),
+        }
+    }
+
+    /// True if row `r` has any set bit within `mask` (the paper's
+    /// "any `V[v, t] = 1` for `t ∈ 𝒯`" test used by the union operator).
+    pub fn row_any(&self, r: usize, mask: &BitVec) -> bool {
+        assert_eq!(mask.len(), self.ncols, "mask width mismatch");
+        self.row_words(r)
+            .iter()
+            .zip(&mask.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// True if row `r` has every bit of `mask` set (the projection test
+    /// "`𝒯 ⊆ τ(u)`").
+    pub fn row_all(&self, r: usize, mask: &BitVec) -> bool {
+        assert_eq!(mask.len(), self.ncols, "mask width mismatch");
+        self.row_words(r)
+            .iter()
+            .zip(&mask.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Count of set bits in row `r` restricted to `mask`.
+    pub fn row_count_masked(&self, r: usize, mask: &BitVec) -> usize {
+        assert_eq!(mask.len(), self.ncols, "mask width mismatch");
+        self.row_words(r)
+            .iter()
+            .zip(&mask.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Returns row `r` restricted to `mask` (bits outside `mask` cleared).
+    pub fn row_masked(&self, r: usize, mask: &BitVec) -> BitVec {
+        assert_eq!(mask.len(), self.ncols, "mask width mismatch");
+        BitVec {
+            nbits: self.ncols,
+            words: self
+                .row_words(r)
+                .iter()
+                .zip(&mask.words)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Count of set bits in column `c`.
+    pub fn col_count(&self, c: usize) -> usize {
+        assert!(c < self.ncols, "column out of range");
+        let wi = c / WORD_BITS;
+        let mask = 1u64 << (c % WORD_BITS);
+        (0..self.nrows)
+            .filter(|&r| self.data[r * self.words_per_row + wi] & mask != 0)
+            .count()
+    }
+
+    /// Total number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.data.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Builds a new matrix keeping only the listed columns, in the given
+    /// order (the paper's "restrict the arrays to the columns of 𝒯").
+    pub fn restrict_columns(&self, cols: &[usize]) -> BitMatrix {
+        for &c in cols {
+            assert!(c < self.ncols, "column {c} out of range {}", self.ncols);
+        }
+        let mut out = BitMatrix::zeros(self.nrows, cols.len());
+        for r in 0..self.nrows {
+            let src = self.row_words(r);
+            for (new_c, &old_c) in cols.iter().enumerate() {
+                if (src[old_c / WORD_BITS] >> (old_c % WORD_BITS)) & 1 == 1 {
+                    out.set(r, new_c, true);
+                }
+            }
+        }
+        out
+    }
+
+    /// Builds a copy with `new_ncols ≥ ncols` columns; existing bits keep
+    /// their positions, new columns start clear (used when a temporal
+    /// graph's domain is extended with fresh time points).
+    ///
+    /// # Panics
+    /// Panics if `new_ncols < ncols`.
+    pub fn widen(&self, new_ncols: usize) -> BitMatrix {
+        assert!(
+            new_ncols >= self.ncols,
+            "widen cannot shrink: {} -> {new_ncols}",
+            self.ncols
+        );
+        let mut out = BitMatrix::zeros(self.nrows, new_ncols);
+        for r in 0..self.nrows {
+            for c in self.iter_row_ones(r) {
+                out.set(r, c, true);
+            }
+        }
+        out
+    }
+
+    /// Builds a new matrix keeping only the listed rows, in the given order.
+    pub fn select_rows(&self, rows: &[usize]) -> BitMatrix {
+        let mut out = BitMatrix::new(self.ncols);
+        out.data.reserve(rows.len() * self.words_per_row);
+        for &r in rows {
+            assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
+            out.data.extend_from_slice(self.row_words(r));
+            out.nrows += 1;
+        }
+        out
+    }
+
+    /// Iterates set-bit column positions of row `r`.
+    pub fn iter_row_ones(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
+        let words = self.row_words(r);
+        words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * WORD_BITS + b)
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_ones() {
+        let z = BitVec::zeros(70);
+        assert_eq!(z.len(), 70);
+        assert_eq!(z.count_ones(), 0);
+        assert!(z.is_zero());
+
+        let o = BitVec::ones(70);
+        assert_eq!(o.count_ones(), 70);
+        assert!(!o.is_zero());
+        // tail bits beyond nbits must be clear so counts stay exact
+        assert_eq!(o.words.len(), 2);
+        assert_eq!(o.words[1].count_ones(), 6);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            v.set(i, true);
+            assert!(v.get(i));
+        }
+        assert_eq!(v.count_ones(), 8);
+        v.set(64, false);
+        assert!(!v.get(64));
+        assert_eq!(v.count_ones(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        BitVec::zeros(8).get(8);
+    }
+
+    #[test]
+    fn from_indices_and_iter_ones() {
+        let v = BitVec::from_indices(100, [3, 64, 99]);
+        let ones: Vec<_> = v.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 99]);
+        assert_eq!(v.first_one(), Some(3));
+        assert_eq!(v.last_one(), Some(99));
+    }
+
+    #[test]
+    fn empty_first_last() {
+        let v = BitVec::zeros(10);
+        assert_eq!(v.first_one(), None);
+        assert_eq!(v.last_one(), None);
+    }
+
+    #[test]
+    fn intersects_and_contains() {
+        let a = BitVec::from_indices(10, [1, 3, 5]);
+        let b = BitVec::from_indices(10, [3]);
+        let c = BitVec::from_indices(10, [2, 4]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.contains_all(&b));
+        assert!(!b.contains_all(&a));
+        assert!(a.contains_all(&BitVec::zeros(10)));
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = BitVec::from_indices(10, [1, 3, 5]);
+        let b = BitVec::from_indices(10, [3, 4]);
+        assert_eq!(
+            a.and(&b).iter_ones().collect::<Vec<_>>(),
+            vec![3]
+        );
+        assert_eq!(
+            a.or(&b).iter_ones().collect::<Vec<_>>(),
+            vec![1, 3, 4, 5]
+        );
+        let mut d = a.clone();
+        d.and_not_assign(&b);
+        assert_eq!(d.iter_ones().collect::<Vec<_>>(), vec![1, 5]);
+        assert_eq!(a.count_ones_masked(&b), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let a = BitVec::zeros(10);
+        let b = BitVec::zeros(11);
+        a.intersects(&b);
+    }
+
+    #[test]
+    fn matrix_push_and_get() {
+        let mut m = BitMatrix::new(5);
+        let r0 = m.push_row(&BitVec::from_indices(5, [0, 2]));
+        let r1 = m.push_empty_row();
+        assert_eq!((r0, r1), (0, 1));
+        assert_eq!(m.nrows(), 2);
+        assert!(m.get(0, 0) && m.get(0, 2) && !m.get(0, 1));
+        m.set(1, 4, true);
+        assert!(m.get(1, 4));
+        assert_eq!(m.count_ones(), 3);
+    }
+
+    #[test]
+    fn matrix_row_any_all_masked() {
+        let mut m = BitMatrix::new(4);
+        m.push_row(&BitVec::from_indices(4, [0, 1]));
+        m.push_row(&BitVec::from_indices(4, [2]));
+        let mask = BitVec::from_indices(4, [0, 1]);
+        assert!(m.row_any(0, &mask));
+        assert!(m.row_all(0, &mask));
+        assert!(!m.row_any(1, &mask));
+        assert!(!m.row_all(1, &mask));
+        assert_eq!(m.row_count_masked(0, &mask), 2);
+        assert_eq!(m.row_count_masked(1, &mask), 0);
+        assert_eq!(
+            m.row_masked(0, &BitVec::from_indices(4, [1, 2]))
+                .iter_ones()
+                .collect::<Vec<_>>(),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn matrix_restrict_columns() {
+        let mut m = BitMatrix::new(4);
+        m.push_row(&BitVec::from_indices(4, [0, 3]));
+        m.push_row(&BitVec::from_indices(4, [1, 2]));
+        let r = m.restrict_columns(&[3, 1]);
+        assert_eq!(r.ncols(), 2);
+        assert!(r.get(0, 0) && !r.get(0, 1));
+        assert!(!r.get(1, 0) && r.get(1, 1));
+    }
+
+    #[test]
+    fn matrix_select_rows() {
+        let mut m = BitMatrix::new(3);
+        m.push_row(&BitVec::from_indices(3, [0]));
+        m.push_row(&BitVec::from_indices(3, [1]));
+        m.push_row(&BitVec::from_indices(3, [2]));
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.nrows(), 2);
+        assert!(s.get(0, 2) && s.get(1, 0));
+    }
+
+    #[test]
+    fn matrix_widen() {
+        let mut m = BitMatrix::new(3);
+        m.push_row(&BitVec::from_indices(3, [0, 2]));
+        let w = m.widen(70);
+        assert_eq!(w.ncols(), 70);
+        assert!(w.get(0, 0) && w.get(0, 2));
+        assert_eq!(w.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn matrix_widen_shrink_panics() {
+        BitMatrix::new(3).widen(2);
+    }
+
+    #[test]
+    fn matrix_col_count() {
+        let mut m = BitMatrix::new(3);
+        m.push_row(&BitVec::from_indices(3, [0, 1]));
+        m.push_row(&BitVec::from_indices(3, [1]));
+        assert_eq!(m.col_count(0), 1);
+        assert_eq!(m.col_count(1), 2);
+        assert_eq!(m.col_count(2), 0);
+    }
+
+    #[test]
+    fn matrix_iter_row_ones_across_words() {
+        let mut m = BitMatrix::new(130);
+        m.push_row(&BitVec::from_indices(130, [0, 64, 129]));
+        assert_eq!(m.iter_row_ones(0).collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+}

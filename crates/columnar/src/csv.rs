@@ -1,0 +1,140 @@
+//! Minimal delimited-text IO for frames.
+//!
+//! The GraphTempo reference implementation ships its datasets as
+//! tab/space-separated text files (node presence, edge presence, one file
+//! per attribute). This module reads and writes [`Frame`]s in that style
+//! without pulling in an external CSV dependency.
+//!
+//! Cells are parsed as `Int` when they look like integers, `Null` when they
+//! equal the `-` placeholder, and `Str` otherwise.
+
+use crate::error::ColumnarError;
+use crate::frame::Frame;
+use crate::value::Value;
+use std::io::{BufRead, Write};
+
+/// Parses one cell.
+fn parse_cell(s: &str) -> Value {
+    if s == "-" {
+        return Value::Null;
+    }
+    match s.parse::<i64>() {
+        Ok(i) => Value::Int(i),
+        Err(_) => Value::Str(s.to_owned()),
+    }
+}
+
+/// Renders one cell (inverse of [`parse_cell`] for `Int`/`Null`/`Str`).
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::Null => "-".to_owned(),
+        Value::Int(i) => i.to_string(),
+        Value::Cat(c) => format!("#{c}"),
+        Value::Str(s) => s.clone(),
+    }
+}
+
+/// Reads a frame from delimited text with a header line.
+///
+/// # Errors
+/// Returns an error on IO failure, empty input, duplicate header names, or
+/// rows whose arity differs from the header.
+pub fn read_frame<R: BufRead>(reader: R, delim: char) -> Result<Frame, ColumnarError> {
+    let mut lines = reader.lines().enumerate();
+    let header = loop {
+        match lines.next() {
+            None => {
+                return Err(ColumnarError::Parse {
+                    line: 0,
+                    message: "empty input: missing header".to_owned(),
+                })
+            }
+            Some((_, line)) => {
+                let line = line?;
+                if !line.trim().is_empty() {
+                    break line;
+                }
+            }
+        }
+    };
+    let cols: Vec<String> = header.split(delim).map(|s| s.trim().to_owned()).collect();
+    let ncols = cols.len();
+    let mut frame = Frame::new(cols)?;
+    for (i, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<Value> = line.split(delim).map(|s| parse_cell(s.trim())).collect();
+        if cells.len() != ncols {
+            return Err(ColumnarError::Parse {
+                line: i + 1,
+                message: format!("expected {ncols} cells, got {}", cells.len()),
+            });
+        }
+        frame.push_row(cells)?;
+    }
+    Ok(frame)
+}
+
+/// Writes a frame as delimited text with a header line.
+///
+/// # Errors
+/// Returns an error on IO failure.
+pub fn write_frame<W: Write>(frame: &Frame, writer: &mut W, delim: char) -> Result<(), ColumnarError> {
+    let mut d = [0u8; 4];
+    let delim_str: &str = delim.encode_utf8(&mut d);
+    writeln!(writer, "{}", frame.columns().join(delim_str))?;
+    for row in frame.iter_rows() {
+        let cells: Vec<String> = row.iter().map(render_cell).collect();
+        writeln!(writer, "{}", cells.join(delim_str))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut f = Frame::new(vec!["id", "t0", "t1"]).unwrap();
+        f.push_row(vec![Value::Str("u1".into()), Value::Int(3), Value::Null])
+            .unwrap();
+        f.push_row(vec![Value::Str("u2".into()), Value::Int(1), Value::Int(1)])
+            .unwrap();
+        let mut buf = Vec::new();
+        write_frame(&f, &mut buf, '\t').unwrap();
+        let g = read_frame(Cursor::new(buf), '\t').unwrap();
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn parses_null_placeholder_and_ints() {
+        let text = "id\tv\nu1\t-\nu2\t42\n";
+        let f = read_frame(Cursor::new(text), '\t').unwrap();
+        assert_eq!(f.get(0, "v").unwrap(), &Value::Null);
+        assert_eq!(f.get(1, "v").unwrap(), &Value::Int(42));
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let text = "a\tb\n\n1\t2\n\n";
+        let f = read_frame(Cursor::new(text), '\t').unwrap();
+        assert_eq!(f.nrows(), 1);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        let r = read_frame(Cursor::new(""), '\t');
+        assert!(matches!(r, Err(ColumnarError::Parse { line: 0, .. })));
+    }
+
+    #[test]
+    fn ragged_row_errors() {
+        let text = "a\tb\n1\t2\t3\n";
+        let r = read_frame(Cursor::new(text), '\t');
+        assert!(matches!(r, Err(ColumnarError::Parse { .. })));
+    }
+}

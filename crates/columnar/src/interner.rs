@@ -1,0 +1,106 @@
+//! Label interning.
+//!
+//! The paper's arrays are *labeled*: rows carry node or edge identifiers and
+//! categorical attributes carry string labels ("m", "f", occupation names).
+//! [`Interner`] maps such labels to dense `u32` codes and back, so the hot
+//! paths work on integers.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bidirectional map from labels to dense `u32` codes.
+#[derive(Clone, Debug, Default)]
+pub struct Interner<T: Eq + Hash + Clone> {
+    to_code: HashMap<T, u32>,
+    items: Vec<T>,
+}
+
+impl<T: Eq + Hash + Clone> Interner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner {
+            to_code: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Interns `label`, returning its code (existing or freshly assigned).
+    ///
+    /// # Panics
+    /// Panics if more than `u32::MAX` distinct labels are interned.
+    pub fn intern(&mut self, label: T) -> u32 {
+        if let Some(&c) = self.to_code.get(&label) {
+            return c;
+        }
+        let code = u32::try_from(self.items.len()).expect("interner overflow");
+        self.items.push(label.clone());
+        self.to_code.insert(label, code);
+        code
+    }
+
+    /// Looks up the code of `label` without interning.
+    pub fn code(&self, label: &T) -> Option<u32> {
+        self.to_code.get(label).copied()
+    }
+
+    /// Resolves a code back to its label.
+    pub fn resolve(&self, code: u32) -> Option<&T> {
+        self.items.get(code as usize)
+    }
+
+    /// Number of distinct labels interned.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates `(code, label)` pairs in code order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.items.iter().enumerate().map(|(i, l)| (i as u32, l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha".to_string());
+        let b = i.intern("beta".to_string());
+        assert_eq!(i.intern("alpha".to_string()), a);
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let c = i.intern(42u64);
+        assert_eq!(i.resolve(c), Some(&42));
+        assert_eq!(i.code(&42), Some(c));
+        assert_eq!(i.code(&43), None);
+        assert_eq!(i.resolve(99), None);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let mut i = Interner::new();
+        i.intern("x");
+        i.intern("y");
+        let pairs: Vec<_> = i.iter().collect();
+        assert_eq!(pairs, vec![(0, &"x"), (1, &"y")]);
+    }
+
+    #[test]
+    fn empty() {
+        let i: Interner<String> = Interner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Dense value matrices.
+//!
+//! The paper stores each time-varying attribute `A_i` as a labeled array with
+//! one row per node and one column per time point; cell `A_i[v, t]` holds the
+//! attribute value of `v` at `t`, or "–" when `v` does not exist at `t`
+//! (Table 2). [`ValueMatrix`] is that array; row labels are kept by the
+//! graph layer.
+
+use crate::frame::Frame;
+use crate::value::Value;
+
+/// A dense row-major matrix of [`Value`]s with a fixed column count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValueMatrix {
+    ncols: usize,
+    nrows: usize,
+    data: Vec<Value>,
+}
+
+impl ValueMatrix {
+    /// Creates an empty matrix with `ncols` columns and no rows.
+    pub fn new(ncols: usize) -> Self {
+        ValueMatrix {
+            ncols,
+            nrows: 0,
+            data: Vec::new(),
+        }
+    }
+
+    /// Creates an all-`Null` matrix with the given shape.
+    pub fn nulls(nrows: usize, ncols: usize) -> Self {
+        ValueMatrix {
+            ncols,
+            nrows,
+            data: vec![Value::Null; nrows * ncols],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Appends an all-`Null` row, returning its index.
+    pub fn push_null_row(&mut self) -> usize {
+        self.data
+            .extend(std::iter::repeat_n(Value::Null, self.ncols));
+        self.nrows += 1;
+        self.nrows - 1
+    }
+
+    /// Appends a row, returning its index.
+    ///
+    /// # Panics
+    /// Panics if the row arity differs from `ncols`.
+    pub fn push_row(&mut self, row: Vec<Value>) -> usize {
+        assert_eq!(row.len(), self.ncols, "row arity mismatch");
+        self.data.extend(row);
+        self.nrows += 1;
+        self.nrows - 1
+    }
+
+    /// Reads cell `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> &Value {
+        assert!(r < self.nrows && c < self.ncols, "index out of range");
+        &self.data[r * self.ncols + c]
+    }
+
+    /// Writes cell `(r, c)`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: Value) {
+        assert!(r < self.nrows && c < self.ncols, "index out of range");
+        self.data[r * self.ncols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn row(&self, r: usize) -> &[Value] {
+        assert!(r < self.nrows, "row out of range");
+        &self.data[r * self.ncols..(r + 1) * self.ncols]
+    }
+
+    /// Builds a new matrix keeping only the listed columns, in that order.
+    ///
+    /// # Panics
+    /// Panics if any column is out of range.
+    pub fn restrict_columns(&self, cols: &[usize]) -> ValueMatrix {
+        for &c in cols {
+            assert!(c < self.ncols, "column {c} out of range {}", self.ncols);
+        }
+        let mut out = ValueMatrix::new(cols.len());
+        for r in 0..self.nrows {
+            let row = self.row(r);
+            out.push_row(cols.iter().map(|&c| row[c].clone()).collect());
+        }
+        out
+    }
+
+    /// Builds a copy with `new_ncols >= ncols` columns; existing cells keep
+    /// their positions, new columns are `Null`.
+    ///
+    /// # Panics
+    /// Panics if `new_ncols < ncols`.
+    pub fn widen(&self, new_ncols: usize) -> ValueMatrix {
+        assert!(
+            new_ncols >= self.ncols,
+            "widen cannot shrink: {} -> {new_ncols}",
+            self.ncols
+        );
+        let mut out = ValueMatrix::new(new_ncols);
+        for r in 0..self.nrows {
+            let mut row = self.row(r).to_vec();
+            row.resize(new_ncols, Value::Null);
+            out.push_row(row);
+        }
+        out
+    }
+
+    /// Builds a new matrix keeping only the listed rows, in that order.
+    ///
+    /// # Panics
+    /// Panics if any row is out of range.
+    pub fn select_rows(&self, rows: &[usize]) -> ValueMatrix {
+        let mut out = ValueMatrix::new(self.ncols);
+        for &r in rows {
+            out.push_row(self.row(r).to_vec());
+        }
+        out
+    }
+
+    /// Converts the matrix to a [`Frame`], prefixing each row with an `id`
+    /// column holding the caller-provided row labels.
+    ///
+    /// Column names are taken from `col_names`.
+    ///
+    /// # Panics
+    /// Panics if label or column-name counts do not match the shape.
+    pub fn to_frame(&self, row_labels: &[Value], col_names: &[String]) -> Frame {
+        assert_eq!(row_labels.len(), self.nrows, "row label count mismatch");
+        assert_eq!(col_names.len(), self.ncols, "column name count mismatch");
+        let mut cols: Vec<String> = vec!["id".to_owned()];
+        cols.extend(col_names.iter().cloned());
+        let mut f = Frame::new(cols).expect("column names must be distinct");
+        for (r, label) in row_labels.iter().enumerate() {
+            let mut row = Vec::with_capacity(self.ncols + 1);
+            row.push(label.clone());
+            row.extend(self.row(r).iter().cloned());
+            f.push_row(row).expect("arity is consistent by construction");
+        }
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set() {
+        let mut m = ValueMatrix::new(3);
+        m.push_row(vec![Value::Int(1), Value::Null, Value::Int(3)]);
+        m.push_null_row();
+        assert_eq!(m.nrows(), 2);
+        assert_eq!(m.get(0, 2), &Value::Int(3));
+        assert!(m.get(1, 0).is_null());
+        m.set(1, 1, Value::Int(9));
+        assert_eq!(m.get(1, 1), &Value::Int(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn push_row_wrong_arity_panics() {
+        ValueMatrix::new(2).push_row(vec![Value::Int(1)]);
+    }
+
+    #[test]
+    fn restrict_and_select() {
+        let mut m = ValueMatrix::new(3);
+        m.push_row(vec![Value::Int(0), Value::Int(1), Value::Int(2)]);
+        m.push_row(vec![Value::Int(10), Value::Int(11), Value::Int(12)]);
+        let r = m.restrict_columns(&[2, 0]);
+        assert_eq!(r.row(1), &[Value::Int(12), Value::Int(10)]);
+        let s = m.select_rows(&[1]);
+        assert_eq!(s.nrows(), 1);
+        assert_eq!(s.row(0)[0], Value::Int(10));
+    }
+
+    #[test]
+    fn to_frame_roundtrip() {
+        let mut m = ValueMatrix::new(2);
+        m.push_row(vec![Value::Int(5), Value::Null]);
+        let f = m.to_frame(
+            &[Value::Str("u1".into())],
+            &["t0".to_owned(), "t1".to_owned()],
+        );
+        assert_eq!(f.columns(), &["id", "t0", "t1"]);
+        assert_eq!(f.get(0, "t0").unwrap(), &Value::Int(5));
+        assert_eq!(f.get(0, "id").unwrap(), &Value::Str("u1".into()));
+    }
+
+    #[test]
+    fn widen_preserves_and_pads() {
+        let mut m = ValueMatrix::new(2);
+        m.push_row(vec![Value::Int(1), Value::Int(2)]);
+        let w = m.widen(4);
+        assert_eq!(w.ncols(), 4);
+        assert_eq!(w.get(0, 1), &Value::Int(2));
+        assert!(w.get(0, 3).is_null());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn widen_shrink_panics() {
+        ValueMatrix::new(3).widen(2);
+    }
+
+    #[test]
+    fn nulls_shape() {
+        let m = ValueMatrix::nulls(2, 4);
+        assert_eq!((m.nrows(), m.ncols()), (2, 4));
+        assert!(m.get(1, 3).is_null());
+    }
+}

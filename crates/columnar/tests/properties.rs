@@ -1,0 +1,141 @@
+//! Property-based tests of the columnar engine: bitset algebra, frame
+//! group-by invariants, and delimited-text round-trips.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use tempo_columnar::{read_frame, write_frame, BitMatrix, BitVec, Frame, Value};
+
+fn bitvec_strategy(max_bits: usize) -> impl Strategy<Value = BitVec> {
+    (1..max_bits).prop_flat_map(|n| {
+        proptest::collection::vec(any::<bool>(), n).prop_map(|bits| BitVec::from_bools(&bits))
+    })
+}
+
+/// Two bit vectors of the same width.
+fn bitvec_pair(max_bits: usize) -> impl Strategy<Value = (BitVec, BitVec)> {
+    (1..max_bits).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(any::<bool>(), n),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+            .prop_map(|(a, b)| (BitVec::from_bools(&a), BitVec::from_bools(&b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn iter_ones_roundtrips(v in bitvec_strategy(200)) {
+        let rebuilt = BitVec::from_indices(v.len(), v.iter_ones());
+        prop_assert_eq!(&rebuilt, &v);
+        prop_assert_eq!(v.iter_ones().count(), v.count_ones());
+    }
+
+    #[test]
+    fn and_or_de_morgan_style((a, b) in bitvec_pair(200)) {
+        // |a ∪ b| + |a ∩ b| = |a| + |b|
+        prop_assert_eq!(
+            a.or(&b).count_ones() + a.and(&b).count_ones(),
+            a.count_ones() + b.count_ones()
+        );
+        // intersects ⟺ non-empty and
+        prop_assert_eq!(a.intersects(&b), !a.and(&b).is_zero());
+        // contains_all ⟺ and == b
+        prop_assert_eq!(a.contains_all(&b), a.and(&b) == b);
+        // and-not removes exactly the intersection
+        let mut c = a.clone();
+        c.and_not_assign(&b);
+        prop_assert_eq!(c.count_ones(), a.count_ones() - a.and(&b).count_ones());
+    }
+
+    #[test]
+    fn first_last_consistent(v in bitvec_strategy(200)) {
+        match (v.first_one(), v.last_one()) {
+            (Some(f), Some(l)) => {
+                prop_assert!(f <= l);
+                prop_assert!(v.get(f) && v.get(l));
+            }
+            (None, None) => prop_assert!(v.is_zero()),
+            _ => prop_assert!(false, "first/last disagree"),
+        }
+    }
+
+    #[test]
+    fn matrix_restrict_columns_preserves_cells(
+        rows in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 12), 1..20),
+        keep in proptest::collection::vec(0usize..12, 1..6),
+    ) {
+        let mut m = BitMatrix::new(12);
+        for r in &rows {
+            m.push_row(&BitVec::from_bools(r));
+        }
+        let restricted = m.restrict_columns(&keep);
+        for (ri, row) in rows.iter().enumerate() {
+            for (new_c, &old_c) in keep.iter().enumerate() {
+                prop_assert_eq!(restricted.get(ri, new_c), row[old_c]);
+            }
+        }
+    }
+
+    #[test]
+    fn group_count_total_equals_rows(
+        keys in proptest::collection::vec(0i64..6, 1..60),
+    ) {
+        let mut f = Frame::new(vec!["k"]).unwrap();
+        for k in &keys {
+            f.push_row(vec![Value::Int(*k)]).unwrap();
+        }
+        let g = f.group_count(&["k"]).unwrap();
+        let total: i64 = g
+            .iter_rows()
+            .map(|r| r.last().unwrap().as_int().unwrap())
+            .sum();
+        prop_assert_eq!(total as usize, keys.len());
+        // dedup leaves one row per distinct key
+        let d = f.dedup_by(&["k"]).unwrap();
+        prop_assert_eq!(d.nrows(), g.nrows());
+    }
+
+    #[test]
+    fn unpivot_preserves_non_null_cell_count(
+        cells in proptest::collection::vec(
+            proptest::collection::vec(proptest::option::of(-100i64..100), 4),
+            1..30,
+        ),
+    ) {
+        let mut f = Frame::new(vec!["id", "c0", "c1", "c2", "c3"]).unwrap();
+        let mut non_null = 0usize;
+        for (i, row) in cells.iter().enumerate() {
+            let mut r = vec![Value::Int(i as i64)];
+            for c in row {
+                match c {
+                    Some(v) => {
+                        non_null += 1;
+                        r.push(Value::Int(*v));
+                    }
+                    None => r.push(Value::Null),
+                }
+            }
+            f.push_row(r).unwrap();
+        }
+        let long = f.unpivot(&["id"], "var", "value").unwrap();
+        prop_assert_eq!(long.nrows(), non_null);
+    }
+
+    #[test]
+    fn tsv_roundtrip(
+        rows in proptest::collection::vec((any::<i64>(), proptest::option::of(0i64..50)), 0..30),
+    ) {
+        let mut f = Frame::new(vec!["a", "b"]).unwrap();
+        for (a, b) in &rows {
+            f.push_row(vec![
+                Value::Int(*a),
+                b.map(Value::Int).unwrap_or(Value::Null),
+            ])
+            .unwrap();
+        }
+        let mut buf = Vec::new();
+        write_frame(&f, &mut buf, '\t').unwrap();
+        let g = read_frame(Cursor::new(buf), '\t').unwrap();
+        prop_assert_eq!(f, g);
+    }
+}

@@ -1,0 +1,728 @@
+//! Attribute aggregation (§2.2, Definition 2.6; Algorithm 2; §4.2).
+//!
+//! Aggregation groups nodes by a tuple of attribute values and counts, with
+//! two weight semantics:
+//!
+//! * **DIST** ([`AggMode::Distinct`]) — each (entity, tuple) pair counts
+//!   once no matter how many time points it appears at;
+//! * **ALL** ([`AggMode::All`]) — every appearance at every time point
+//!   counts.
+//!
+//! Three implementations are provided and tested equivalent:
+//! [`aggregate`] (direct hash aggregation over the presence matrices),
+//! [`aggregate_via_frames`] (the paper's Algorithm 2 verbatim on the
+//! columnar engine: unpivot → merge → deduplicate → group-count), and
+//! [`aggregate_static_fast`] (the §4.2 optimization when every aggregation
+//! attribute is static).
+
+use std::collections::{HashMap, HashSet};
+use tempo_columnar::{Frame, Value, ValueTuple};
+use tempo_graph::{
+    AttrId, GraphError, NodeId, Temporality, TemporalGraph, TimePoint,
+};
+
+/// Distinct (DIST) vs non-distinct (ALL) weight semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum AggMode {
+    /// Count each distinct (entity, tuple) pair once.
+    Distinct,
+    /// Count every appearance at every time point.
+    All,
+}
+
+/// A weighted aggregate graph `G'(V', E', W_V', W_E', A')`.
+///
+/// Nodes are attribute tuples; edges are ordered pairs of attribute tuples
+/// (the underlying graphs are directed). Weights are COUNT aggregates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggregateGraph {
+    attr_names: Vec<String>,
+    nodes: HashMap<ValueTuple, u64>,
+    edges: HashMap<(ValueTuple, ValueTuple), u64>,
+}
+
+impl AggregateGraph {
+    /// Creates an empty aggregate graph over the given attribute names.
+    pub fn new(attr_names: Vec<String>) -> Self {
+        AggregateGraph {
+            attr_names,
+            nodes: HashMap::new(),
+            edges: HashMap::new(),
+        }
+    }
+
+    /// Names of the aggregation attributes, in tuple order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Number of aggregate nodes (distinct attribute tuples).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of aggregate edges (distinct tuple pairs).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Weight of an aggregate node (0 when absent).
+    pub fn node_weight(&self, tuple: &[Value]) -> u64 {
+        self.nodes.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// Weight of an aggregate edge (0 when absent).
+    pub fn edge_weight(&self, src: &[Value], dst: &[Value]) -> u64 {
+        self.edges
+            .get(&(src.to_vec(), dst.to_vec()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all node weights.
+    pub fn total_node_weight(&self) -> u64 {
+        self.nodes.values().sum()
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_edge_weight(&self) -> u64 {
+        self.edges.values().sum()
+    }
+
+    /// Adds `w` to a node tuple's weight.
+    pub fn add_node_weight(&mut self, tuple: ValueTuple, w: u64) {
+        if w > 0 {
+            *self.nodes.entry(tuple).or_insert(0) += w;
+        }
+    }
+
+    /// Adds `w` to an edge tuple pair's weight.
+    pub fn add_edge_weight(&mut self, src: ValueTuple, dst: ValueTuple, w: u64) {
+        if w > 0 {
+            *self.edges.entry((src, dst)).or_insert(0) += w;
+        }
+    }
+
+    /// Iterates nodes sorted by tuple (deterministic order).
+    pub fn iter_nodes(&self) -> Vec<(&ValueTuple, u64)> {
+        let mut v: Vec<_> = self.nodes.iter().map(|(k, &w)| (k, w)).collect();
+        v.sort();
+        v
+    }
+
+    /// Iterates edges sorted by tuple pair (deterministic order).
+    pub fn iter_edges(&self) -> Vec<(&(ValueTuple, ValueTuple), u64)> {
+        let mut v: Vec<_> = self.edges.iter().map(|(k, &w)| (k, w)).collect();
+        v.sort();
+        v
+    }
+
+    /// Pointwise weight addition (used by the T-distributive union of
+    /// §4.3: the ALL-aggregate of a union graph is the sum of per-timepoint
+    /// ALL-aggregates).
+    pub fn merge_add(&mut self, other: &AggregateGraph) {
+        debug_assert_eq!(self.attr_names, other.attr_names, "attribute mismatch");
+        for (k, &w) in &other.nodes {
+            *self.nodes.entry(k.clone()).or_insert(0) += w;
+        }
+        for (k, &w) in &other.edges {
+            *self.edges.entry(k.clone()).or_insert(0) += w;
+        }
+    }
+
+    /// Renders the aggregate graph as text, resolving categorical codes
+    /// through the source graph's schema.
+    pub fn render(&self, g: &TemporalGraph) -> String {
+        use std::fmt::Write as _;
+        let attrs: Vec<AttrId> = self
+            .attr_names
+            .iter()
+            .filter_map(|n| g.schema().id(n).ok())
+            .collect();
+        let fmt_tuple = |tuple: &ValueTuple| -> String {
+            if attrs.len() == tuple.len() {
+                crate::ops::render_tuple(g, &attrs, tuple)
+            } else {
+                format!("{tuple:?}")
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "aggregate on ({})", self.attr_names.join(","));
+        for (tuple, w) in self.iter_nodes() {
+            let _ = writeln!(out, "  node {} w={w}", fmt_tuple(tuple));
+        }
+        for ((s, d), w) in self.iter_edges() {
+            let _ = writeln!(out, "  edge {} -> {} w={w}", fmt_tuple(s), fmt_tuple(d));
+        }
+        out
+    }
+}
+
+/// A predicate restricting which (node, time) appearances participate in an
+/// aggregation — e.g. the paper's Fig. 12 filter "authors with
+/// #Publications > 4".
+pub type NodeTimeFilter<'a> = dyn Fn(&TemporalGraph, NodeId, TimePoint) -> bool + 'a;
+
+/// Resolved attribute accessor avoiding schema lookups in inner loops.
+enum Resolved {
+    Static(usize),
+    TimeVarying(usize),
+}
+
+fn resolve_attrs(g: &TemporalGraph, attrs: &[AttrId]) -> Vec<Resolved> {
+    attrs
+        .iter()
+        .map(|&a| match g.schema().def(a).temporality() {
+            Temporality::Static => {
+                Resolved::Static(g.schema().static_slot(a).expect("slot for static attr"))
+            }
+            Temporality::TimeVarying => Resolved::TimeVarying(
+                g.schema()
+                    .time_varying_slot(a)
+                    .expect("slot for time-varying attr"),
+            ),
+        })
+        .collect()
+}
+
+fn tuple_at(
+    g: &TemporalGraph,
+    resolved: &[Resolved],
+    tv_tables: &[&tempo_columnar::ValueMatrix],
+    n: usize,
+    t: usize,
+) -> ValueTuple {
+    resolved
+        .iter()
+        .map(|r| match r {
+            Resolved::Static(slot) => g.static_table().get(n, *slot).clone(),
+            Resolved::TimeVarying(slot) => tv_tables[*slot].get(n, t).clone(),
+        })
+        .collect()
+}
+
+/// Aggregates `g` on `attrs` with the given mode (Definition 2.6),
+/// considering every time point at which each entity exists.
+///
+/// ```
+/// use graphtempo::aggregate::{aggregate, AggMode};
+/// use tempo_graph::fixtures::fig1;
+///
+/// let g = fig1();
+/// let gender = g.schema().id("gender").unwrap();
+/// let dist = aggregate(&g, &[gender], AggMode::Distinct);
+/// // 5 distinct authors: 2 male, 3 female
+/// assert_eq!(dist.total_node_weight(), 5);
+/// let all = aggregate(&g, &[gender], AggMode::All);
+/// // 10 author appearances across the three time points
+/// assert_eq!(all.total_node_weight(), 10);
+/// ```
+///
+/// # Panics
+/// Panics if any id is not from `g`'s schema.
+pub fn aggregate(g: &TemporalGraph, attrs: &[AttrId], mode: AggMode) -> AggregateGraph {
+    aggregate_filtered(g, attrs, mode, None)
+}
+
+/// [`aggregate`] with an optional per-(node, time) filter; a filtered-out
+/// node contributes no appearances, and an edge appearance requires both
+/// endpoints to pass.
+///
+/// # Panics
+/// Panics if any id is not from `g`'s schema.
+pub fn aggregate_filtered(
+    g: &TemporalGraph,
+    attrs: &[AttrId],
+    mode: AggMode,
+    filter: Option<&NodeTimeFilter<'_>>,
+) -> AggregateGraph {
+    let names: Vec<String> = attrs
+        .iter()
+        .map(|&a| g.schema().def(a).name().to_owned())
+        .collect();
+    let mut agg = AggregateGraph::new(names);
+    let resolved = resolve_attrs(g, attrs);
+    let tv_tables: Vec<&tempo_columnar::ValueMatrix> = g
+        .schema()
+        .time_varying_ids()
+        .iter()
+        .map(|&a| g.tv_table(a).expect("time-varying table exists"))
+        .collect();
+
+    let passes = |n: usize, t: usize| -> bool {
+        filter.is_none_or(|f| f(g, NodeId(n as u32), TimePoint(t as u32)))
+    };
+
+    // Nodes.
+    match mode {
+        AggMode::Distinct => {
+            let mut seen: HashSet<(usize, ValueTuple)> = HashSet::new();
+            for n in 0..g.n_nodes() {
+                for t in g.node_presence_matrix().iter_row_ones(n) {
+                    if !passes(n, t) {
+                        continue;
+                    }
+                    let tuple = tuple_at(g, &resolved, &tv_tables, n, t);
+                    if seen.insert((n, tuple.clone())) {
+                        agg.add_node_weight(tuple, 1);
+                    }
+                }
+            }
+        }
+        AggMode::All => {
+            for n in 0..g.n_nodes() {
+                for t in g.node_presence_matrix().iter_row_ones(n) {
+                    if !passes(n, t) {
+                        continue;
+                    }
+                    let tuple = tuple_at(g, &resolved, &tv_tables, n, t);
+                    agg.add_node_weight(tuple, 1);
+                }
+            }
+        }
+    }
+
+    // Edges.
+    match mode {
+        AggMode::Distinct => {
+            let mut seen: HashSet<(usize, (ValueTuple, ValueTuple))> = HashSet::new();
+            for e in 0..g.n_edges() {
+                let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+                for t in g.edge_presence_matrix().iter_row_ones(e) {
+                    if !passes(u.index(), t) || !passes(v.index(), t) {
+                        continue;
+                    }
+                    let tu = tuple_at(g, &resolved, &tv_tables, u.index(), t);
+                    let tv = tuple_at(g, &resolved, &tv_tables, v.index(), t);
+                    if seen.insert((e, (tu.clone(), tv.clone()))) {
+                        agg.add_edge_weight(tu, tv, 1);
+                    }
+                }
+            }
+        }
+        AggMode::All => {
+            for e in 0..g.n_edges() {
+                let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+                for t in g.edge_presence_matrix().iter_row_ones(e) {
+                    if !passes(u.index(), t) || !passes(v.index(), t) {
+                        continue;
+                    }
+                    let tu = tuple_at(g, &resolved, &tv_tables, u.index(), t);
+                    let tv = tuple_at(g, &resolved, &tv_tables, v.index(), t);
+                    agg.add_edge_weight(tu, tv, 1);
+                }
+            }
+        }
+    }
+    agg
+}
+
+/// The §4.2 fast path: aggregation when **every** attribute in `attrs` is
+/// static. No unpivoting or per-time tuple construction is needed — DIST
+/// counts entities once, ALL weighs them by the size of their timestamp.
+///
+/// # Errors
+/// Returns an error if any attribute is time-varying.
+pub fn aggregate_static_fast(
+    g: &TemporalGraph,
+    attrs: &[AttrId],
+    mode: AggMode,
+) -> Result<AggregateGraph, GraphError> {
+    let mut slots = Vec::with_capacity(attrs.len());
+    let mut names = Vec::with_capacity(attrs.len());
+    for &a in attrs {
+        let def = g.schema().def(a);
+        names.push(def.name().to_owned());
+        slots.push(g.schema().static_slot(a).ok_or_else(|| {
+            GraphError::AttributeKindMismatch {
+                name: def.name().to_owned(),
+                expected: "static",
+            }
+        })?);
+    }
+    let mut agg = AggregateGraph::new(names);
+    let node_tuple = |n: usize| -> ValueTuple {
+        slots
+            .iter()
+            .map(|&s| g.static_table().get(n, s).clone())
+            .collect()
+    };
+
+    for n in 0..g.n_nodes() {
+        let appearances = g.node_presence_matrix().row(n).count_ones() as u64;
+        if appearances == 0 {
+            continue;
+        }
+        let w = match mode {
+            AggMode::Distinct => 1,
+            AggMode::All => appearances,
+        };
+        agg.add_node_weight(node_tuple(n), w);
+    }
+    for e in 0..g.n_edges() {
+        let appearances = g.edge_presence_matrix().row(e).count_ones() as u64;
+        if appearances == 0 {
+            continue;
+        }
+        let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+        let w = match mode {
+            AggMode::Distinct => 1,
+            AggMode::All => appearances,
+        };
+        agg.add_edge_weight(node_tuple(u.index()), node_tuple(v.index()), w);
+    }
+    Ok(agg)
+}
+
+/// Algorithm 2 verbatim, expressed on the columnar engine: unpivot every
+/// time-varying attribute array, merge with the static table, deduplicate
+/// on `(u, a')` (DIST only), group-count for node weights; then resolve edge
+/// endpoint tuples via index lookup, deduplicate on `((u,v),(a',a''))`
+/// (DIST only), and group-count for edge weights.
+///
+/// Slower than [`aggregate`], but kept as the reference implementation and
+/// tested equivalent.
+///
+/// # Errors
+/// Returns an error if a frame operation fails (should not happen for a
+/// valid graph/schema).
+pub fn aggregate_via_frames(
+    g: &TemporalGraph,
+    attrs: &[AttrId],
+    mode: AggMode,
+) -> Result<AggregateGraph, GraphError> {
+    let nt = g.domain().len();
+    let names: Vec<String> = attrs
+        .iter()
+        .map(|&a| g.schema().def(a).name().to_owned())
+        .collect();
+
+    // Build A': one row per (node, time) where the node exists, with one
+    // column per aggregation attribute. Time-varying attributes come from
+    // unpivoting their arrays (Alg. 2 lines 1–4); static attributes are
+    // merged in from S (lines 6–7).
+    let mut cols: Vec<String> = vec!["u".to_owned(), "t".to_owned()];
+    cols.extend(names.iter().cloned());
+    let mut a_prime = Frame::new(cols)?;
+
+    // Unpivot each requested time-varying array into (u, t, value) and
+    // index the result for the merge.
+    let mut unpivoted: HashMap<usize, HashMap<ValueTuple, Vec<usize>>> = HashMap::new();
+    let mut unpivoted_frames: HashMap<usize, Frame> = HashMap::new();
+    for (i, &a) in attrs.iter().enumerate() {
+        if g.schema().time_varying_slot(a).is_some() {
+            let tbl = g.tv_table(a).expect("time-varying table");
+            let row_labels: Vec<Value> = (0..g.n_nodes() as i64).map(Value::Int).collect();
+            let col_names: Vec<String> = (0..nt).map(|t| t.to_string()).collect();
+            let wide = tbl.to_frame(&row_labels, &col_names);
+            let long = wide.unpivot(&["id"], "t", "value")?;
+            let index = long.index_by(&["id", "t"])?;
+            unpivoted.insert(i, index);
+            unpivoted_frames.insert(i, long);
+        }
+    }
+
+    let static_slots: Vec<Option<usize>> = attrs
+        .iter()
+        .map(|&a| g.schema().static_slot(a))
+        .collect();
+
+    for n in 0..g.n_nodes() {
+        for t in g.node_presence_matrix().iter_row_ones(n) {
+            let mut row: Vec<Value> = vec![Value::Int(n as i64), Value::Int(t as i64)];
+            for (i, _) in attrs.iter().enumerate() {
+                if let Some(slot) = static_slots[i] {
+                    row.push(g.static_table().get(n, slot).clone());
+                } else {
+                    let key: ValueTuple =
+                        vec![Value::Int(n as i64), Value::Str(t.to_string())];
+                    let v = unpivoted[&i]
+                        .get(&key)
+                        .and_then(|rows| rows.first())
+                        .map(|&r| unpivoted_frames[&i].row(r)[2].clone())
+                        .unwrap_or(Value::Null);
+                    row.push(v);
+                }
+            }
+            a_prime.push_row(row)?;
+        }
+    }
+
+    // Node weights: dedup on (u, a') for DIST (line 5), then group-count on
+    // a' (lines 8–12).
+    let attr_cols: Vec<&str> = names.iter().map(String::as_str).collect();
+    let mut node_key: Vec<&str> = vec!["u"];
+    node_key.extend(attr_cols.iter());
+    let node_source = match mode {
+        AggMode::Distinct => a_prime.dedup_by(&node_key)?,
+        AggMode::All => a_prime.clone(),
+    };
+    let node_groups = node_source.group_count(&attr_cols)?;
+
+    let mut agg = AggregateGraph::new(names.clone());
+    let count_col = node_groups.col_index("count")?;
+    for row in node_groups.iter_rows() {
+        let tuple: ValueTuple = row[..row.len() - 1].to_vec();
+        let w = row[count_col].as_int().unwrap_or(0) as u64;
+        agg.add_node_weight(tuple, w);
+    }
+
+    // Edge weights: look up endpoint tuples in A' (lines 13–17), dedup for
+    // DIST (line 18), group-count (lines 19–23).
+    let a_index = a_prime.index_by(&["u", "t"])?;
+    let mut ecols: Vec<String> = vec!["u".into(), "v".into(), "t".into()];
+    for n in &names {
+        ecols.push(format!("src_{n}"));
+    }
+    for n in &names {
+        ecols.push(format!("dst_{n}"));
+    }
+    let mut a_second = Frame::new(ecols)?;
+    for e in 0..g.n_edges() {
+        let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+        for t in g.edge_presence_matrix().iter_row_ones(e) {
+            let lookup = |n: NodeId| -> Option<ValueTuple> {
+                let key: ValueTuple = vec![Value::Int(n.index() as i64), Value::Int(t as i64)];
+                a_index.get(&key).and_then(|rows| rows.first()).map(|&r| {
+                    a_prime.row(r)[2..].to_vec()
+                })
+            };
+            let (Some(tu), Some(tv)) = (lookup(u), lookup(v)) else {
+                continue;
+            };
+            let mut row: Vec<Value> = vec![
+                Value::Int(u.index() as i64),
+                Value::Int(v.index() as i64),
+                Value::Int(t as i64),
+            ];
+            row.extend(tu);
+            row.extend(tv);
+            a_second.push_row(row)?;
+        }
+    }
+    let pair_cols: Vec<String> = names
+        .iter()
+        .map(|n| format!("src_{n}"))
+        .chain(names.iter().map(|n| format!("dst_{n}")))
+        .collect();
+    let pair_refs: Vec<&str> = pair_cols.iter().map(String::as_str).collect();
+    let mut edge_key: Vec<&str> = vec!["u", "v"];
+    edge_key.extend(pair_refs.iter());
+    let edge_source = match mode {
+        AggMode::Distinct => a_second.dedup_by(&edge_key)?,
+        AggMode::All => a_second,
+    };
+    let edge_groups = edge_source.group_count(&pair_refs)?;
+    let ecount = edge_groups.col_index("count")?;
+    let k = names.len();
+    for row in edge_groups.iter_rows() {
+        let src: ValueTuple = row[..k].to_vec();
+        let dst: ValueTuple = row[k..2 * k].to_vec();
+        let w = row[ecount].as_int().unwrap_or(0) as u64;
+        agg.add_edge_weight(src, dst, w);
+    }
+    Ok(agg)
+}
+
+/// Attribute roll-up (§4.3): derives the aggregate on a subset of the
+/// attributes directly from a finer aggregate by grouping tuples and
+/// summing weights (COUNT is D-distributive).
+///
+/// Exact for per-timepoint aggregates and for ALL aggregates over any
+/// interval. For DIST over a multi-point interval it over-counts entities
+/// whose dropped attributes changed value (the same caveat the paper notes
+/// for T-distributivity of distinct aggregation).
+///
+/// # Errors
+/// Returns an error if `keep` is not a subset of the aggregate's attributes.
+pub fn rollup(agg: &AggregateGraph, keep: &[&str]) -> Result<AggregateGraph, GraphError> {
+    let positions: Vec<usize> = keep
+        .iter()
+        .map(|k| {
+            agg.attr_names()
+                .iter()
+                .position(|n| n == k)
+                .ok_or_else(|| GraphError::UnknownAttribute((*k).to_owned()))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut out = AggregateGraph::new(keep.iter().map(|s| (*s).to_owned()).collect());
+    for (tuple, w) in &agg.nodes {
+        let sub: ValueTuple = positions.iter().map(|&p| tuple[p].clone()).collect();
+        out.add_node_weight(sub, *w);
+    }
+    for ((src, dst), w) in &agg.edges {
+        let s: ValueTuple = positions.iter().map(|&p| src[p].clone()).collect();
+        let d: ValueTuple = positions.iter().map(|&p| dst[p].clone()).collect();
+        out.add_edge_weight(s, d, *w);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{project_point, union};
+    use tempo_graph::fixtures::fig1;
+    use tempo_graph::TimeSet;
+
+    fn attrs(g: &TemporalGraph, names: &[&str]) -> Vec<AttrId> {
+        names.iter().map(|n| g.schema().id(n).unwrap()).collect()
+    }
+
+    fn cat(g: &TemporalGraph, attr: &str, label: &str) -> Value {
+        let a = g.schema().id(attr).unwrap();
+        g.schema().category(a, label).unwrap()
+    }
+
+    #[test]
+    fn fig3a_aggregate_t0() {
+        // Fig. 3a: aggregation of the t0 projection on (gender, pubs).
+        let g = fig1();
+        let p0 = project_point(&g, TimePoint(0)).unwrap();
+        let ga = attrs(&p0, &["gender", "publications"]);
+        let agg = aggregate(&p0, &ga, AggMode::Distinct);
+        let m = cat(&p0, "gender", "m");
+        let f = cat(&p0, "gender", "f");
+        // t0 nodes: u1 (m,3), u2 (f,1), u3 (f,1), u4 (f,2)
+        assert_eq!(agg.node_weight(&[m.clone(), Value::Int(3)]), 1);
+        assert_eq!(agg.node_weight(&[f.clone(), Value::Int(1)]), 2);
+        assert_eq!(agg.node_weight(&[f.clone(), Value::Int(2)]), 1);
+        assert_eq!(agg.n_nodes(), 3);
+        // at a single time point DIST == ALL
+        let all = aggregate(&p0, &ga, AggMode::All);
+        assert_eq!(agg, all);
+    }
+
+    #[test]
+    fn fig3d_e_union_dist_vs_all() {
+        // Fig. 3d/e: union graph of [t0,t1], node (f,1) has DIST 3, ALL 4.
+        let g = fig1();
+        let u = union(
+            &g,
+            &TimeSet::from_indices(3, [0]),
+            &TimeSet::from_indices(3, [1]),
+        )
+        .unwrap();
+        let ga = attrs(&u, &["gender", "publications"]);
+        let f = cat(&u, "gender", "f");
+        let dist = aggregate(&u, &ga, AggMode::Distinct);
+        let all = aggregate(&u, &ga, AggMode::All);
+        assert_eq!(dist.node_weight(&[f.clone(), Value::Int(1)]), 3);
+        assert_eq!(all.node_weight(&[f.clone(), Value::Int(1)]), 4);
+    }
+
+    #[test]
+    fn static_fast_path_matches_general() {
+        let g = fig1();
+        let ga = attrs(&g, &["gender"]);
+        for mode in [AggMode::Distinct, AggMode::All] {
+            let fast = aggregate_static_fast(&g, &ga, mode).unwrap();
+            let slow = aggregate(&g, &ga, mode);
+            assert_eq!(fast, slow, "mode {mode:?}");
+        }
+        // time-varying attr rejected
+        let pubs = attrs(&g, &["publications"]);
+        assert!(aggregate_static_fast(&g, &pubs, AggMode::All).is_err());
+    }
+
+    #[test]
+    fn frames_path_matches_direct() {
+        let g = fig1();
+        for names in [&["gender"][..], &["publications"][..], &["gender", "publications"][..]] {
+            let ga = attrs(&g, names);
+            for mode in [AggMode::Distinct, AggMode::All] {
+                let direct = aggregate(&g, &ga, mode);
+                let framed = aggregate_via_frames(&g, &ga, mode).unwrap();
+                assert_eq!(direct, framed, "attrs {names:?} mode {mode:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_weights_fig1_t0() {
+        let g = fig1();
+        let p0 = project_point(&g, TimePoint(0)).unwrap();
+        let ga = attrs(&p0, &["gender"]);
+        let agg = aggregate(&p0, &ga, AggMode::Distinct);
+        let m = cat(&p0, "gender", "m");
+        let f = cat(&p0, "gender", "f");
+        // t0 edges: u1->u2 (m->f), u3->u2 (f->f), u4->u2 (f->f)
+        assert_eq!(agg.edge_weight(std::slice::from_ref(&m), std::slice::from_ref(&f)), 1);
+        assert_eq!(agg.edge_weight(std::slice::from_ref(&f), std::slice::from_ref(&f)), 2);
+        assert_eq!(agg.edge_weight(&[f], &[m]), 0);
+    }
+
+    #[test]
+    fn filtered_aggregation() {
+        let g = fig1();
+        let pubs = g.schema().id("publications").unwrap();
+        let ga = attrs(&g, &["gender"]);
+        // keep only appearances with publications >= 2
+        let filter = move |gr: &TemporalGraph, n: NodeId, t: TimePoint| {
+            gr.attr_value(n, pubs, t).as_int().unwrap_or(0) >= 2
+        };
+        let agg = aggregate_filtered(&g, &ga, AggMode::All, Some(&filter));
+        let m = cat(&g, "gender", "m");
+        let f = cat(&g, "gender", "f");
+        // appearances with pubs>=2: u1@t0 (m,3), u4@t0 (f,2), u5@t2 (m,3)
+        assert_eq!(agg.node_weight(&[m]), 2);
+        assert_eq!(agg.node_weight(&[f]), 1);
+        // no edge has both endpoints passing at the same time
+        assert_eq!(agg.n_edges(), 0);
+    }
+
+    #[test]
+    fn rollup_matches_direct_on_timepoint() {
+        let g = fig1();
+        let p0 = project_point(&g, TimePoint(0)).unwrap();
+        let both = attrs(&p0, &["gender", "publications"]);
+        let full = aggregate(&p0, &both, AggMode::Distinct);
+        let rolled = rollup(&full, &["gender"]).unwrap();
+        let direct = aggregate(&p0, &attrs(&p0, &["gender"]), AggMode::Distinct);
+        assert_eq!(rolled, direct);
+        // unknown attribute errors
+        assert!(rollup(&full, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn rollup_exact_for_all_mode_over_intervals() {
+        let g = fig1();
+        let both = attrs(&g, &["gender", "publications"]);
+        let full = aggregate(&g, &both, AggMode::All);
+        let rolled = rollup(&full, &["gender"]).unwrap();
+        let direct = aggregate(&g, &attrs(&g, &["gender"]), AggMode::All);
+        assert_eq!(rolled, direct);
+    }
+
+    #[test]
+    fn merge_add_accumulates() {
+        let g = fig1();
+        let ga = attrs(&g, &["gender"]);
+        let mut acc = AggregateGraph::new(vec!["gender".into()]);
+        for t in g.domain().iter() {
+            let p = project_point(&g, t).unwrap();
+            let a = aggregate(&p, &attrs(&p, &["gender"]), AggMode::All);
+            acc.merge_add(&a);
+        }
+        // summing per-timepoint ALL aggregates == ALL aggregate of the full graph
+        let direct = aggregate(&g, &ga, AggMode::All);
+        assert_eq!(acc, direct);
+    }
+
+    #[test]
+    fn weights_zero_for_missing() {
+        let g = fig1();
+        let agg = aggregate(&g, &attrs(&g, &["gender"]), AggMode::All);
+        assert_eq!(agg.node_weight(&[Value::Int(999)]), 0);
+        assert_eq!(agg.edge_weight(&[Value::Int(1)], &[Value::Int(2)]), 0);
+    }
+
+    #[test]
+    fn render_contains_weights() {
+        let g = fig1();
+        let agg = aggregate(&g, &attrs(&g, &["gender"]), AggMode::Distinct);
+        let text = agg.render(&g);
+        assert!(text.contains("aggregate on (gender)"));
+        assert!(text.contains("w="));
+    }
+}

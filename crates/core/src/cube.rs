@@ -1,0 +1,257 @@
+//! Graph-OLAP cube over attribute dimensions and time (§4.3).
+//!
+//! Materializing every (attribute subset × interval) aggregate is
+//! unrealistic; GraphTempo instead materializes the *finest* level — the
+//! full attribute set at the unit of time — and derives everything else:
+//!
+//! * coarser attribute levels via D-distributive roll-up
+//!   ([`crate::aggregate::rollup`]);
+//! * coarser time via T-distributive union ([`crate::materialize`]).
+//!
+//! [`GraphCube`] packages this: one per-timepoint store on all dimensions,
+//! answering any (subset, scope) OLAP query without touching the original
+//! graph, plus roll-up / drill-down navigation between attribute levels.
+
+use crate::aggregate::{rollup, AggregateGraph};
+use crate::materialize::TimepointStore;
+use tempo_graph::{AttrId, GraphError, TemporalGraph, TimePoint, TimeSet};
+
+/// A cuboid address: which attribute dimensions are kept, by name.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Level(Vec<String>);
+
+impl Level {
+    /// Creates a level from attribute names (order defines tuple order).
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Self {
+        Level(names.into_iter().map(Into::into).collect())
+    }
+
+    /// The attribute names of this level.
+    pub fn names(&self) -> &[String] {
+        &self.0
+    }
+
+    /// True if this level keeps a subset of `other`'s attributes.
+    pub fn is_subset_of(&self, other: &Level) -> bool {
+        self.0.iter().all(|n| other.0.contains(n))
+    }
+}
+
+/// The OLAP cube: per-timepoint ALL-aggregates on the full dimension set.
+///
+/// ```
+/// use graphtempo::cube::{GraphCube, Level};
+/// use tempo_graph::{fixtures::fig1, TimePoint};
+///
+/// let g = fig1();
+/// let attrs = vec![
+///     g.schema().id("gender").unwrap(),
+///     g.schema().id("publications").unwrap(),
+/// ];
+/// let cube = GraphCube::build(&g, &attrs, 2);
+/// // slice t0 at the coarser (gender) level — derived by roll-up, the
+/// // original graph is never touched again
+/// let by_gender = cube.slice(&Level::new(vec!["gender"]), TimePoint(0)).unwrap();
+/// assert_eq!(by_gender.total_node_weight(), 4); // four authors at t0
+/// ```
+pub struct GraphCube {
+    dimensions: Vec<String>,
+    store: TimepointStore,
+    domain_len: usize,
+}
+
+impl GraphCube {
+    /// Builds the cube over all of `attrs` with `threads` workers
+    /// (ALL semantics — the T-distributive case).
+    pub fn build(g: &TemporalGraph, attrs: &[AttrId], threads: usize) -> Self {
+        let dimensions = attrs
+            .iter()
+            .map(|&a| g.schema().def(a).name().to_owned())
+            .collect();
+        GraphCube {
+            dimensions,
+            store: TimepointStore::build_parallel(g, attrs, threads),
+            domain_len: g.domain().len(),
+        }
+    }
+
+    /// The full dimension set (the cube's base level).
+    pub fn base_level(&self) -> Level {
+        Level(self.dimensions.clone())
+    }
+
+    /// The apex aggregate at one time point and one level.
+    ///
+    /// # Errors
+    /// Returns an error if the level is not a subset of the dimensions.
+    pub fn slice(&self, level: &Level, t: TimePoint) -> Result<AggregateGraph, GraphError> {
+        self.check_level(level)?;
+        let names: Vec<&str> = level.names().iter().map(String::as_str).collect();
+        rollup(self.store.at(t), &names)
+    }
+
+    /// The aggregate over a time scope at a level, combining per-timepoint
+    /// cuboids T-distributively (union semantics, ALL weights).
+    ///
+    /// # Errors
+    /// Returns an error on an unknown level or an empty/mismatched scope.
+    pub fn query(&self, level: &Level, scope: &TimeSet) -> Result<AggregateGraph, GraphError> {
+        self.check_level(level)?;
+        let full = self.store.union_all(scope)?;
+        let names: Vec<&str> = level.names().iter().map(String::as_str).collect();
+        rollup(&full, &names)
+    }
+
+    /// Rolls up one dimension (removes it), returning the coarser level.
+    ///
+    /// # Errors
+    /// Returns an error if the dimension is not part of the level.
+    pub fn roll_up(&self, level: &Level, drop: &str) -> Result<Level, GraphError> {
+        if !level.names().iter().any(|n| n == drop) {
+            return Err(GraphError::UnknownAttribute(drop.to_owned()));
+        }
+        Ok(Level(
+            level
+                .names()
+                .iter()
+                .filter(|n| n.as_str() != drop)
+                .cloned()
+                .collect(),
+        ))
+    }
+
+    /// Drills down by adding one dimension back, returning the finer level.
+    ///
+    /// # Errors
+    /// Returns an error if the dimension is unknown or already present.
+    pub fn drill_down(&self, level: &Level, add: &str) -> Result<Level, GraphError> {
+        if !self.dimensions.iter().any(|n| n == add) {
+            return Err(GraphError::UnknownAttribute(add.to_owned()));
+        }
+        if level.names().iter().any(|n| n == add) {
+            return Err(GraphError::DuplicateAttribute(add.to_owned()));
+        }
+        let mut names = level.names().to_vec();
+        names.push(add.to_owned());
+        Ok(Level(names))
+    }
+
+    /// Every level of the attribute lattice (all non-empty subsets of the
+    /// dimensions, in declaration order within each subset).
+    pub fn all_levels(&self) -> Vec<Level> {
+        let k = self.dimensions.len();
+        let mut out = Vec::new();
+        for mask in 1u32..(1 << k) {
+            let names: Vec<String> = (0..k)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| self.dimensions[i].clone())
+                .collect();
+            out.push(Level(names));
+        }
+        out
+    }
+
+    /// Size of the underlying time domain.
+    pub fn domain_len(&self) -> usize {
+        self.domain_len
+    }
+
+    fn check_level(&self, level: &Level) -> Result<(), GraphError> {
+        for n in level.names() {
+            if !self.dimensions.iter().any(|d| d == n) {
+                return Err(GraphError::UnknownAttribute(n.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{aggregate, AggMode};
+    use crate::ops::union;
+    use tempo_graph::fixtures::fig1;
+
+    fn cube() -> (TemporalGraph, GraphCube) {
+        let g = fig1();
+        let attrs = vec![
+            g.schema().id("gender").unwrap(),
+            g.schema().id("publications").unwrap(),
+        ];
+        let cube = GraphCube::build(&g, &attrs, 2);
+        (g, cube)
+    }
+
+    #[test]
+    fn levels_and_lattice() {
+        let (_, cube) = cube();
+        assert_eq!(cube.base_level().names(), &["gender", "publications"]);
+        let levels = cube.all_levels();
+        assert_eq!(levels.len(), 3); // {G}, {P}, {G,P}
+        let g_level = Level::new(vec!["gender"]);
+        assert!(g_level.is_subset_of(&cube.base_level()));
+        assert!(!cube.base_level().is_subset_of(&g_level));
+    }
+
+    #[test]
+    fn slice_matches_direct_aggregation() {
+        let (g, cube) = cube();
+        for t in g.domain().iter() {
+            for level in cube.all_levels() {
+                let from_cube = cube.slice(&level, t).unwrap();
+                let ids: Vec<AttrId> = level
+                    .names()
+                    .iter()
+                    .map(|n| g.schema().id(n).unwrap())
+                    .collect();
+                let direct = crate::materialize::aggregate_at_point(&g, &ids, t);
+                assert_eq!(from_cube, direct, "level {level:?} at {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_matches_union_aggregate() {
+        let (g, cube) = cube();
+        let t1 = TimeSet::from_indices(3, [0]);
+        let t2 = TimeSet::from_indices(3, [1, 2]);
+        let scope = t1.union(&t2);
+        let level = Level::new(vec!["gender"]);
+        let from_cube = cube.query(&level, &scope).unwrap();
+        let u = union(&g, &t1, &t2).unwrap();
+        let direct = aggregate(&u, &[u.schema().id("gender").unwrap()], AggMode::All);
+        assert_eq!(from_cube, direct);
+    }
+
+    #[test]
+    fn rollup_drilldown_navigation() {
+        let (_, cube) = cube();
+        let base = cube.base_level();
+        let coarse = cube.roll_up(&base, "publications").unwrap();
+        assert_eq!(coarse.names(), &["gender"]);
+        let fine = cube.drill_down(&coarse, "publications").unwrap();
+        assert_eq!(fine.names(), &["gender", "publications"]);
+        assert!(cube.roll_up(&coarse, "publications").is_err());
+        assert!(cube.drill_down(&base, "publications").is_err());
+        assert!(cube.drill_down(&base, "nope").is_err());
+    }
+
+    #[test]
+    fn unknown_level_rejected() {
+        let (_, cube) = cube();
+        let bad = Level::new(vec!["age"]);
+        assert!(cube.slice(&bad, TimePoint(0)).is_err());
+        assert!(cube
+            .query(&bad, &TimeSet::from_indices(3, [0]))
+            .is_err());
+    }
+
+    #[test]
+    fn empty_scope_rejected() {
+        let (_, cube) = cube();
+        assert!(cube
+            .query(&cube.base_level(), &TimeSet::empty(3))
+            .is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! The exploration strategies: U-Explore, I-Explore, and the two
+//! monotonicity shortcuts (§3.2–§3.4).
+
+use super::{direction, ExploreConfig, ExtendSide};
+use crate::aggregate::{aggregate, AggMode};
+use crate::ops::{event_graph, SideTest};
+use tempo_graph::{GraphError, TemporalGraph, TimeSet};
+
+/// One explored pair of intervals. For [`ExtendSide::Old`] the reference
+/// point is `tnew`; for [`ExtendSide::New`] it is `told`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IntervalPair {
+    /// The earlier interval 𝒯old.
+    pub told: TimeSet,
+    /// The later interval 𝒯new.
+    pub tnew: TimeSet,
+}
+
+impl IntervalPair {
+    /// Renders the pair with a domain's labels.
+    pub fn display(&self, domain: &tempo_graph::TimeDomain) -> String {
+        format!(
+            "({}, {})",
+            self.told.display(domain),
+            self.tnew.display(domain)
+        )
+    }
+}
+
+/// Result of an exploration run.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome {
+    /// The qualifying minimal (union semantics) or maximal (intersection
+    /// semantics) interval pairs, with their event counts.
+    pub pairs: Vec<(IntervalPair, u64)>,
+    /// Number of aggregate-graph evaluations performed (the pruning metric).
+    pub evaluations: usize,
+}
+
+/// Evaluates `result(G)` for one pair under the config's semantics.
+pub(super) fn evaluate_pair(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+    told: &TimeSet,
+    tnew: &TimeSet,
+) -> Result<u64, GraphError> {
+    let (old_test, new_test) = side_tests(cfg);
+    let ev = event_graph(g, cfg.event, told, tnew, old_test, new_test)?;
+    let agg = aggregate(&ev, &cfg.attrs, AggMode::Distinct);
+    Ok(cfg.selector.count(&agg))
+}
+
+/// The membership tests implied by the config: the extended side uses the
+/// chosen semantics, the fixed reference side is a single point (Any ≡ All).
+fn side_tests(cfg: &ExploreConfig) -> (SideTest, SideTest) {
+    match cfg.extend {
+        ExtendSide::Old => (cfg.semantics.side_test(), SideTest::Any),
+        ExtendSide::New => (SideTest::Any, cfg.semantics.side_test()),
+    }
+}
+
+/// The chain of pairs for reference index `i`: the base pair
+/// `(𝒯ᵢ, 𝒯ᵢ₊₁)` followed by each one-step extension of the configured side
+/// (𝒯old grows backward, 𝒯new grows forward).
+pub(super) fn chain(n: usize, i: usize, extend: ExtendSide) -> Vec<IntervalPair> {
+    let mut out = Vec::new();
+    match extend {
+        ExtendSide::New => {
+            let told = TimeSet::point(n, tempo_graph::TimePoint(i as u32));
+            for end in (i + 1)..n {
+                out.push(IntervalPair {
+                    told: told.clone(),
+                    tnew: TimeSet::range(n, i + 1, end),
+                });
+            }
+        }
+        ExtendSide::Old => {
+            let tnew = TimeSet::point(n, tempo_graph::TimePoint((i + 1) as u32));
+            for start in (0..=i).rev() {
+                out.push(IntervalPair {
+                    told: TimeSet::range(n, start, i),
+                    tnew: tnew.clone(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Runs the exploration strategy appropriate for the config (see the module
+/// table), returning the qualifying pairs and the number of evaluations.
+///
+/// ```
+/// use graphtempo::explore::{explore, ExploreConfig, ExtendSide, Selector, Semantics};
+/// use graphtempo::ops::Event;
+/// use tempo_graph::fixtures::fig1;
+///
+/// let g = fig1();
+/// let gender = g.schema().id("gender").unwrap();
+/// let cfg = ExploreConfig {
+///     event: Event::Stability,
+///     extend: ExtendSide::New,
+///     semantics: Semantics::Union, // minimal interval pairs
+///     k: 2,
+///     attrs: vec![gender],
+///     selector: Selector::AllEdges,
+/// };
+/// let out = explore(&g, &cfg).unwrap();
+/// // two collaborations survive t0 → t1, so (t0, t1) is a minimal pair
+/// assert_eq!(out.pairs.len(), 1);
+/// assert_eq!(out.pairs[0].1, 2);
+/// ```
+///
+/// # Errors
+/// Returns an error if the graph has fewer than two time points or an
+/// operator fails.
+pub fn explore(g: &TemporalGraph, cfg: &ExploreConfig) -> Result<ExploreOutcome, GraphError> {
+    let n = g.domain().len();
+    if n < 2 {
+        return Err(GraphError::EmptyInterval(
+            "exploration needs at least two time points".to_owned(),
+        ));
+    }
+    let mut pairs = Vec::new();
+    let mut evaluations = 0;
+    for i in 0..n - 1 {
+        let outcome = explore_reference(g, cfg, n, i)?;
+        evaluations += outcome.evaluations;
+        pairs.extend(outcome.pairs);
+    }
+    Ok(ExploreOutcome { pairs, evaluations })
+}
+
+/// [`explore`] with the per-reference-point chains fanned out over up to
+/// `threads` crossbeam workers. Chains are independent, so the outcome is
+/// identical to the sequential strategy (pairs are returned in reference
+/// order); evaluation counts are summed across workers.
+///
+/// # Errors
+/// Returns an error if the graph has fewer than two time points or an
+/// operator fails.
+///
+/// # Panics
+/// Panics if a worker thread panics.
+pub fn explore_parallel(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+    threads: usize,
+) -> Result<ExploreOutcome, GraphError> {
+    let n = g.domain().len();
+    if n < 2 {
+        return Err(GraphError::EmptyInterval(
+            "exploration needs at least two time points".to_owned(),
+        ));
+    }
+    let threads = threads.clamp(1, n - 1);
+    if threads == 1 {
+        return explore(g, cfg);
+    }
+    // Each reference point i is one independent sub-problem: run the
+    // sequential strategy on its chain.
+    let mut slots: Vec<Option<Result<ExploreOutcome, GraphError>>> = vec![None; n - 1];
+    let mut refs: Vec<(usize, &mut Option<Result<ExploreOutcome, GraphError>>)> =
+        slots.iter_mut().enumerate().collect();
+    let chunk = (n - 1).div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for batch in refs.chunks_mut(chunk) {
+            scope.spawn(move |_| {
+                for (i, slot) in batch.iter_mut() {
+                    **slot = Some(explore_reference(g, cfg, n, *i));
+                }
+            });
+        }
+    })
+    .expect("exploration worker panicked");
+
+    let mut pairs = Vec::new();
+    let mut evaluations = 0;
+    for slot in slots {
+        let outcome = slot.expect("every reference explored")?;
+        evaluations += outcome.evaluations;
+        pairs.extend(outcome.pairs);
+    }
+    Ok(ExploreOutcome { pairs, evaluations })
+}
+
+/// Runs the configured strategy on the single chain of reference `i`.
+fn explore_reference(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+    n: usize,
+    i: usize,
+) -> Result<ExploreOutcome, GraphError> {
+    use super::{Direction, Semantics};
+    let dir = direction(cfg.event, cfg.extend, cfg.semantics);
+    let chain_pairs = chain(n, i, cfg.extend);
+    let mut pairs = Vec::new();
+    let mut evaluations = 0;
+    match (cfg.semantics, dir) {
+        (Semantics::Union, Direction::Increasing) => {
+            for pair in chain_pairs {
+                let r = evaluate_pair(g, cfg, &pair.told, &pair.tnew)?;
+                evaluations += 1;
+                if r >= cfg.k {
+                    pairs.push((pair, r));
+                    break;
+                }
+            }
+        }
+        (Semantics::Union, Direction::Decreasing) => {
+            let pair = chain_pairs.into_iter().next().expect("non-empty chain");
+            let r = evaluate_pair(g, cfg, &pair.told, &pair.tnew)?;
+            evaluations += 1;
+            if r >= cfg.k {
+                pairs.push((pair, r));
+            }
+        }
+        (Semantics::Intersection, Direction::Decreasing) => {
+            let mut last_good = None;
+            for pair in chain_pairs {
+                let r = evaluate_pair(g, cfg, &pair.told, &pair.tnew)?;
+                evaluations += 1;
+                if r >= cfg.k {
+                    last_good = Some((pair, r));
+                } else {
+                    break;
+                }
+            }
+            pairs.extend(last_good);
+        }
+        (Semantics::Intersection, Direction::Increasing) => {
+            let pair = chain_pairs.into_iter().next_back().expect("non-empty chain");
+            let r = evaluate_pair(g, cfg, &pair.told, &pair.tnew)?;
+            evaluations += 1;
+            if r >= cfg.k {
+                pairs.push((pair, r));
+            }
+        }
+    }
+    Ok(ExploreOutcome { pairs, evaluations })
+}
+
+
+
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{Selector, Semantics};
+    use crate::ops::Event;
+    use tempo_graph::fixtures::fig1;
+    use tempo_graph::TimePoint;
+
+    fn cfg(event: Event, extend: ExtendSide, semantics: Semantics, k: u64) -> ExploreConfig {
+        let g = fig1();
+        ExploreConfig {
+            event,
+            extend,
+            semantics,
+            k,
+            attrs: vec![g.schema().id("gender").unwrap()],
+            selector: Selector::AllEdges,
+        }
+    }
+
+    #[test]
+    fn chain_shapes() {
+        // domain of 4 points, reference i=1, extending new:
+        // ({1},{2}), ({1},{2,3})
+        let c = chain(4, 1, ExtendSide::New);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].tnew.iter().map(|t| t.0).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(
+            c[1].tnew.iter().map(|t| t.0).collect::<Vec<_>>(),
+            vec![2, 3]
+        );
+        // extending old: ({1},{2}), ({0,1},{2})
+        let c = chain(4, 1, ExtendSide::Old);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c[0].told.iter().map(|t| t.0).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(
+            c[1].told.iter().map(|t| t.0).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        // the first reference has a full-length new chain
+        assert_eq!(chain(4, 0, ExtendSide::New).len(), 3);
+        // the last reference cannot extend old further than the start
+        assert_eq!(chain(4, 2, ExtendSide::Old).len(), 3);
+    }
+
+    #[test]
+    fn stability_union_finds_minimal_pairs() {
+        let g = fig1();
+        // stable edges between consecutive points: t0∩t1 → (u1,u2),(u4,u2) = 2
+        let c = cfg(Event::Stability, ExtendSide::New, Semantics::Union, 2);
+        let out = explore(&g, &c).unwrap();
+        // base pair (t0,t1) already satisfies; (t1,t2) has 1 stable edge
+        // ((u4,u2)) and cannot extend beyond t2.
+        assert_eq!(out.pairs.len(), 1);
+        let (pair, r) = &out.pairs[0];
+        assert_eq!(*r, 2);
+        assert_eq!(pair.told.iter().next(), Some(TimePoint(0)));
+        assert_eq!(pair.tnew.iter().next(), Some(TimePoint(1)));
+    }
+
+    #[test]
+    fn stability_union_extends_when_needed() {
+        let g = fig1();
+        // demand 2 stable edges from reference t1: (t1,{t2}) has only (u4,u2);
+        // no further extension exists, so no pair for reference 1.
+        let c = cfg(Event::Stability, ExtendSide::New, Semantics::Union, 2);
+        let out = explore(&g, &c).unwrap();
+        assert!(out
+            .pairs
+            .iter()
+            .all(|(p, _)| p.told.iter().next() == Some(TimePoint(0))));
+        // with k=1 both references qualify at the base pair
+        let c1 = cfg(Event::Stability, ExtendSide::New, Semantics::Union, 1);
+        let out1 = explore(&g, &c1).unwrap();
+        assert_eq!(out1.pairs.len(), 2);
+    }
+
+    #[test]
+    fn growth_union_extend_old_is_base_only() {
+        let g = fig1();
+        // growth new−old, extending old with union: decreasing ⇒ base pairs.
+        // base pairs: (t0,t1): no new edges; (t1,t2): (u5,u2) = 1.
+        let c = cfg(Event::Growth, ExtendSide::Old, Semantics::Union, 1);
+        let out = explore(&g, &c).unwrap();
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(out.evaluations, 2); // exactly the base pairs
+        assert_eq!(out.pairs[0].0.tnew.iter().next(), Some(TimePoint(2)));
+    }
+
+    #[test]
+    fn stability_intersection_finds_maximal() {
+        let g = fig1();
+        // edge (u4,u2) exists at every point; with k=1 and intersection
+        // semantics extending new, reference t0 extends to {t1,t2}.
+        let c = cfg(Event::Stability, ExtendSide::New, Semantics::Intersection, 1);
+        let out = explore(&g, &c).unwrap();
+        assert!(!out.pairs.is_empty());
+        let (pair, r) = &out.pairs[0];
+        assert_eq!(*r, 1);
+        assert_eq!(
+            pair.tnew.iter().map(|t| t.0).collect::<Vec<_>>(),
+            vec![1, 2],
+            "maximal pair extends to the full suffix"
+        );
+    }
+
+    #[test]
+    fn shrinkage_intersection_extend_new_checks_longest() {
+        let g = fig1();
+        // shrinkage old−new(∩): increasing with extension ⇒ longest-only.
+        let c = cfg(Event::Shrinkage, ExtendSide::New, Semantics::Intersection, 1);
+        let out = explore(&g, &c).unwrap();
+        // evaluations = one per reference point
+        assert_eq!(out.evaluations, 2);
+        for (pair, _) in &out.pairs {
+            // each pair's tnew is the longest suffix after the reference
+            assert_eq!(pair.tnew.max(), Some(TimePoint(2)));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = fig1();
+        for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
+            for semantics in [Semantics::Union, Semantics::Intersection] {
+                let c = cfg(event, ExtendSide::New, semantics, 1);
+                let seq = explore(&g, &c).unwrap();
+                for threads in [1, 2, 4] {
+                    let par = super::explore_parallel(&g, &c, threads).unwrap();
+                    assert_eq!(par.pairs, seq.pairs, "{event:?}/{semantics:?}/{threads}");
+                    assert_eq!(par.evaluations, seq.evaluations);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn too_short_domain_errors() {
+        use tempo_graph::{AttributeSchema, GraphBuilder, TimeDomain};
+        let mut b = GraphBuilder::new(TimeDomain::indexed(1), AttributeSchema::new());
+        let u = b.add_node("u").unwrap();
+        b.set_presence(u, TimePoint(0)).unwrap();
+        let g = b.build().unwrap();
+        let c = ExploreConfig {
+            event: Event::Stability,
+            extend: ExtendSide::New,
+            semantics: Semantics::Union,
+            k: 1,
+            attrs: vec![],
+            selector: Selector::AllNodes,
+        };
+        assert!(explore(&g, &c).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! Threshold initialization (§3.5).
+//!
+//! The starting value `w_th` for the threshold `k` is taken from the
+//! aggregate graphs of consecutive time-point pairs: the minimum entity
+//! weight when the exploration operator is monotonically increasing (then
+//! `k` is tuned upward), the maximum when it is decreasing (tuned downward).
+
+use super::engine::evaluate_pair;
+use super::{direction, Direction, ExploreConfig, Selector};
+use crate::aggregate::{aggregate, AggMode};
+use crate::ops::{event_graph, SideTest};
+use tempo_graph::{GraphError, TemporalGraph, TimePoint, TimeSet};
+
+/// Which statistic of the consecutive-pair weights to take.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThresholdStat {
+    /// The minimum weight (starting point for increasing operators).
+    Min,
+    /// The maximum weight (starting point for decreasing operators).
+    Max,
+}
+
+/// Computes `w_th` for an exploration problem: over all consecutive pairs
+/// `(𝒯ᵢ, 𝒯ᵢ₊₁)`, the min or max of the selector's `result(G)` on the event
+/// graph. Returns `None` when no consecutive pair produces any events.
+///
+/// # Errors
+/// Returns an error if the graph has fewer than two time points or an
+/// operator fails.
+pub fn initial_threshold(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+    stat: ThresholdStat,
+) -> Result<Option<u64>, GraphError> {
+    let n = g.domain().len();
+    if n < 2 {
+        return Err(GraphError::EmptyInterval(
+            "threshold initialization needs at least two time points".to_owned(),
+        ));
+    }
+    let mut best: Option<u64> = None;
+    for i in 0..n - 1 {
+        let told = TimeSet::point(n, TimePoint(i as u32));
+        let tnew = TimeSet::point(n, TimePoint((i + 1) as u32));
+        let r = match &cfg.selector {
+            // For the per-entity selectors the consecutive-pair result IS
+            // the entity weight; for the All selectors, take the stat over
+            // the individual entity weights of the aggregate graph, per
+            // §3.5 ("the minimum or maximum weight of the given type of
+            // entity").
+            Selector::NodeTuple(_) | Selector::EdgeTuple(..) => {
+                let r = evaluate_pair(g, cfg, &told, &tnew)?;
+                if r == 0 {
+                    continue;
+                }
+                r
+            }
+            all => {
+                let ev = event_graph(g, cfg.event, &told, &tnew, SideTest::Any, SideTest::Any)?;
+                let agg = aggregate(&ev, &cfg.attrs, AggMode::Distinct);
+                let weights: Vec<u64> = if all.is_edge() {
+                    agg.iter_edges().iter().map(|(_, w)| *w).collect()
+                } else {
+                    agg.iter_nodes().iter().map(|(_, w)| *w).collect()
+                };
+                let Some(w) = (match stat {
+                    ThresholdStat::Min => weights.iter().min().copied(),
+                    ThresholdStat::Max => weights.iter().max().copied(),
+                }) else {
+                    continue;
+                };
+                w
+            }
+        };
+        best = Some(match (best, stat) {
+            (None, _) => r,
+            (Some(b), ThresholdStat::Min) => b.min(r),
+            (Some(b), ThresholdStat::Max) => b.max(r),
+        });
+    }
+    Ok(best)
+}
+
+/// Suggests a starting `k` per §3.5: `w_th` with the statistic chosen from
+/// the operator's monotonicity (min for increasing, max for decreasing).
+///
+/// # Errors
+/// Propagates [`initial_threshold`] errors.
+pub fn suggest_k(g: &TemporalGraph, cfg: &ExploreConfig) -> Result<Option<u64>, GraphError> {
+    let stat = match direction(cfg.event, cfg.extend, cfg.semantics) {
+        Direction::Increasing => ThresholdStat::Min,
+        Direction::Decreasing => ThresholdStat::Max,
+    };
+    initial_threshold(g, cfg, stat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{ExtendSide, Semantics};
+    use crate::ops::Event;
+    use tempo_graph::fixtures::fig1;
+
+    fn base_cfg(g: &TemporalGraph, selector: Selector) -> ExploreConfig {
+        ExploreConfig {
+            event: Event::Stability,
+            extend: ExtendSide::New,
+            semantics: Semantics::Union,
+            k: 0,
+            attrs: vec![g.schema().id("gender").unwrap()],
+            selector,
+        }
+    }
+
+    #[test]
+    fn edge_tuple_threshold() {
+        let g = fig1();
+        let f = g
+            .schema()
+            .category(g.schema().id("gender").unwrap(), "f")
+            .unwrap();
+        let cfg = base_cfg(&g, Selector::edge_1attr(f.clone(), f));
+        // stable f→f edges: (t0,t1): (u4,u2) = 1; (t1,t2): (u4,u2) = 1
+        let min = initial_threshold(&g, &cfg, ThresholdStat::Min).unwrap();
+        let max = initial_threshold(&g, &cfg, ThresholdStat::Max).unwrap();
+        assert_eq!(min, Some(1));
+        assert_eq!(max, Some(1));
+    }
+
+    #[test]
+    fn all_edges_threshold_uses_entity_weights() {
+        let g = fig1();
+        let cfg = base_cfg(&g, Selector::AllEdges);
+        // (t0,t1) stable edges by gender pair: m→f 1, f→f 1; (t1,t2): m→f? u1
+        // vanishes → only f→f 1. per-entity weights all 1.
+        assert_eq!(
+            initial_threshold(&g, &cfg, ThresholdStat::Max).unwrap(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn suggest_follows_monotonicity() {
+        let g = fig1();
+        let mut cfg = base_cfg(&g, Selector::AllNodes);
+        // union/increasing → min; intersection/decreasing → max — both exist
+        assert!(suggest_k(&g, &cfg).unwrap().is_some());
+        cfg.semantics = Semantics::Intersection;
+        assert!(suggest_k(&g, &cfg).unwrap().is_some());
+    }
+
+    #[test]
+    fn missing_entity_yields_none() {
+        let g = fig1();
+        let m = g
+            .schema()
+            .category(g.schema().id("gender").unwrap(), "m")
+            .unwrap();
+        // m→m collaborations never occur in fig1
+        let cfg = base_cfg(&g, Selector::edge_1attr(m.clone(), m));
+        assert_eq!(
+            initial_threshold(&g, &cfg, ThresholdStat::Min).unwrap(),
+            None
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! Export of aggregate and evolution graphs.
+//!
+//! Aggregate graphs are the user-facing output of GraphTempo; this module
+//! renders them as Graphviz DOT (the paper's Figs. 3–4 are exactly such
+//! drawings) and as TSV frames for downstream tooling.
+
+use crate::aggregate::AggregateGraph;
+use crate::evolution::EvolutionAggregate;
+use std::fmt::Write as _;
+use tempo_columnar::{ColumnarError, Frame, Value, ValueTuple};
+use tempo_graph::{AttrId, TemporalGraph};
+
+fn tuple_label(g: Option<&TemporalGraph>, attrs: &[AttrId], tuple: &ValueTuple) -> String {
+    match g {
+        Some(g) if attrs.len() == tuple.len() => {
+            let parts: Vec<String> = attrs
+                .iter()
+                .zip(tuple)
+                .map(|(&a, v)| g.schema().def(a).render(v))
+                .collect();
+            parts.join(",")
+        }
+        _ => tuple
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    }
+}
+
+/// Renders an aggregate graph as Graphviz DOT (directed).
+///
+/// When the source graph is supplied, categorical codes resolve to their
+/// labels (e.g. `f,1` instead of `#1,1`).
+pub fn aggregate_to_dot(
+    agg: &AggregateGraph,
+    source: Option<&TemporalGraph>,
+) -> String {
+    let attrs: Vec<AttrId> = source
+        .map(|g| {
+            agg.attr_names()
+                .iter()
+                .filter_map(|n| g.schema().id(n).ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut out = String::from("digraph aggregate {\n");
+    let _ = writeln!(out, "  label=\"aggregate on ({})\";", agg.attr_names().join(","));
+    for (tuple, w) in agg.iter_nodes() {
+        let label = tuple_label(source, &attrs, tuple);
+        let _ = writeln!(out, "  \"{label}\" [label=\"{label}\\nw={w}\"];");
+    }
+    for ((src, dst), w) in agg.iter_edges() {
+        let s = tuple_label(source, &attrs, src);
+        let d = tuple_label(source, &attrs, dst);
+        let _ = writeln!(out, "  \"{s}\" -> \"{d}\" [label=\"{w}\"];");
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an aggregated evolution graph as DOT, annotating every entity
+/// with its stability/growth/shrinkage weights (the paper's Fig. 4b).
+pub fn evolution_to_dot(
+    evo: &EvolutionAggregate,
+    source: Option<&TemporalGraph>,
+) -> String {
+    let attrs: Vec<AttrId> = source
+        .map(|g| {
+            evo.attr_names()
+                .iter()
+                .filter_map(|n| g.schema().id(n).ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut out = String::from("digraph evolution {\n");
+    let _ = writeln!(
+        out,
+        "  label=\"evolution on ({}) [St/Gr/Shr]\";",
+        evo.attr_names().join(",")
+    );
+    for (tuple, w) in evo.iter_nodes() {
+        let label = tuple_label(source, &attrs, tuple);
+        let _ = writeln!(
+            out,
+            "  \"{label}\" [label=\"{label}\\nSt={} Gr={} Shr={}\"];",
+            w.stability, w.growth, w.shrinkage
+        );
+    }
+    for ((src, dst), w) in evo.iter_edges() {
+        let s = tuple_label(source, &attrs, src);
+        let d = tuple_label(source, &attrs, dst);
+        let _ = writeln!(
+            out,
+            "  \"{s}\" -> \"{d}\" [label=\"St={} Gr={} Shr={}\"];",
+            w.stability, w.growth, w.shrinkage
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Converts an aggregate graph's nodes into a frame: one column per
+/// attribute plus `weight`.
+///
+/// # Errors
+/// Returns an error if the attribute names collide with `weight`.
+pub fn aggregate_nodes_frame(agg: &AggregateGraph) -> Result<Frame, ColumnarError> {
+    let mut cols: Vec<String> = agg.attr_names().to_vec();
+    cols.push("weight".to_owned());
+    let mut f = Frame::new(cols)?;
+    for (tuple, w) in agg.iter_nodes() {
+        let mut row = tuple.clone();
+        row.push(Value::Int(w as i64));
+        f.push_row(row)?;
+    }
+    Ok(f)
+}
+
+/// Converts an aggregate graph's edges into a frame: `src_*` and `dst_*`
+/// columns per attribute plus `weight`.
+///
+/// # Errors
+/// Returns an error if the generated column names collide.
+pub fn aggregate_edges_frame(agg: &AggregateGraph) -> Result<Frame, ColumnarError> {
+    let mut cols: Vec<String> = agg
+        .attr_names()
+        .iter()
+        .map(|n| format!("src_{n}"))
+        .collect();
+    cols.extend(agg.attr_names().iter().map(|n| format!("dst_{n}")));
+    cols.push("weight".to_owned());
+    let mut f = Frame::new(cols)?;
+    for ((src, dst), w) in agg.iter_edges() {
+        let mut row = src.clone();
+        row.extend(dst.iter().cloned());
+        row.push(Value::Int(w as i64));
+        f.push_row(row)?;
+    }
+    Ok(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{aggregate, AggMode};
+    use crate::evolution::evolution_aggregate;
+    use tempo_graph::fixtures::fig1;
+    use tempo_graph::TimeSet;
+
+    fn gender_agg() -> (TemporalGraph, AggregateGraph) {
+        let g = fig1();
+        let attrs = vec![g.schema().id("gender").unwrap()];
+        let agg = aggregate(&g, &attrs, AggMode::Distinct);
+        (g, agg)
+    }
+
+    #[test]
+    fn dot_contains_resolved_labels() {
+        let (g, agg) = gender_agg();
+        let dot = aggregate_to_dot(&agg, Some(&g));
+        assert!(dot.starts_with("digraph aggregate {"));
+        assert!(dot.contains("\"f\""));
+        assert!(dot.contains("\"m\""));
+        assert!(dot.contains("->"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_without_source_uses_codes() {
+        let (_, agg) = gender_agg();
+        let dot = aggregate_to_dot(&agg, None);
+        assert!(dot.contains("#0") || dot.contains("#1"));
+    }
+
+    #[test]
+    fn evolution_dot_has_three_weights() {
+        let g = fig1();
+        let attrs = vec![g.schema().id("gender").unwrap()];
+        let t1 = TimeSet::from_indices(3, [0]);
+        let t2 = TimeSet::from_indices(3, [1]);
+        let evo = evolution_aggregate(&g, &t1, &t2, &attrs, None).unwrap();
+        let dot = evolution_to_dot(&evo, Some(&g));
+        assert!(dot.contains("St="));
+        assert!(dot.contains("Gr="));
+        assert!(dot.contains("Shr="));
+    }
+
+    #[test]
+    fn frames_roundtrip_weights() {
+        let (_, agg) = gender_agg();
+        let nodes = aggregate_nodes_frame(&agg).unwrap();
+        assert_eq!(nodes.columns().last().map(String::as_str), Some("weight"));
+        let total: i64 = nodes
+            .iter_rows()
+            .map(|r| r.last().unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(total as u64, agg.total_node_weight());
+
+        let edges = aggregate_edges_frame(&agg).unwrap();
+        assert_eq!(edges.ncols(), 3); // src_gender, dst_gender, weight
+        let etotal: i64 = edges
+            .iter_rows()
+            .map(|r| r.last().unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(etotal as u64, agg.total_edge_weight());
+    }
+}

@@ -1,0 +1,356 @@
+//! Partial materialization (§4.3).
+//!
+//! Materializing every combination of attributes × interval is unrealistic,
+//! so GraphTempo precomputes only aggregates on the *unit of time* and on
+//! the *full attribute set*, and derives coarser aggregates from them:
+//!
+//! * **T-distributivity** — the ALL-aggregate of a union graph over any
+//!   scope is the pointwise sum of per-timepoint ALL-aggregates
+//!   ([`TimepointStore::union_all`]). Distinct union aggregates are *not*
+//!   T-distributive (distinct nodes must be identified across points).
+//! * **D-distributivity** — the aggregate on a subset of attributes is a
+//!   roll-up of the finer aggregate ([`crate::aggregate::rollup`]).
+//!
+//! [`TimepointStore::build_parallel`] mirrors the paper's use of the Modin
+//! multiprocess dataframe library by fanning per-timepoint aggregation out
+//! over `crossbeam` scoped threads.
+
+use crate::aggregate::AggregateGraph;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tempo_columnar::ValueTuple;
+use tempo_graph::{AttrId, GraphError, TemporalGraph, TimePoint, TimeSet};
+
+/// Computes the ALL-aggregate of the single time point `t` directly from
+/// the source graph (equivalent to aggregating the projection on `t`, but
+/// without materializing it).
+pub fn aggregate_at_point(g: &TemporalGraph, attrs: &[AttrId], t: TimePoint) -> AggregateGraph {
+    let names: Vec<String> = attrs
+        .iter()
+        .map(|&a| g.schema().def(a).name().to_owned())
+        .collect();
+    let mut agg = AggregateGraph::new(names);
+    let tuple_of = |n: tempo_graph::NodeId| -> ValueTuple {
+        attrs.iter().map(|&a| g.attr_value(n, a, t)).collect()
+    };
+    for n in g.node_ids() {
+        if g.node_alive_at(n, t) {
+            agg.add_node_weight(tuple_of(n), 1);
+        }
+    }
+    for e in g.edge_ids() {
+        if g.edge_alive_at(e, t) {
+            let (u, v) = g.edge_endpoints(e);
+            agg.add_edge_weight(tuple_of(u), tuple_of(v), 1);
+        }
+    }
+    agg
+}
+
+/// Precomputed per-timepoint ALL-aggregates on a fixed attribute set.
+///
+/// ```
+/// use graphtempo::materialize::TimepointStore;
+/// use graphtempo::aggregate::{aggregate, AggMode};
+/// use graphtempo::ops::union;
+/// use tempo_graph::{fixtures::fig1, TimePoint, TimeSet};
+///
+/// let g = fig1();
+/// let gender = g.schema().id("gender").unwrap();
+/// let store = TimepointStore::build(&g, &[gender]);
+///
+/// // T-distributivity: combining per-timepoint aggregates equals the
+/// // from-scratch ALL aggregation of the union graph.
+/// let t1 = TimeSet::point(3, TimePoint(0));
+/// let t2 = TimeSet::range(3, 1, 2);
+/// let fast = store.union_all(&t1.union(&t2)).unwrap();
+/// let direct = aggregate(&union(&g, &t1, &t2).unwrap(), &[gender], AggMode::All);
+/// assert_eq!(fast, direct);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TimepointStore {
+    attrs: Vec<AttrId>,
+    per_tp: Vec<AggregateGraph>,
+}
+
+impl TimepointStore {
+    /// Builds the store sequentially.
+    pub fn build(g: &TemporalGraph, attrs: &[AttrId]) -> Self {
+        let per_tp = g
+            .domain()
+            .iter()
+            .map(|t| aggregate_at_point(g, attrs, t))
+            .collect();
+        TimepointStore {
+            attrs: attrs.to_vec(),
+            per_tp,
+        }
+    }
+
+    /// Builds the store with per-timepoint aggregation fanned out over up
+    /// to `threads` scoped worker threads.
+    ///
+    /// # Panics
+    /// Panics if a worker thread panics.
+    pub fn build_parallel(g: &TemporalGraph, attrs: &[AttrId], threads: usize) -> Self {
+        let nt = g.domain().len();
+        let threads = threads.clamp(1, nt);
+        if threads == 1 {
+            return Self::build(g, attrs);
+        }
+        let mut per_tp: Vec<Option<AggregateGraph>> = vec![None; nt];
+        let mut slots: Vec<(usize, &mut Option<AggregateGraph>)> =
+            per_tp.iter_mut().enumerate().collect();
+        let chunk = nt.div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            for batch in slots.chunks_mut(chunk) {
+                scope.spawn(move |_| {
+                    for (t, slot) in batch.iter_mut() {
+                        **slot = Some(aggregate_at_point(g, attrs, TimePoint(*t as u32)));
+                    }
+                });
+            }
+        })
+        .expect("aggregation worker panicked");
+        TimepointStore {
+            attrs: attrs.to_vec(),
+            per_tp: per_tp
+                .into_iter()
+                .map(|a| a.expect("every time point aggregated"))
+                .collect(),
+        }
+    }
+
+    /// The attribute ids this store aggregates on.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// Incrementally appends the aggregates of the time points the graph
+    /// gained since the store was built (the maintenance path when a new
+    /// snapshot arrives via `GraphBuilder::from_graph`).
+    ///
+    /// # Errors
+    /// Returns an error if the graph has fewer time points than the store
+    /// (stores never shrink).
+    pub fn append_new_points(&mut self, g: &TemporalGraph) -> Result<usize, GraphError> {
+        let nt = g.domain().len();
+        if nt < self.per_tp.len() {
+            return Err(GraphError::UnknownTimePoint(format!(
+                "graph has {nt} points but the store already covers {}",
+                self.per_tp.len()
+            )));
+        }
+        let added = nt - self.per_tp.len();
+        for t in self.per_tp.len()..nt {
+            self.per_tp
+                .push(aggregate_at_point(g, &self.attrs, TimePoint(t as u32)));
+        }
+        Ok(added)
+    }
+
+    /// Number of time points covered.
+    pub fn len(&self) -> usize {
+        self.per_tp.len()
+    }
+
+    /// True if no time points are stored (never the case for a built store).
+    pub fn is_empty(&self) -> bool {
+        self.per_tp.is_empty()
+    }
+
+    /// The precomputed aggregate of time point `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is out of range.
+    pub fn at(&self, t: TimePoint) -> &AggregateGraph {
+        &self.per_tp[t.index()]
+    }
+
+    /// T-distributive union (§4.3): the ALL-aggregate of the union graph
+    /// over `scope`, computed by summing the per-timepoint aggregates —
+    /// no access to the original temporal graph.
+    ///
+    /// # Errors
+    /// Returns an error if `scope` is empty or exceeds the stored domain.
+    pub fn union_all(&self, scope: &TimeSet) -> Result<AggregateGraph, GraphError> {
+        tempo_graph::require_non_empty(scope, "scope")?;
+        if scope.domain_len() != self.per_tp.len() {
+            return Err(GraphError::UnknownTimePoint(format!(
+                "scope over domain of {} in store of {}",
+                scope.domain_len(),
+                self.per_tp.len()
+            )));
+        }
+        let mut iter = scope.iter();
+        let first = iter.next().expect("scope checked non-empty");
+        let mut acc = self.per_tp[first.index()].clone();
+        for t in iter {
+            acc.merge_add(&self.per_tp[t.index()]);
+        }
+        Ok(acc)
+    }
+}
+
+/// A lazy, thread-safe cache of [`TimepointStore`]s keyed by attribute set.
+pub struct MaterializationCache<'g> {
+    g: &'g TemporalGraph,
+    threads: usize,
+    stores: Mutex<HashMap<Vec<AttrId>, Arc<TimepointStore>>>,
+}
+
+impl<'g> MaterializationCache<'g> {
+    /// Creates a cache over `g`; stores are built with `threads` workers.
+    pub fn new(g: &'g TemporalGraph, threads: usize) -> Self {
+        MaterializationCache {
+            g,
+            threads: threads.max(1),
+            stores: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns the store for `attrs`, building it on first use.
+    pub fn store_for(&self, attrs: &[AttrId]) -> Arc<TimepointStore> {
+        if let Some(s) = self.stores.lock().get(attrs) {
+            return Arc::clone(s);
+        }
+        // Build outside the lock so concurrent misses don't serialize the
+        // aggregation work; last writer wins harmlessly (stores are equal).
+        let built = Arc::new(TimepointStore::build_parallel(self.g, attrs, self.threads));
+        let mut guard = self.stores.lock();
+        Arc::clone(guard.entry(attrs.to_vec()).or_insert(built))
+    }
+
+    /// Number of distinct attribute sets cached.
+    pub fn len(&self) -> usize {
+        self.stores.lock().len()
+    }
+
+    /// True if nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.stores.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::{aggregate, AggMode as M};
+    use crate::ops::union;
+    use tempo_graph::fixtures::fig1;
+
+    fn attrs(g: &TemporalGraph, names: &[&str]) -> Vec<AttrId> {
+        names.iter().map(|n| g.schema().id(n).unwrap()).collect()
+    }
+
+    #[test]
+    fn point_aggregate_matches_projection() {
+        let g = fig1();
+        let ga = attrs(&g, &["gender", "publications"]);
+        for t in g.domain().iter() {
+            let fast = aggregate_at_point(&g, &ga, t);
+            let proj = crate::ops::project_point(&g, t).unwrap();
+            let slow = aggregate(&proj, &attrs(&proj, &["gender", "publications"]), M::All);
+            assert_eq!(fast, slow, "time {t:?}");
+        }
+    }
+
+    #[test]
+    fn union_all_is_t_distributive() {
+        let g = fig1();
+        let ga = attrs(&g, &["gender", "publications"]);
+        let store = TimepointStore::build(&g, &ga);
+        let t1 = TimeSet::from_indices(3, [0]);
+        let t2 = TimeSet::from_indices(3, [1, 2]);
+        let scope = t1.union(&t2);
+        let fast = store.union_all(&scope).unwrap();
+        let u = union(&g, &t1, &t2).unwrap();
+        let direct = aggregate(&u, &attrs(&u, &["gender", "publications"]), M::All);
+        assert_eq!(fast, direct);
+    }
+
+    #[test]
+    fn union_all_rejects_bad_scope() {
+        let g = fig1();
+        let store = TimepointStore::build(&g, &attrs(&g, &["gender"]));
+        assert!(store.union_all(&TimeSet::empty(3)).is_err());
+        assert!(store.union_all(&TimeSet::from_indices(5, [0])).is_err());
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let g = fig1();
+        let ga = attrs(&g, &["gender", "publications"]);
+        let seq = TimepointStore::build(&g, &ga);
+        for threads in [1, 2, 3, 8] {
+            let par = TimepointStore::build_parallel(&g, &ga, threads);
+            assert_eq!(par.len(), seq.len());
+            for t in g.domain().iter() {
+                assert_eq!(par.at(t), seq.at(t), "threads {threads}, point {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_new_points_matches_rebuild() {
+        use tempo_graph::GraphBuilder;
+        let g = fig1();
+        let ga = attrs(&g, &["gender", "publications"]);
+        let mut store = TimepointStore::build(&g, &ga);
+
+        // extend the graph with a new year and a new appearance
+        let mut b = GraphBuilder::from_graph(g, &["t3"]).unwrap();
+        let u2 = b.get_or_add_node("u2");
+        let u4 = b.get_or_add_node("u4");
+        let pubs = b.schema().id("publications").unwrap();
+        b.set_time_varying(u2, pubs, tempo_graph::TimePoint(3), tempo_columnar::Value::Int(2))
+            .unwrap();
+        b.add_edge_at(u4, u2, tempo_graph::TimePoint(3)).unwrap();
+        let g2 = b.build().unwrap();
+
+        let added = store.append_new_points(&g2).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(store.len(), 4);
+        let rebuilt = TimepointStore::build(&g2, &attrs(&g2, &["gender", "publications"]));
+        for t in g2.domain().iter() {
+            assert_eq!(store.at(t), rebuilt.at(t), "point {t:?}");
+        }
+        // appending again is a no-op
+        assert_eq!(store.append_new_points(&g2).unwrap(), 0);
+    }
+
+    #[test]
+    fn append_rejects_shrunken_graph() {
+        let g = fig1();
+        let ga = attrs(&g, &["gender"]);
+        let mut store = TimepointStore::build(&g, &ga);
+        // a graph over a smaller domain cannot back-fill the store
+        let small = crate::ops::project_point(&g, tempo_graph::TimePoint(0)).unwrap();
+        // project keeps the full domain, so build a truly smaller graph
+        let tiny = tempo_datagen::RandomGraphConfig {
+            timepoints: 2,
+            ..Default::default()
+        }
+        .generate()
+        .unwrap();
+        assert!(store.append_new_points(&tiny).is_err());
+        let _ = small;
+    }
+
+    #[test]
+    fn cache_builds_once_per_attr_set() {
+        let g = fig1();
+        let cache = MaterializationCache::new(&g, 2);
+        assert!(cache.is_empty());
+        let ga = attrs(&g, &["gender"]);
+        let s1 = cache.store_for(&ga);
+        let s2 = cache.store_for(&ga);
+        assert!(Arc::ptr_eq(&s1, &s2));
+        assert_eq!(cache.len(), 1);
+        let gp = attrs(&g, &["gender", "publications"]);
+        let _ = cache.store_for(&gp);
+        assert_eq!(cache.len(), 2);
+    }
+
+}

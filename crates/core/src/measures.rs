@@ -1,0 +1,352 @@
+//! Aggregate measures beyond COUNT.
+//!
+//! Definition 2.6 leaves the weight functions `f_V` / `f_E` open and the
+//! paper notes that "other aggregations may be supported, if edges are
+//! attributed as well". This module supplies them: SUM / MIN / MAX / AVG of
+//! a numeric node attribute per aggregate node, and of the per-timepoint
+//! edge values (see `TemporalGraph::edge_value`) per aggregate edge.
+//!
+//! Measures are computed over *appearances* — each (entity, time point)
+//! where the entity exists contributes one observation, matching the ALL
+//! counting semantics. Appearances without a numeric observation (a `Null`
+//! attribute or edge value) count toward COUNT but not toward
+//! SUM/MIN/MAX/AVG.
+
+use std::collections::HashMap;
+use tempo_columnar::{Value, ValueTuple};
+use tempo_graph::{AttrId, GraphError, TemporalGraph};
+
+/// Measure over the nodes of each aggregate group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NodeMeasure {
+    /// Number of appearances (= the ALL weight).
+    Count,
+    /// Sum of a numeric attribute over appearances.
+    Sum(AttrId),
+    /// Minimum observed value of a numeric attribute.
+    Min(AttrId),
+    /// Maximum observed value of a numeric attribute.
+    Max(AttrId),
+    /// Mean observed value of a numeric attribute.
+    Avg(AttrId),
+}
+
+/// Measure over the edges of each aggregate group pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EdgeMeasure {
+    /// Number of edge appearances (= the ALL weight).
+    Count,
+    /// Sum of the edge values over appearances.
+    SumValues,
+    /// Minimum observed edge value.
+    MinValues,
+    /// Maximum observed edge value.
+    MaxValues,
+    /// Mean observed edge value.
+    AvgValues,
+}
+
+impl EdgeMeasure {
+    fn needs_values(self) -> bool {
+        !matches!(self, EdgeMeasure::Count)
+    }
+}
+
+/// Streaming accumulator for one group.
+#[derive(Clone, Copy, Debug, Default)]
+struct Acc {
+    count: u64,
+    observed: u64,
+    sum: i64,
+    min: i64,
+    max: i64,
+}
+
+impl Acc {
+    fn push(&mut self, v: Option<i64>) {
+        self.count += 1;
+        if let Some(x) = v {
+            if self.observed == 0 {
+                self.min = x;
+                self.max = x;
+            } else {
+                self.min = self.min.min(x);
+                self.max = self.max.max(x);
+            }
+            self.observed += 1;
+            self.sum += x;
+        }
+    }
+
+    fn finish_node(&self, m: NodeMeasure) -> Option<f64> {
+        match m {
+            NodeMeasure::Count => Some(self.count as f64),
+            NodeMeasure::Sum(_) => Some(self.sum as f64),
+            NodeMeasure::Min(_) => (self.observed > 0).then_some(self.min as f64),
+            NodeMeasure::Max(_) => (self.observed > 0).then_some(self.max as f64),
+            NodeMeasure::Avg(_) => {
+                (self.observed > 0).then(|| self.sum as f64 / self.observed as f64)
+            }
+        }
+    }
+
+    fn finish_edge(&self, m: EdgeMeasure) -> Option<f64> {
+        match m {
+            EdgeMeasure::Count => Some(self.count as f64),
+            EdgeMeasure::SumValues => Some(self.sum as f64),
+            EdgeMeasure::MinValues => (self.observed > 0).then_some(self.min as f64),
+            EdgeMeasure::MaxValues => (self.observed > 0).then_some(self.max as f64),
+            EdgeMeasure::AvgValues => {
+                (self.observed > 0).then(|| self.sum as f64 / self.observed as f64)
+            }
+        }
+    }
+}
+
+/// An aggregate graph whose weights come from arbitrary measures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasureAggregate {
+    group_names: Vec<String>,
+    nodes: HashMap<ValueTuple, f64>,
+    edges: HashMap<(ValueTuple, ValueTuple), f64>,
+}
+
+impl MeasureAggregate {
+    /// Names of the grouping attributes.
+    pub fn group_names(&self) -> &[String] {
+        &self.group_names
+    }
+
+    /// Measure value of an aggregate node, if the group had observations.
+    pub fn node_value(&self, tuple: &[Value]) -> Option<f64> {
+        self.nodes.get(tuple).copied()
+    }
+
+    /// Measure value of an aggregate edge, if the pair had observations.
+    pub fn edge_value(&self, src: &[Value], dst: &[Value]) -> Option<f64> {
+        self.edges.get(&(src.to_vec(), dst.to_vec())).copied()
+    }
+
+    /// Aggregate nodes sorted by tuple.
+    pub fn iter_nodes(&self) -> Vec<(&ValueTuple, f64)> {
+        let mut v: Vec<_> = self.nodes.iter().map(|(k, &w)| (k, w)).collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+
+    /// Aggregate edges sorted by tuple pair.
+    pub fn iter_edges(&self) -> Vec<(&(ValueTuple, ValueTuple), f64)> {
+        let mut v: Vec<_> = self.edges.iter().map(|(k, &w)| (k, w)).collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+}
+
+/// Aggregates `g` grouped by `group`, computing `node_measure` per
+/// aggregate node and `edge_measure` per aggregate edge.
+///
+/// ```
+/// use graphtempo::measures::{aggregate_measure, EdgeMeasure, NodeMeasure};
+/// use tempo_graph::fixtures::fig1;
+///
+/// let g = fig1();
+/// let gender = g.schema().id("gender").unwrap();
+/// let pubs = g.schema().id("publications").unwrap();
+/// // total publications per gender across all appearances
+/// let agg = aggregate_measure(
+///     &g,
+///     &[gender],
+///     NodeMeasure::Sum(pubs),
+///     EdgeMeasure::Count,
+/// )
+/// .unwrap();
+/// let f = g.schema().category(gender, "f").unwrap();
+/// // female appearances: u2 (1,1,1) + u3 (1) + u4 (2,1,1) = 8
+/// assert_eq!(agg.node_value(&[f]), Some(8.0));
+/// ```
+///
+/// # Errors
+/// Returns an error if an edge-value measure is requested on a graph with
+/// no edge values.
+pub fn aggregate_measure(
+    g: &TemporalGraph,
+    group: &[AttrId],
+    node_measure: NodeMeasure,
+    edge_measure: EdgeMeasure,
+) -> Result<MeasureAggregate, GraphError> {
+    if edge_measure.needs_values() && !g.has_edge_values() {
+        return Err(GraphError::UnknownAttribute(
+            "edge values (graph has none)".to_owned(),
+        ));
+    }
+    let group_names: Vec<String> = group
+        .iter()
+        .map(|&a| g.schema().def(a).name().to_owned())
+        .collect();
+    let measured_attr = match node_measure {
+        NodeMeasure::Count => None,
+        NodeMeasure::Sum(a) | NodeMeasure::Min(a) | NodeMeasure::Max(a) | NodeMeasure::Avg(a) => {
+            Some(a)
+        }
+    };
+    let tuple_of = |n: tempo_graph::NodeId, t: tempo_graph::TimePoint| -> ValueTuple {
+        group.iter().map(|&a| g.attr_value(n, a, t)).collect()
+    };
+
+    let mut node_acc: HashMap<ValueTuple, Acc> = HashMap::new();
+    for n in g.node_ids() {
+        for t in g.node_timestamp(n).iter() {
+            let obs = measured_attr.and_then(|a| g.attr_value(n, a, t).as_int());
+            node_acc.entry(tuple_of(n, t)).or_default().push(obs);
+        }
+    }
+    let mut edge_acc: HashMap<(ValueTuple, ValueTuple), Acc> = HashMap::new();
+    for e in g.edge_ids() {
+        let (u, v) = g.edge_endpoints(e);
+        for t in g.edge_timestamp(e).iter() {
+            let obs = if edge_measure.needs_values() {
+                g.edge_value(e, t).as_int()
+            } else {
+                None
+            };
+            edge_acc
+                .entry((tuple_of(u, t), tuple_of(v, t)))
+                .or_default()
+                .push(obs);
+        }
+    }
+
+    Ok(MeasureAggregate {
+        group_names,
+        nodes: node_acc
+            .into_iter()
+            .filter_map(|(k, acc)| acc.finish_node(node_measure).map(|v| (k, v)))
+            .collect(),
+        edges: edge_acc
+            .into_iter()
+            .filter_map(|(k, acc)| acc.finish_edge(edge_measure).map(|v| (k, v)))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_graph::fixtures::fig1;
+    use tempo_graph::{
+        AttributeSchema, GraphBuilder, Temporality, TimeDomain, TimePoint,
+    };
+
+    fn gender_and_pubs(g: &TemporalGraph) -> (AttrId, AttrId) {
+        (
+            g.schema().id("gender").unwrap(),
+            g.schema().id("publications").unwrap(),
+        )
+    }
+
+    #[test]
+    fn count_matches_all_aggregation() {
+        let g = fig1();
+        let (gender, _) = gender_and_pubs(&g);
+        let m = aggregate_measure(&g, &[gender], NodeMeasure::Count, EdgeMeasure::Count).unwrap();
+        let all = crate::aggregate::aggregate(&g, &[gender], crate::aggregate::AggMode::All);
+        for (tuple, w) in all.iter_nodes() {
+            assert_eq!(m.node_value(tuple), Some(w as f64));
+        }
+        for ((s, d), w) in all.iter_edges() {
+            assert_eq!(m.edge_value(s, d), Some(w as f64));
+        }
+    }
+
+    #[test]
+    fn sum_min_max_avg_of_publications() {
+        let g = fig1();
+        let (gender, pubs) = gender_and_pubs(&g);
+        let f = g.schema().category(gender, "f").unwrap();
+        let m_var = g.schema().category(gender, "m").unwrap();
+        // female appearances: u2 1,1,1; u3 1; u4 2,1,1 → sum 8, min 1, max 2
+        let sum =
+            aggregate_measure(&g, &[gender], NodeMeasure::Sum(pubs), EdgeMeasure::Count).unwrap();
+        assert_eq!(sum.node_value(std::slice::from_ref(&f)), Some(8.0));
+        // male appearances: u1 3,1; u5 3 → sum 7
+        assert_eq!(sum.node_value(std::slice::from_ref(&m_var)), Some(7.0));
+        let min =
+            aggregate_measure(&g, &[gender], NodeMeasure::Min(pubs), EdgeMeasure::Count).unwrap();
+        assert_eq!(min.node_value(std::slice::from_ref(&f)), Some(1.0));
+        let max =
+            aggregate_measure(&g, &[gender], NodeMeasure::Max(pubs), EdgeMeasure::Count).unwrap();
+        assert_eq!(max.node_value(std::slice::from_ref(&f)), Some(2.0));
+        assert_eq!(max.node_value(std::slice::from_ref(&m_var)), Some(3.0));
+        let avg =
+            aggregate_measure(&g, &[gender], NodeMeasure::Avg(pubs), EdgeMeasure::Count).unwrap();
+        let got = avg.node_value(&[f]).unwrap();
+        assert!((got - 8.0 / 7.0).abs() < 1e-9, "avg {got}");
+    }
+
+    #[test]
+    fn edge_value_measures() {
+        let mut schema = AttributeSchema::new();
+        schema.declare("kind", Temporality::Static).unwrap();
+        let mut b = GraphBuilder::new(TimeDomain::indexed(2), schema);
+        let kind = b.schema().id("kind").unwrap();
+        let u = b.add_node("u").unwrap();
+        let v = b.add_node("v").unwrap();
+        let w = b.add_node("w").unwrap();
+        let k = b.intern_category(kind, "a");
+        for n in [u, v, w] {
+            b.set_static(n, kind, k.clone()).unwrap();
+        }
+        // co-authorship counts as edge values
+        b.set_edge_value(u, v, TimePoint(0), Value::Int(2)).unwrap();
+        b.set_edge_value(u, v, TimePoint(1), Value::Int(4)).unwrap();
+        b.set_edge_value(u, w, TimePoint(0), Value::Int(1)).unwrap();
+        let g = b.build().unwrap();
+
+        let sum = aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::SumValues)
+            .unwrap();
+        assert_eq!(sum.edge_value(std::slice::from_ref(&k), std::slice::from_ref(&k)), Some(7.0));
+        let avg = aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::AvgValues)
+            .unwrap();
+        assert!((avg.edge_value(std::slice::from_ref(&k), std::slice::from_ref(&k)).unwrap() - 7.0 / 3.0).abs() < 1e-9);
+        let max = aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::MaxValues)
+            .unwrap();
+        assert_eq!(max.edge_value(std::slice::from_ref(&k), std::slice::from_ref(&k)), Some(4.0));
+    }
+
+    #[test]
+    fn edge_value_measure_requires_values() {
+        let g = fig1(); // fig1 has no edge values
+        let gender = g.schema().id("gender").unwrap();
+        assert!(aggregate_measure(
+            &g,
+            &[gender],
+            NodeMeasure::Count,
+            EdgeMeasure::SumValues
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn groups_without_observations_are_absent() {
+        // min/max of a value no group member observes → group omitted
+        let mut schema = AttributeSchema::new();
+        schema.declare("kind", Temporality::Static).unwrap();
+        schema.declare("score", Temporality::TimeVarying).unwrap();
+        let mut b = GraphBuilder::new(TimeDomain::indexed(1), schema);
+        let kind = b.schema().id("kind").unwrap();
+        let score = b.schema().id("score").unwrap();
+        let u = b.add_node("u").unwrap();
+        let k = b.intern_category(kind, "a");
+        b.set_static(u, kind, k.clone()).unwrap();
+        b.set_presence(u, TimePoint(0)).unwrap();
+        let g = b.build().unwrap();
+        // score never set → Min has no observation
+        let min = aggregate_measure(&g, &[kind], NodeMeasure::Min(score), EdgeMeasure::Count)
+            .unwrap();
+        assert_eq!(min.node_value(std::slice::from_ref(&k)), None);
+        // but Count still sees the appearance
+        let count =
+            aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::Count).unwrap();
+        assert_eq!(count.node_value(std::slice::from_ref(&k)), Some(1.0));
+    }
+}

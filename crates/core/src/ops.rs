@@ -1,0 +1,494 @@
+//! Temporal operators (§2.1, Definitions 2.2–2.5, Algorithm 1).
+//!
+//! Every operator takes the source [`TemporalGraph`] and one or two time
+//! sets and materializes a new temporal attributed graph containing the
+//! selected nodes/edges, with timestamps restricted to the operator's scope
+//! (`𝒯₁ ∪ 𝒯₂` for union/intersection, `𝒯₁` for the difference `𝒯₁ − 𝒯₂`).
+//!
+//! The membership tests generalize over the *union* and *intersection
+//! semantics* of §3.1 through [`SideTest`]: under union semantics an entity
+//! belongs to an interval if its timestamp intersects it ([`SideTest::Any`]);
+//! under intersection semantics it must span every point
+//! ([`SideTest::All`]). Definitions 2.3–2.5 are the [`SideTest::Any`]
+//! instances.
+
+use tempo_columnar::{BitMatrix, Interner, Value, ValueMatrix};
+use tempo_graph::{require_non_empty, GraphError, NodeId, TemporalGraph, TimeSet};
+
+/// How an entity's timestamp is tested against one side interval.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SideTest {
+    /// Union semantics: `τ ∩ 𝒯 ≠ ∅` (exists at *some* point of 𝒯).
+    Any,
+    /// Intersection semantics: `𝒯 ⊆ τ` (exists at *every* point of 𝒯).
+    All,
+}
+
+impl SideTest {
+    /// Evaluates the membership test of `tau` against `side`.
+    #[inline]
+    pub fn member(self, tau: &TimeSet, side: &TimeSet) -> bool {
+        match self {
+            SideTest::Any => tau.intersects(side),
+            SideTest::All => side.is_subset(tau),
+        }
+    }
+}
+
+/// The three event operators of §2.3/§3, parameterized by side semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Event {
+    /// Entities present in both intervals (intersection graph `G∩`).
+    Stability,
+    /// Entities present in 𝒯new but not 𝒯old (difference `𝒯new − 𝒯old`).
+    Growth,
+    /// Entities present in 𝒯old but not 𝒯new (difference `𝒯old − 𝒯new`).
+    Shrinkage,
+}
+
+/// Materializes the subgraph of `g` induced by the kept node and edge rows,
+/// with all timestamps and time-varying values masked to `scope`.
+fn materialize_subgraph(
+    g: &TemporalGraph,
+    keep_nodes: &[usize],
+    keep_edges: &[usize],
+    scope: &TimeSet,
+) -> Result<TemporalGraph, GraphError> {
+    let nt = g.domain().len();
+    let mut names = Interner::new();
+    let mut remap = vec![u32::MAX; g.n_nodes()];
+    let mut node_presence = BitMatrix::new(nt);
+    for &r in keep_nodes {
+        let name = g.node_name(NodeId(r as u32)).to_owned();
+        let new_id = names.intern(name);
+        remap[r] = new_id;
+        node_presence.push_row(
+            &g.node_presence_matrix()
+                .row_masked(r, scope.bits()),
+        );
+    }
+
+    let mut edges = Vec::with_capacity(keep_edges.len());
+    let mut edge_presence = BitMatrix::new(nt);
+    let mut edge_values = g
+        .edge_values_matrix()
+        .map(|_| ValueMatrix::new(nt));
+    for &r in keep_edges {
+        let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(r as u32));
+        let (nu, nv) = (remap[u.index()], remap[v.index()]);
+        debug_assert!(
+            nu != u32::MAX && nv != u32::MAX,
+            "kept edge must have kept endpoints"
+        );
+        edges.push((NodeId(nu), NodeId(nv)));
+        let masked = g.edge_presence_matrix().row_masked(r, scope.bits());
+        if let (Some(out), Some(src)) = (&mut edge_values, g.edge_values_matrix()) {
+            let new_r = out.push_null_row();
+            for t in masked.iter_ones() {
+                out.set(new_r, t, src.get(r, t).clone());
+            }
+        }
+        edge_presence.push_row(&masked);
+    }
+
+    let static_table = g.static_table().select_rows(keep_nodes);
+
+    let schema = g.schema().clone();
+    let mut tv_tables = Vec::new();
+    for &attr in &schema.time_varying_ids() {
+        let src = g.tv_table(attr).expect("id is time-varying");
+        let mut tbl = ValueMatrix::new(nt);
+        for (new_r, &r) in keep_nodes.iter().enumerate() {
+            tbl.push_null_row();
+            for t in node_presence.iter_row_ones(new_r) {
+                tbl.set(new_r, t, src.get(r, t).clone());
+            }
+        }
+        tv_tables.push(tbl);
+    }
+
+    TemporalGraph::from_parts_with_edge_values(
+        g.domain().clone(),
+        schema,
+        names,
+        node_presence,
+        edges,
+        edge_presence,
+        static_table,
+        tv_tables,
+        edge_values,
+    )
+}
+
+/// Time projection (Definition 2.2): the subgraph of entities that exist
+/// throughout `𝒯₁` (i.e. `𝒯₁ ⊆ τ`), with timestamps restricted to `𝒯₁`.
+///
+/// # Errors
+/// Returns an error if `t1` is empty or materialization fails.
+pub fn project(g: &TemporalGraph, t1: &TimeSet) -> Result<TemporalGraph, GraphError> {
+    require_non_empty(t1, "𝒯₁")?;
+    let keep_nodes: Vec<usize> = (0..g.n_nodes())
+        .filter(|&r| g.node_presence_matrix().row_all(r, t1.bits()))
+        .collect();
+    let keep_edges: Vec<usize> = (0..g.n_edges())
+        .filter(|&r| g.edge_presence_matrix().row_all(r, t1.bits()))
+        .collect();
+    materialize_subgraph(g, &keep_nodes, &keep_edges, t1)
+}
+
+/// The projection of a single time point — the paper's per-timepoint graph
+/// used throughout the evaluation (Figs. 3, 5).
+///
+/// # Errors
+/// Returns an error if materialization fails.
+pub fn project_point(
+    g: &TemporalGraph,
+    t: tempo_graph::TimePoint,
+) -> Result<TemporalGraph, GraphError> {
+    project(g, &TimeSet::point(g.domain().len(), t))
+}
+
+/// Union operator (Definition 2.3): entities existing at some point of
+/// `𝒯₁` **or** `𝒯₂`; timestamps restricted to `𝒯₁ ∪ 𝒯₂`.
+///
+/// ```
+/// use graphtempo::ops::union;
+/// use tempo_graph::{fixtures::fig1, TimePoint, TimeSet};
+///
+/// let g = fig1();
+/// // Fig. 2: the union graph of [t0, t1] has four authors, u5 is absent.
+/// let u = union(
+///     &g,
+///     &TimeSet::point(3, TimePoint(0)),
+///     &TimeSet::point(3, TimePoint(1)),
+/// )
+/// .unwrap();
+/// assert_eq!(u.n_nodes(), 4);
+/// assert!(u.node_id("u5").is_none());
+/// ```
+///
+/// # Errors
+/// Returns an error if either interval is empty or materialization fails.
+pub fn union(
+    g: &TemporalGraph,
+    t1: &TimeSet,
+    t2: &TimeSet,
+) -> Result<TemporalGraph, GraphError> {
+    require_non_empty(t1, "𝒯₁")?;
+    require_non_empty(t2, "𝒯₂")?;
+    let scope = t1.union(t2);
+    let keep_nodes: Vec<usize> = (0..g.n_nodes())
+        .filter(|&r| g.node_presence_matrix().row_any(r, scope.bits()))
+        .collect();
+    let keep_edges: Vec<usize> = (0..g.n_edges())
+        .filter(|&r| g.edge_presence_matrix().row_any(r, scope.bits()))
+        .collect();
+    materialize_subgraph(g, &keep_nodes, &keep_edges, &scope)
+}
+
+/// Intersection operator (Definition 2.4): entities existing at some point
+/// of `𝒯₁` **and** some point of `𝒯₂`; timestamps restricted to `𝒯₁ ∪ 𝒯₂`.
+///
+/// # Errors
+/// Returns an error if either interval is empty or materialization fails.
+pub fn intersection(
+    g: &TemporalGraph,
+    t1: &TimeSet,
+    t2: &TimeSet,
+) -> Result<TemporalGraph, GraphError> {
+    event_graph(g, Event::Stability, t1, t2, SideTest::Any, SideTest::Any)
+}
+
+/// Difference operator (Definition 2.5): the graph `𝒯₁ − 𝒯₂` of entities
+/// existing in `𝒯₁` but not in `𝒯₂` (edges strictly; nodes either absent
+/// from `𝒯₂` or incident to a deleted edge); timestamps restricted to `𝒯₁`.
+///
+/// # Errors
+/// Returns an error if either interval is empty or materialization fails.
+pub fn difference(
+    g: &TemporalGraph,
+    t1: &TimeSet,
+    t2: &TimeSet,
+) -> Result<TemporalGraph, GraphError> {
+    event_graph(g, Event::Shrinkage, t1, t2, SideTest::Any, SideTest::Any)
+}
+
+/// Builds the event graph of §3 for a pair of intervals under explicit side
+/// semantics.
+///
+/// * [`Event::Stability`] — entities member of both `told` and `tnew`;
+///   scope `told ∪ tnew`. With `Any`/`Any` this is Definition 2.4.
+/// * [`Event::Growth`] — member of `tnew`, not member of `told`; scope
+///   `tnew`. With `Any`/`Any` this is the difference `𝒯new − 𝒯old`.
+/// * [`Event::Shrinkage`] — member of `told`, not member of `tnew`; scope
+///   `told`. With `Any`/`Any` this is the difference `𝒯old − 𝒯new`.
+///
+/// For the difference events, a node is also kept when an incident selected
+/// edge requires it (the `∃(u,v) ∈ E₋` clause of Definition 2.5).
+///
+/// # Errors
+/// Returns an error if either interval is empty or materialization fails.
+pub fn event_graph(
+    g: &TemporalGraph,
+    event: Event,
+    told: &TimeSet,
+    tnew: &TimeSet,
+    old_test: SideTest,
+    new_test: SideTest,
+) -> Result<TemporalGraph, GraphError> {
+    require_non_empty(told, "𝒯old")?;
+    require_non_empty(tnew, "𝒯new")?;
+
+    let node_member = |r: usize, side: &TimeSet, test: SideTest| {
+        let tau = TimeSet::from_bits(g.node_presence_matrix().row(r));
+        test.member(&tau, side)
+    };
+    let edge_member = |r: usize, side: &TimeSet, test: SideTest| {
+        let tau = TimeSet::from_bits(g.edge_presence_matrix().row(r));
+        test.member(&tau, side)
+    };
+
+    let (keep_nodes, keep_edges, scope) = match event {
+        Event::Stability => {
+            let scope = told.union(tnew);
+            let nodes: Vec<usize> = (0..g.n_nodes())
+                .filter(|&r| node_member(r, told, old_test) && node_member(r, tnew, new_test))
+                .collect();
+            let edges: Vec<usize> = (0..g.n_edges())
+                .filter(|&r| edge_member(r, told, old_test) && edge_member(r, tnew, new_test))
+                .collect();
+            (nodes, edges, scope)
+        }
+        Event::Growth => {
+            let edges: Vec<usize> = (0..g.n_edges())
+                .filter(|&r| edge_member(r, tnew, new_test) && !edge_member(r, told, old_test))
+                .collect();
+            let nodes = difference_nodes(
+                g,
+                &edges,
+                |r| node_member(r, tnew, new_test),
+                |r| node_member(r, told, old_test),
+            );
+            (nodes, edges, tnew.clone())
+        }
+        Event::Shrinkage => {
+            let edges: Vec<usize> = (0..g.n_edges())
+                .filter(|&r| edge_member(r, told, old_test) && !edge_member(r, tnew, new_test))
+                .collect();
+            let nodes = difference_nodes(
+                g,
+                &edges,
+                |r| node_member(r, told, old_test),
+                |r| node_member(r, tnew, new_test),
+            );
+            (nodes, edges, told.clone())
+        }
+    };
+    materialize_subgraph(g, &keep_nodes, &keep_edges, &scope)
+}
+
+/// Node selection of Definition 2.5: present in the kept interval, and
+/// either absent from the removed interval or an endpoint of a kept edge.
+fn difference_nodes(
+    g: &TemporalGraph,
+    kept_edges: &[usize],
+    present: impl Fn(usize) -> bool,
+    absent_from: impl Fn(usize) -> bool,
+) -> Vec<usize> {
+    let mut incident = vec![false; g.n_nodes()];
+    for &e in kept_edges {
+        let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+        incident[u.index()] = true;
+        incident[v.index()] = true;
+    }
+    (0..g.n_nodes())
+        .filter(|&r| present(r) && (!absent_from(r) || incident[r]))
+        .collect()
+}
+
+/// Convenience: renders an aggregate value tuple for error messages/tests.
+pub(crate) fn render_tuple(g: &TemporalGraph, attrs: &[tempo_graph::AttrId], tuple: &[Value]) -> String {
+    let parts: Vec<String> = attrs
+        .iter()
+        .zip(tuple)
+        .map(|(&a, v)| g.schema().def(a).render(v))
+        .collect();
+    format!("({})", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_graph::fixtures::fig1;
+    use tempo_graph::TimePoint;
+
+    fn ts(points: &[usize]) -> TimeSet {
+        TimeSet::from_indices(3, points.iter().copied())
+    }
+
+    #[test]
+    fn project_requires_full_span() {
+        let g = fig1();
+        // nodes that exist at BOTH t0 and t1: u1, u2, u4
+        let p = project(&g, &ts(&[0, 1])).unwrap();
+        assert_eq!(p.n_nodes(), 3);
+        assert!(p.node_id("u3").is_none());
+        assert!(p.node_id("u1").is_some());
+        // edges existing through [t0,t1]: (u1,u2) and (u4,u2)
+        assert_eq!(p.n_edges(), 2);
+    }
+
+    #[test]
+    fn project_point_counts_match_fig1() {
+        let g = fig1();
+        let p0 = project_point(&g, TimePoint(0)).unwrap();
+        assert_eq!((p0.n_nodes(), p0.n_edges()), (4, 3));
+        let p2 = project_point(&g, TimePoint(2)).unwrap();
+        assert_eq!((p2.n_nodes(), p2.n_edges()), (3, 2));
+    }
+
+    #[test]
+    fn union_matches_fig2() {
+        let g = fig1();
+        // Fig. 2: union on [t0, t1] has u1..u4 and edges (u1,u2),(u3,u2),(u4,u2)
+        let u = union(&g, &ts(&[0]), &ts(&[1])).unwrap();
+        assert_eq!(u.n_nodes(), 4);
+        assert!(u.node_id("u5").is_none());
+        assert_eq!(u.n_edges(), 3);
+        // timestamps restricted to scope: u2 exists at t2 in G but not here
+        let u2 = u.node_id("u2").unwrap();
+        assert_eq!(
+            u.node_timestamp(u2).iter().map(|t| t.0).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+    }
+
+    #[test]
+    fn union_empty_interval_errors() {
+        let g = fig1();
+        assert!(matches!(
+            union(&g, &TimeSet::empty(3), &ts(&[1])),
+            Err(GraphError::EmptyInterval(_))
+        ));
+    }
+
+    #[test]
+    fn intersection_keeps_survivors() {
+        let g = fig1();
+        let i = intersection(&g, &ts(&[0]), &ts(&[2])).unwrap();
+        // nodes alive at t0 AND t2: u2, u4
+        assert_eq!(i.n_nodes(), 2);
+        assert!(i.node_id("u2").is_some() && i.node_id("u4").is_some());
+        // edges alive at both: (u4,u2)
+        assert_eq!(i.n_edges(), 1);
+    }
+
+    #[test]
+    fn difference_old_minus_new() {
+        let g = fig1();
+        // t0 − t1: deleted edge (u3,u2); node u3 disappears; u2 kept as an
+        // endpoint of the deleted edge even though it survives
+        let d = difference(&g, &ts(&[0]), &ts(&[1])).unwrap();
+        assert_eq!(d.n_edges(), 1);
+        let names: Vec<&str> = d.node_ids().map(|n| d.node_name(n)).collect();
+        assert!(names.contains(&"u3"));
+        assert!(names.contains(&"u2"));
+        assert!(!names.contains(&"u1"));
+        // timestamps restricted to 𝒯₁ = {t0}
+        let u3 = d.node_id("u3").unwrap();
+        assert_eq!(
+            d.node_timestamp(u3).iter().map(|t| t.0).collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn difference_new_minus_old_is_growth() {
+        let g = fig1();
+        // t2 − t1: new node u5 and new edge (u5,u2)
+        let d = difference(&g, &ts(&[2]), &ts(&[1])).unwrap();
+        let names: Vec<&str> = d.node_ids().map(|n| d.node_name(n)).collect();
+        assert!(names.contains(&"u5"));
+        assert_eq!(d.n_edges(), 1);
+        let e = d.edge_ids().next().unwrap();
+        let (u, v) = d.edge_endpoints(e);
+        assert_eq!(
+            (d.node_name(u), d.node_name(v)),
+            ("u5", "u2")
+        );
+    }
+
+    #[test]
+    fn difference_is_asymmetric() {
+        let g = fig1();
+        let d1 = difference(&g, &ts(&[0]), &ts(&[1])).unwrap();
+        let d2 = difference(&g, &ts(&[1]), &ts(&[0])).unwrap();
+        assert_ne!(d1.n_edges(), d2.n_edges());
+    }
+
+    #[test]
+    fn side_test_semantics() {
+        let tau = TimeSet::from_indices(4, [1, 2]);
+        let side = TimeSet::from_indices(4, [0, 1]);
+        assert!(SideTest::Any.member(&tau, &side));
+        assert!(!SideTest::All.member(&tau, &side));
+        assert!(SideTest::All.member(&tau, &TimeSet::from_indices(4, [1, 2])));
+        assert!(SideTest::All.member(&tau, &TimeSet::from_indices(4, [2])));
+    }
+
+    #[test]
+    fn event_graph_all_semantics_shrinks_result() {
+        let g = fig1();
+        // stability of [t0,t1] vs t2 under Any: nodes alive in {t0,t1} and t2
+        let any = event_graph(
+            &g,
+            Event::Stability,
+            &ts(&[0, 1]),
+            &ts(&[2]),
+            SideTest::Any,
+            SideTest::Any,
+        )
+        .unwrap();
+        // under All on the old side: nodes alive at BOTH t0 and t1, and at t2
+        let all = event_graph(
+            &g,
+            Event::Stability,
+            &ts(&[0, 1]),
+            &ts(&[2]),
+            SideTest::All,
+            SideTest::Any,
+        )
+        .unwrap();
+        assert!(all.n_nodes() <= any.n_nodes());
+        assert_eq!(any.n_nodes(), 2); // u2, u4
+        assert_eq!(all.n_nodes(), 2); // u2, u4 both span t0,t1
+    }
+
+    #[test]
+    fn growth_under_all_old_widens() {
+        let g = fig1();
+        // Growth t1 − [t0]: edges at t1 absent from t0 → none (both t1 edges exist at t0)
+        let any = event_graph(
+            &g,
+            Event::Growth,
+            &ts(&[0]),
+            &ts(&[1]),
+            SideTest::Any,
+            SideTest::Any,
+        )
+        .unwrap();
+        assert_eq!(any.n_edges(), 0);
+        // Growth t2 − [t0,t1] with All on old side: an edge counts as "in old"
+        // only if present at both t0 and t1; (u4,u2) is, (u5,u2) is not.
+        let all_old = event_graph(
+            &g,
+            Event::Growth,
+            &ts(&[0, 1]),
+            &ts(&[2]),
+            SideTest::All,
+            SideTest::Any,
+        )
+        .unwrap();
+        assert_eq!(all_old.n_edges(), 1); // only (u5,u2) is new
+    }
+}

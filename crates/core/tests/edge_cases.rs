@@ -1,0 +1,254 @@
+//! Edge-case and failure-injection tests for the core operators.
+
+use graphtempo::aggregate::{aggregate, AggMode};
+use graphtempo::explore::{explore, ExploreConfig, ExtendSide, Selector, Semantics};
+use graphtempo::ops::{
+    difference, event_graph, intersection, project, project_point, union, Event, SideTest,
+};
+use tempo_columnar::Value;
+use tempo_graph::{
+    AttributeSchema, GraphBuilder, GraphError, Temporality, TemporalGraph, TimeDomain, TimePoint,
+    TimeSet,
+};
+
+fn two_point_graph() -> TemporalGraph {
+    let mut schema = AttributeSchema::new();
+    schema.declare("kind", Temporality::Static).unwrap();
+    let mut b = GraphBuilder::new(TimeDomain::indexed(2), schema);
+    let kind = b.schema().id("kind").unwrap();
+    let u = b.add_node("u").unwrap();
+    let v = b.add_node("v").unwrap();
+    let k = b.intern_category(kind, "a");
+    b.set_static(u, kind, k.clone()).unwrap();
+    b.set_static(v, kind, k).unwrap();
+    b.add_edge_at(u, v, TimePoint(0)).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn project_full_domain_keeps_spanning_entities_only() {
+    let g = two_point_graph();
+    // u and v exist only at t0, so projecting the whole domain is empty
+    let p = project(&g, &g.domain().all()).unwrap();
+    assert_eq!(p.n_nodes(), 0);
+    assert_eq!(p.n_edges(), 0);
+    // aggregating an empty graph is well-defined
+    let kind = p.schema().id("kind").unwrap();
+    let agg = aggregate(&p, &[kind], AggMode::All);
+    assert_eq!(agg.n_nodes(), 0);
+    assert_eq!(agg.total_edge_weight(), 0);
+}
+
+#[test]
+fn operators_on_identical_intervals() {
+    let g = two_point_graph();
+    let t0 = TimeSet::point(2, TimePoint(0));
+    // 𝒯 ∪ 𝒯 = 𝒯 ∩ 𝒯 = the projection membership under Any semantics
+    let u = union(&g, &t0, &t0).unwrap();
+    let i = intersection(&g, &t0, &t0).unwrap();
+    assert_eq!(u.n_nodes(), i.n_nodes());
+    assert_eq!(u.n_edges(), i.n_edges());
+    // 𝒯 − 𝒯 is empty
+    let d = difference(&g, &t0, &t0).unwrap();
+    assert_eq!(d.n_nodes(), 0);
+    assert_eq!(d.n_edges(), 0);
+}
+
+#[test]
+fn growth_keeps_surviving_endpoints_of_new_edges() {
+    // u exists at both points; edge (u,w) appears only at t1. The growth
+    // graph 𝒯₁ − 𝒯₀ must keep u (it is an endpoint of a new edge) even
+    // though u itself is not new — Definition 2.5's ∃(u,v) ∈ E₋ clause.
+    let mut schema = AttributeSchema::new();
+    schema.declare("kind", Temporality::Static).unwrap();
+    let mut b = GraphBuilder::new(TimeDomain::indexed(2), schema);
+    let kind = b.schema().id("kind").unwrap();
+    let u = b.add_node("u").unwrap();
+    let w = b.add_node("w").unwrap();
+    let k = b.intern_category(kind, "a");
+    b.set_static(u, kind, k.clone()).unwrap();
+    b.set_static(w, kind, k).unwrap();
+    b.set_presence(u, TimePoint(0)).unwrap();
+    b.add_edge_at(u, w, TimePoint(1)).unwrap();
+    let g = b.build().unwrap();
+
+    let growth = event_graph(
+        &g,
+        Event::Growth,
+        &TimeSet::point(2, TimePoint(0)),
+        &TimeSet::point(2, TimePoint(1)),
+        SideTest::Any,
+        SideTest::Any,
+    )
+    .unwrap();
+    assert_eq!(growth.n_edges(), 1);
+    assert!(growth.node_id("u").is_some(), "surviving endpoint kept");
+    assert!(growth.node_id("w").is_some());
+}
+
+#[test]
+fn explore_with_k_zero_qualifies_every_base_pair() {
+    let g = two_point_graph();
+    let kind = g.schema().id("kind").unwrap();
+    let cfg = ExploreConfig {
+        event: Event::Shrinkage,
+        extend: ExtendSide::Old,
+        semantics: Semantics::Union,
+        k: 0,
+        attrs: vec![kind],
+        selector: Selector::AllEdges,
+    };
+    let out = explore(&g, &cfg).unwrap();
+    // with k = 0 every reference point's base pair qualifies immediately
+    assert_eq!(out.pairs.len(), 1);
+    assert_eq!(out.evaluations, 1);
+}
+
+#[test]
+fn node_tuple_selector() {
+    let g = two_point_graph();
+    let kind = g.schema().id("kind").unwrap();
+    let a = g.schema().category(kind, "a").unwrap();
+    let cfg = ExploreConfig {
+        event: Event::Shrinkage,
+        extend: ExtendSide::Old,
+        semantics: Semantics::Union,
+        k: 2,
+        attrs: vec![kind],
+        selector: Selector::NodeTuple(vec![a]),
+    };
+    // both u and v disappear after t0 → 2 node-shrinkage events for ("a")
+    let out = explore(&g, &cfg).unwrap();
+    assert_eq!(out.pairs.len(), 1);
+    assert_eq!(out.pairs[0].1, 2);
+    // a tuple that never occurs yields nothing
+    let cfg_missing = ExploreConfig {
+        selector: Selector::NodeTuple(vec![Value::Cat(99)]),
+        ..cfg
+    };
+    assert!(explore(&g, &cfg_missing).unwrap().pairs.is_empty());
+}
+
+#[test]
+fn projection_of_each_point_is_consistent_with_counts() {
+    let g = two_point_graph();
+    let p0 = project_point(&g, TimePoint(0)).unwrap();
+    assert_eq!(p0.n_nodes(), g.nodes_at(TimePoint(0)));
+    assert_eq!(p0.n_edges(), g.edges_at(TimePoint(0)));
+    let p1 = project_point(&g, TimePoint(1)).unwrap();
+    assert_eq!(p1.n_nodes(), 0);
+}
+
+#[test]
+fn empty_interval_errors_are_uniform() {
+    let g = two_point_graph();
+    let empty = TimeSet::empty(2);
+    let t0 = TimeSet::point(2, TimePoint(0));
+    for result in [
+        project(&g, &empty).err(),
+        union(&g, &empty, &t0).err(),
+        union(&g, &t0, &empty).err(),
+        intersection(&g, &empty, &t0).err(),
+        difference(&g, &t0, &empty).err(),
+        event_graph(&g, Event::Growth, &empty, &t0, SideTest::Any, SideTest::Any).err(),
+    ] {
+        assert!(
+            matches!(result, Some(GraphError::EmptyInterval(_))),
+            "expected EmptyInterval, got {result:?}"
+        );
+    }
+}
+
+#[test]
+fn self_loop_edges_flow_through_operators() {
+    // the model admits self-loops (co-rating graphs exclude them by
+    // generation, not by the model); operators must handle them
+    let mut schema = AttributeSchema::new();
+    schema.declare("kind", Temporality::Static).unwrap();
+    let mut b = GraphBuilder::new(TimeDomain::indexed(2), schema);
+    let kind = b.schema().id("kind").unwrap();
+    let u = b.add_node("u").unwrap();
+    let k = b.intern_category(kind, "a");
+    b.set_static(u, kind, k.clone()).unwrap();
+    b.add_edge_at(u, u, TimePoint(0)).unwrap();
+    b.add_edge_at(u, u, TimePoint(1)).unwrap();
+    let g = b.build().unwrap();
+    let i = intersection(
+        &g,
+        &TimeSet::point(2, TimePoint(0)),
+        &TimeSet::point(2, TimePoint(1)),
+    )
+    .unwrap();
+    assert_eq!(i.n_edges(), 1);
+    let agg = aggregate(&i, &[i.schema().id("kind").unwrap()], AggMode::Distinct);
+    assert_eq!(agg.edge_weight(std::slice::from_ref(&k), std::slice::from_ref(&k)), 1);
+}
+
+#[test]
+fn operators_preserve_edge_values_within_scope() {
+    // Build a graph with edge values and verify union/difference carry the
+    // values of the kept time points and null out the rest.
+    let mut schema = AttributeSchema::new();
+    schema.declare("kind", Temporality::Static).unwrap();
+    let mut b = GraphBuilder::new(TimeDomain::indexed(3), schema);
+    let kind = b.schema().id("kind").unwrap();
+    let u = b.add_node("u").unwrap();
+    let v = b.add_node("v").unwrap();
+    let k = b.intern_category(kind, "a");
+    b.set_static(u, kind, k.clone()).unwrap();
+    b.set_static(v, kind, k).unwrap();
+    b.set_edge_value(u, v, TimePoint(0), Value::Int(2)).unwrap();
+    b.set_edge_value(u, v, TimePoint(2), Value::Int(5)).unwrap();
+    let g = b.build().unwrap();
+
+    let un = union(
+        &g,
+        &TimeSet::point(3, TimePoint(0)),
+        &TimeSet::point(3, TimePoint(2)),
+    )
+    .unwrap();
+    assert!(un.has_edge_values());
+    let (uu, uv) = (un.node_id("u").unwrap(), un.node_id("v").unwrap());
+    let e = un.edge_between(uu, uv).unwrap();
+    assert_eq!(un.edge_value(e, TimePoint(0)), Value::Int(2));
+    assert_eq!(un.edge_value(e, TimePoint(2)), Value::Int(5));
+
+    // union scoped to t0 only: the t2 value must be masked out
+    let un0 = union(
+        &g,
+        &TimeSet::point(3, TimePoint(0)),
+        &TimeSet::point(3, TimePoint(0)),
+    )
+    .unwrap();
+    let e0 = un0
+        .edge_between(un0.node_id("u").unwrap(), un0.node_id("v").unwrap())
+        .unwrap();
+    assert_eq!(un0.edge_value(e0, TimePoint(0)), Value::Int(2));
+    assert_eq!(un0.edge_value(e0, TimePoint(2)), Value::Null);
+    assert!(un0.validate().is_ok());
+}
+
+#[test]
+fn zoom_carries_latest_edge_value() {
+    use graphtempo::zoom::{zoom_out, Granularity};
+    let mut schema = AttributeSchema::new();
+    schema.declare("kind", Temporality::Static).unwrap();
+    let mut b = GraphBuilder::new(TimeDomain::indexed(4), schema);
+    let kind = b.schema().id("kind").unwrap();
+    let u = b.add_node("u").unwrap();
+    let v = b.add_node("v").unwrap();
+    let k = b.intern_category(kind, "a");
+    b.set_static(u, kind, k.clone()).unwrap();
+    b.set_static(v, kind, k).unwrap();
+    b.set_edge_value(u, v, TimePoint(0), Value::Int(1)).unwrap();
+    b.set_edge_value(u, v, TimePoint(1), Value::Int(9)).unwrap();
+    let g = b.build().unwrap();
+
+    let gran = Granularity::windows(g.domain(), 2).unwrap();
+    let z = zoom_out(&g, &gran, SideTest::Any).unwrap();
+    let e = z
+        .edge_between(z.node_id("u").unwrap(), z.node_id("v").unwrap())
+        .unwrap();
+    // the coarse point {t0,t1} takes the latest observation, 9
+    assert_eq!(z.edge_value(e, TimePoint(0)), Value::Int(9));
+}

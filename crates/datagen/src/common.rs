@@ -1,0 +1,277 @@
+//! Shared machinery for the evolving-graph generators.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Chooses the active node set of the next time point: the `forced` members
+/// first, then `keep` nodes carried over from the previous active set, then
+/// fresh nodes drawn from the pool, to a total of `target` (bounded by the
+/// pool size).
+pub fn evolve_active_set(
+    rng: &mut StdRng,
+    pool_size: usize,
+    previous: &[usize],
+    target: usize,
+    persistence: f64,
+    forced: &[usize],
+) -> Vec<usize> {
+    let target = target.min(pool_size);
+    let mut active: Vec<usize> = Vec::with_capacity(target);
+    let mut taken: HashSet<usize> = HashSet::with_capacity(target);
+    for &n in forced.iter().take(target) {
+        debug_assert!(n < pool_size, "forced member outside pool");
+        if taken.insert(n) {
+            active.push(n);
+        }
+    }
+
+    let mut carried: Vec<usize> = previous.to_vec();
+    carried.shuffle(rng);
+    let keep = ((previous.len() as f64 * persistence).round() as usize).min(target);
+    for &n in carried.iter().take(keep) {
+        if active.len() >= target {
+            break;
+        }
+        if taken.insert(n) {
+            active.push(n);
+        }
+    }
+    while active.len() < target {
+        let n = rng.gen_range(0..pool_size);
+        if taken.insert(n) {
+            active.push(n);
+        }
+    }
+    active.sort_unstable();
+    active
+}
+
+/// Draws `target` distinct directed edges among `active` nodes:
+/// first inserting the `forced` pairs (whose endpoints must be active),
+/// then re-using up to `persistence` of `previous` edges whose endpoints
+/// are still active, then filling with biased random pairs — with
+/// probability `intra_prob` both endpoints come from the same community
+/// (`community[n]`), otherwise they are arbitrary.
+///
+/// Self-loops are excluded. If the active set is too small to host `target`
+/// distinct pairs, fewer edges are returned.
+#[allow(clippy::too_many_arguments)]
+pub fn evolve_edges(
+    rng: &mut StdRng,
+    active: &[usize],
+    previous: &[(usize, usize)],
+    target: usize,
+    persistence: f64,
+    community: &[usize],
+    n_communities: usize,
+    intra_prob: f64,
+    forced: &[(usize, usize)],
+) -> Vec<(usize, usize)> {
+    let max_pairs = active.len().saturating_mul(active.len().saturating_sub(1));
+    let target = target.min(max_pairs);
+    let active_set: HashSet<usize> = active.iter().copied().collect();
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(target);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(target);
+    for &(u, v) in forced.iter().take(target) {
+        debug_assert!(
+            u != v && active_set.contains(&u) && active_set.contains(&v),
+            "forced edge endpoints must be active and distinct"
+        );
+        if chosen.insert((u, v)) {
+            edges.push((u, v));
+        }
+    }
+
+    let mut carried: Vec<(usize, usize)> = previous
+        .iter()
+        .copied()
+        .filter(|(u, v)| active_set.contains(u) && active_set.contains(v))
+        .collect();
+    carried.shuffle(rng);
+    let keep = ((previous.len() as f64 * persistence).round() as usize).min(target);
+    for &(u, v) in carried.iter().take(keep) {
+        if edges.len() >= target {
+            break;
+        }
+        if chosen.insert((u, v)) {
+            edges.push((u, v));
+        }
+    }
+
+    // Bucket active nodes by community for intra-community draws.
+    let mut by_comm: Vec<Vec<usize>> = vec![Vec::new(); n_communities.max(1)];
+    for &n in active {
+        by_comm[community[n] % n_communities.max(1)].push(n);
+    }
+    let nonempty: Vec<usize> = (0..by_comm.len())
+        .filter(|&c| by_comm[c].len() >= 2)
+        .collect();
+
+    let mut attempts = 0usize;
+    let attempt_budget = target.saturating_mul(50) + 1000;
+    while edges.len() < target && attempts < attempt_budget {
+        attempts += 1;
+        let (u, v) = if !nonempty.is_empty() && rng.gen_bool(intra_prob) {
+            let c = nonempty[rng.gen_range(0..nonempty.len())];
+            let members = &by_comm[c];
+            (
+                members[rng.gen_range(0..members.len())],
+                members[rng.gen_range(0..members.len())],
+            )
+        } else {
+            (
+                active[rng.gen_range(0..active.len())],
+                active[rng.gen_range(0..active.len())],
+            )
+        };
+        if u == v {
+            continue;
+        }
+        if chosen.insert((u, v)) {
+            edges.push((u, v));
+        }
+    }
+    // Dense graphs (MovieLens August reaches ~36% of all ordered pairs) can
+    // exhaust rejection sampling; finish deterministically by scanning.
+    if edges.len() < target {
+        'outer: for &u in active {
+            for &v in active {
+                if u != v && chosen.insert((u, v)) {
+                    edges.push((u, v));
+                    if edges.len() == target {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Draws a skewed positive integer in `1..=max` (geometric-ish: small
+/// values dominate, as publication counts per author do).
+pub fn skewed_count(rng: &mut StdRng, max: i64) -> i64 {
+    let mut v = 1;
+    while v < max && rng.gen_bool(0.45) {
+        v += 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn active_set_size_and_distinctness() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let prev: Vec<usize> = (0..50).collect();
+        let a = evolve_active_set(&mut rng, 1000, &prev, 80, 0.7, &[]);
+        assert_eq!(a.len(), 80);
+        let set: HashSet<_> = a.iter().collect();
+        assert_eq!(set.len(), 80);
+        // roughly persistence * |prev| carried over
+        let carried = a.iter().filter(|&&n| n < 50).count();
+        assert!(carried >= 30, "expected ~35 carried, got {carried}");
+    }
+
+    #[test]
+    fn active_set_bounded_by_pool() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = evolve_active_set(&mut rng, 10, &[], 50, 0.5, &[]);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn edges_distinct_no_self_loops() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let active: Vec<usize> = (0..30).collect();
+        let comm: Vec<usize> = (0..30).map(|n| n % 3).collect();
+        let e = evolve_edges(&mut rng, &active, &[], 100, 0.0, &comm, 3, 0.8, &[]);
+        assert_eq!(e.len(), 100);
+        let set: HashSet<_> = e.iter().collect();
+        assert_eq!(set.len(), 100);
+        assert!(e.iter().all(|(u, v)| u != v));
+    }
+
+    #[test]
+    fn edges_saturate_dense_targets() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let active: Vec<usize> = (0..10).collect();
+        let comm = vec![0; 10];
+        // request more than the 90 possible ordered pairs
+        let e = evolve_edges(&mut rng, &active, &[], 500, 0.0, &comm, 1, 0.5, &[]);
+        assert_eq!(e.len(), 90);
+    }
+
+    #[test]
+    fn edges_reuse_previous() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let active: Vec<usize> = (0..20).collect();
+        let comm = vec![0; 20];
+        let prev: Vec<(usize, usize)> = (0..10).map(|i| (i, i + 10)).collect();
+        let e = evolve_edges(&mut rng, &active, &prev, 20, 1.0, &comm, 1, 0.5, &[]);
+        let kept = prev.iter().filter(|p| e.contains(p)).count();
+        assert_eq!(kept, 10, "full persistence keeps every surviving edge");
+    }
+
+    #[test]
+    fn skewed_counts_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let v = skewed_count(&mut rng, 12);
+            assert!((1..=12).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let active: Vec<usize> = (0..40).collect();
+            let comm: Vec<usize> = (0..40).map(|n| n % 4).collect();
+            evolve_edges(&mut rng, &active, &[], 60, 0.0, &comm, 4, 0.7, &[])
+        };
+        assert_eq!(gen(9), gen(9));
+        assert_ne!(gen(9), gen(10));
+    }
+}
+
+#[cfg(test)]
+mod forced_tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forced_members_always_active() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let forced = [1usize, 5, 9];
+        let a = evolve_active_set(&mut rng, 100, &[], 20, 0.5, &forced);
+        for f in forced {
+            assert!(a.contains(&f));
+        }
+        assert_eq!(a.len(), 20);
+    }
+
+    #[test]
+    fn forced_members_respect_target() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let forced: Vec<usize> = (0..10).collect();
+        let a = evolve_active_set(&mut rng, 100, &[], 4, 0.5, &forced);
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn forced_edges_always_present() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let active: Vec<usize> = (0..20).collect();
+        let comm = vec![0; 20];
+        let forced = [(0usize, 1usize), (2, 3)];
+        let e = evolve_edges(&mut rng, &active, &[], 10, 0.0, &comm, 1, 0.5, &forced);
+        assert!(e.contains(&(0, 1)) && e.contains(&(2, 3)));
+        assert_eq!(e.len(), 10);
+    }
+}

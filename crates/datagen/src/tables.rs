@@ -1,0 +1,60 @@
+//! The evaluation datasets' published statistics (Tables 3 and 4 of the
+//! paper), used to calibrate the synthetic generators.
+
+/// Year labels of the DBLP dataset (Table 3).
+pub const DBLP_YEARS: [&str; 21] = [
+    "2000", "2001", "2002", "2003", "2004", "2005", "2006", "2007", "2008", "2009", "2010",
+    "2011", "2012", "2013", "2014", "2015", "2016", "2017", "2018", "2019", "2020",
+];
+
+/// Nodes per year of the DBLP dataset (Table 3).
+pub const DBLP_NODES: [usize; 21] = [
+    1708, 2165, 1761, 2827, 3278, 4466, 4730, 5193, 5501, 5363, 6236, 6535, 6769, 7457, 7035,
+    8581, 8966, 9660, 11037, 12377, 12996,
+];
+
+/// Edges per year of the DBLP dataset (Table 3).
+pub const DBLP_EDGES: [usize; 21] = [
+    2336, 2949, 2458, 4130, 4821, 7145, 7296, 7620, 8528, 8740, 10163, 10090, 11871, 12989,
+    12072, 15844, 16873, 18470, 21197, 27455, 28546,
+];
+
+/// Month labels of the MovieLens dataset (Table 4).
+pub const MOVIELENS_MONTHS: [&str; 6] = ["May", "Jun", "Jul", "Aug", "Sep", "Oct"];
+
+/// Nodes per month of the MovieLens dataset (Table 4).
+pub const MOVIELENS_NODES: [usize; 6] = [486, 508, 778, 1309, 575, 498];
+
+/// Edges per month of the MovieLens dataset (Table 4).
+pub const MOVIELENS_EDGES: [usize; 6] = [100202, 85334, 201800, 610050, 77216, 48516];
+
+/// Scales a count, keeping at least `min`.
+pub fn scaled(count: usize, scale: f64, min: usize) -> usize {
+    ((count as f64 * scale).round() as usize).max(min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_lengths_consistent() {
+        assert_eq!(DBLP_YEARS.len(), DBLP_NODES.len());
+        assert_eq!(DBLP_YEARS.len(), DBLP_EDGES.len());
+        assert_eq!(MOVIELENS_MONTHS.len(), MOVIELENS_NODES.len());
+        assert_eq!(MOVIELENS_MONTHS.len(), MOVIELENS_EDGES.len());
+    }
+
+    #[test]
+    fn peak_month_is_august() {
+        let max = MOVIELENS_EDGES.iter().max().unwrap();
+        assert_eq!(*max, MOVIELENS_EDGES[3]);
+    }
+
+    #[test]
+    fn scaled_respects_min() {
+        assert_eq!(scaled(100, 0.5, 1), 50);
+        assert_eq!(scaled(3, 0.1, 2), 2);
+        assert_eq!(scaled(0, 1.0, 1), 1);
+    }
+}

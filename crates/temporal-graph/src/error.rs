@@ -1,0 +1,136 @@
+//! Error types for the temporal graph model.
+
+use std::fmt;
+use tempo_columnar::ColumnarError;
+
+/// Errors produced while constructing, validating, or loading a temporal
+/// attributed graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A time domain was created with no points.
+    EmptyTimeDomain,
+    /// Two time points share a label.
+    DuplicateTimeLabel(String),
+    /// A temporal-operator argument interval was empty.
+    EmptyInterval(String),
+    /// A referenced time label or point is outside the domain.
+    UnknownTimePoint(String),
+    /// A node name was registered twice.
+    DuplicateNode(String),
+    /// A referenced node does not exist.
+    UnknownNode(String),
+    /// A referenced attribute does not exist in the schema.
+    UnknownAttribute(String),
+    /// Two attributes share a name.
+    DuplicateAttribute(String),
+    /// A static attribute was addressed as time-varying or vice versa.
+    AttributeKindMismatch {
+        /// Attribute name.
+        name: String,
+        /// What the call expected ("static" or "time-varying").
+        expected: &'static str,
+    },
+    /// An edge refers to a node id that was never registered.
+    DanglingEdge {
+        /// Source label.
+        src: String,
+        /// Destination label.
+        dst: String,
+    },
+    /// An edge exists at a time point where one endpoint does not.
+    EdgeWithoutEndpoint {
+        /// Source label.
+        src: String,
+        /// Destination label.
+        dst: String,
+        /// Offending time label.
+        time: String,
+    },
+    /// A time-varying attribute value is set at a time point where the node
+    /// does not exist (or missing where it does, under strict validation).
+    AttributePresenceMismatch {
+        /// Node label.
+        node: String,
+        /// Attribute name.
+        attr: String,
+        /// Offending time label.
+        time: String,
+    },
+    /// Self-loop registered where the model forbids it.
+    SelfLoop(String),
+    /// Underlying columnar/IO failure.
+    Columnar(ColumnarError),
+    /// Malformed on-disk graph directory.
+    Format(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EmptyTimeDomain => write!(f, "time domain must not be empty"),
+            GraphError::DuplicateTimeLabel(l) => write!(f, "duplicate time label {l:?}"),
+            GraphError::EmptyInterval(w) => write!(f, "interval argument {w} is empty"),
+            GraphError::UnknownTimePoint(l) => write!(f, "unknown time point {l:?}"),
+            GraphError::DuplicateNode(n) => write!(f, "duplicate node {n:?}"),
+            GraphError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            GraphError::UnknownAttribute(a) => write!(f, "unknown attribute {a:?}"),
+            GraphError::DuplicateAttribute(a) => write!(f, "duplicate attribute {a:?}"),
+            GraphError::AttributeKindMismatch { name, expected } => {
+                write!(f, "attribute {name:?} is not {expected}")
+            }
+            GraphError::DanglingEdge { src, dst } => {
+                write!(f, "edge ({src:?}, {dst:?}) references an unknown node")
+            }
+            GraphError::EdgeWithoutEndpoint { src, dst, time } => write!(
+                f,
+                "edge ({src:?}, {dst:?}) exists at {time} but an endpoint does not"
+            ),
+            GraphError::AttributePresenceMismatch { node, attr, time } => write!(
+                f,
+                "attribute {attr:?} of node {node:?} inconsistent with presence at {time}"
+            ),
+            GraphError::SelfLoop(n) => write!(f, "self-loop on node {n:?}"),
+            GraphError::Columnar(e) => write!(f, "columnar error: {e}"),
+            GraphError::Format(m) => write!(f, "format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Columnar(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ColumnarError> for GraphError {
+    fn from(e: ColumnarError) -> Self {
+        GraphError::Columnar(e)
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Columnar(ColumnarError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = GraphError::EdgeWithoutEndpoint {
+            src: "u1".into(),
+            dst: "u2".into(),
+            time: "t0".into(),
+        };
+        assert!(e.to_string().contains("u1"));
+        let e = GraphError::Columnar(ColumnarError::UnknownColumn("x".into()));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

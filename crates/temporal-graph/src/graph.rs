@@ -1,0 +1,581 @@
+//! The temporal attributed graph (Definition 2.1).
+//!
+//! A [`TemporalGraph`] stores, following §4 of the paper:
+//!
+//! * a node presence bit matrix **V** (`|V| × |𝒯|`),
+//! * an edge presence bit matrix **E** (`|E| × |𝒯|`),
+//! * a static attribute table **S** (`|V| × #static`),
+//! * one value matrix **A_i** (`|V| × |𝒯|`) per time-varying attribute.
+//!
+//! Node labels are interned to dense [`NodeId`]s; edges are directed pairs
+//! of node ids deduplicated into [`EdgeId`] rows (an edge that exists in
+//! several time points is one row with several presence bits).
+
+use crate::attrs::{AttrId, AttributeSchema, Temporality};
+use crate::error::GraphError;
+use crate::time::{TimeDomain, TimePoint, TimeSet};
+use std::collections::HashMap;
+use tempo_columnar::{BitMatrix, Interner, Value, ValueMatrix};
+
+/// Dense node identifier (row in the node arrays).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Row index of the node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense edge identifier (row in the edge arrays).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Row index of the edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A temporal attributed graph `G(V, E, τu, τe, A)` over a [`TimeDomain`].
+///
+/// Optionally, edges carry one numeric *value* per time point (e.g. papers
+/// co-authored that year) — the "attributed edges" the paper notes would
+/// enable aggregate functions beyond COUNT.
+#[derive(Clone, Debug)]
+pub struct TemporalGraph {
+    pub(crate) domain: TimeDomain,
+    pub(crate) schema: AttributeSchema,
+    pub(crate) node_names: Interner<String>,
+    pub(crate) node_presence: BitMatrix,
+    pub(crate) edges: Vec<(NodeId, NodeId)>,
+    pub(crate) edge_index: HashMap<(u32, u32), u32>,
+    pub(crate) edge_presence: BitMatrix,
+    pub(crate) static_table: ValueMatrix,
+    pub(crate) tv_tables: Vec<ValueMatrix>,
+    pub(crate) edge_values: Option<ValueMatrix>,
+}
+
+impl TemporalGraph {
+    /// Assembles a graph from raw parts, checking structural invariants:
+    /// consistent array shapes, edge endpoints in range, every edge present
+    /// only when both endpoints are present, and time-varying values only
+    /// where the node is present.
+    ///
+    /// # Errors
+    /// Returns the first violated invariant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        domain: TimeDomain,
+        schema: AttributeSchema,
+        node_names: Interner<String>,
+        node_presence: BitMatrix,
+        edges: Vec<(NodeId, NodeId)>,
+        edge_presence: BitMatrix,
+        static_table: ValueMatrix,
+        tv_tables: Vec<ValueMatrix>,
+    ) -> Result<Self, GraphError> {
+        Self::from_parts_with_edge_values(
+            domain,
+            schema,
+            node_names,
+            node_presence,
+            edges,
+            edge_presence,
+            static_table,
+            tv_tables,
+            None,
+        )
+    }
+
+    /// [`TemporalGraph::from_parts`] with an optional edge-value matrix
+    /// (`|E| × |𝒯|`; a non-null cell requires the edge present there).
+    ///
+    /// # Errors
+    /// Returns the first violated invariant.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts_with_edge_values(
+        domain: TimeDomain,
+        schema: AttributeSchema,
+        node_names: Interner<String>,
+        node_presence: BitMatrix,
+        edges: Vec<(NodeId, NodeId)>,
+        edge_presence: BitMatrix,
+        static_table: ValueMatrix,
+        tv_tables: Vec<ValueMatrix>,
+        edge_values: Option<ValueMatrix>,
+    ) -> Result<Self, GraphError> {
+        let nt = domain.len();
+        let nv = node_names.len();
+        if node_presence.nrows() != nv || node_presence.ncols() != nt {
+            return Err(GraphError::Format(format!(
+                "node presence shape {}x{} does not match {nv} nodes x {nt} time points",
+                node_presence.nrows(),
+                node_presence.ncols()
+            )));
+        }
+        if edge_presence.nrows() != edges.len() || edge_presence.ncols() != nt {
+            return Err(GraphError::Format(format!(
+                "edge presence shape {}x{} does not match {} edges x {nt} time points",
+                edge_presence.nrows(),
+                edge_presence.ncols(),
+                edges.len()
+            )));
+        }
+        let n_static = schema.static_ids().len();
+        if static_table.nrows() != nv || static_table.ncols() != n_static {
+            return Err(GraphError::Format(format!(
+                "static table shape {}x{} does not match {nv} nodes x {n_static} static attributes",
+                static_table.nrows(),
+                static_table.ncols()
+            )));
+        }
+        let n_tv = schema.time_varying_ids().len();
+        if tv_tables.len() != n_tv {
+            return Err(GraphError::Format(format!(
+                "expected {n_tv} time-varying tables, got {}",
+                tv_tables.len()
+            )));
+        }
+        for tbl in &tv_tables {
+            if tbl.nrows() != nv || tbl.ncols() != nt {
+                return Err(GraphError::Format(format!(
+                    "time-varying table shape {}x{} does not match {nv} nodes x {nt} time points",
+                    tbl.nrows(),
+                    tbl.ncols()
+                )));
+            }
+        }
+        if let Some(ev) = &edge_values {
+            if ev.nrows() != edges.len() || ev.ncols() != nt {
+                return Err(GraphError::Format(format!(
+                    "edge values shape {}x{} does not match {} edges x {nt} time points",
+                    ev.nrows(),
+                    ev.ncols(),
+                    edges.len()
+                )));
+            }
+        }
+        let mut edge_index = HashMap::with_capacity(edges.len());
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if u.index() >= nv || v.index() >= nv {
+                return Err(GraphError::DanglingEdge {
+                    src: format!("{u:?}"),
+                    dst: format!("{v:?}"),
+                });
+            }
+            if edge_index.insert((u.0, v.0), i as u32).is_some() {
+                return Err(GraphError::Format(format!(
+                    "edge ({u:?}, {v:?}) listed twice"
+                )));
+            }
+        }
+        let g = TemporalGraph {
+            domain,
+            schema,
+            node_names,
+            node_presence,
+            edges,
+            edge_index,
+            edge_presence,
+            static_table,
+            tv_tables,
+            edge_values,
+        };
+        g.validate()?;
+        Ok(g)
+    }
+
+    /// Verifies the semantic invariants of Definition 2.1:
+    /// * an edge exists at `t` only if both endpoints exist at `t`;
+    /// * a time-varying attribute has a value at `t` only if the node exists
+    ///   at `t`.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for (ei, &(u, v)) in self.edges.iter().enumerate() {
+            for t in self.edge_presence.iter_row_ones(ei) {
+                if !self.node_presence.get(u.index(), t)
+                    || !self.node_presence.get(v.index(), t)
+                {
+                    return Err(GraphError::EdgeWithoutEndpoint {
+                        src: self.node_name(u).to_owned(),
+                        dst: self.node_name(v).to_owned(),
+                        time: self.domain.label(TimePoint(t as u32)).to_owned(),
+                    });
+                }
+            }
+        }
+        if let Some(ev) = &self.edge_values {
+            for e in 0..self.n_edges() {
+                for t in 0..self.domain.len() {
+                    if !ev.get(e, t).is_null() && !self.edge_presence.get(e, t) {
+                        let (u, v) = self.edges[e];
+                        return Err(GraphError::AttributePresenceMismatch {
+                            node: format!(
+                                "edge ({}, {})",
+                                self.node_name(u),
+                                self.node_name(v)
+                            ),
+                            attr: "edge value".to_owned(),
+                            time: self.domain.label(TimePoint(t as u32)).to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+        for (slot, &attr) in self.schema.time_varying_ids().iter().enumerate() {
+            let tbl = &self.tv_tables[slot];
+            for n in 0..self.n_nodes() {
+                for t in 0..self.domain.len() {
+                    if !tbl.get(n, t).is_null() && !self.node_presence.get(n, t) {
+                        return Err(GraphError::AttributePresenceMismatch {
+                            node: self.node_name(NodeId(n as u32)).to_owned(),
+                            attr: self.schema.def(attr).name().to_owned(),
+                            time: self.domain.label(TimePoint(t as u32)).to_owned(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The time domain of the graph.
+    pub fn domain(&self) -> &TimeDomain {
+        &self.domain
+    }
+
+    /// The attribute schema.
+    pub fn schema(&self) -> &AttributeSchema {
+        &self.schema
+    }
+
+    /// Number of node rows (nodes that exist at any point in the domain).
+    pub fn n_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of edge rows.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The label of a node.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        self.node_names
+            .resolve(n.0)
+            .expect("node id out of range")
+    }
+
+    /// Looks up a node by label.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.node_names.code(&name.to_owned()).map(NodeId)
+    }
+
+    /// Iterates all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n_nodes() as u32).map(NodeId)
+    }
+
+    /// Iterates all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        (0..self.n_edges() as u32).map(EdgeId)
+    }
+
+    /// The endpoints of an edge.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// The edge id between two nodes, if such an edge row exists.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        self.edge_index.get(&(u.0, v.0)).map(|&i| EdgeId(i))
+    }
+
+    /// The timestamp `τu(u)` of a node as a [`TimeSet`].
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn node_timestamp(&self, n: NodeId) -> TimeSet {
+        TimeSet::from_bits(self.node_presence.row(n.index()))
+    }
+
+    /// The timestamp `τe(e)` of an edge as a [`TimeSet`].
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    pub fn edge_timestamp(&self, e: EdgeId) -> TimeSet {
+        TimeSet::from_bits(self.edge_presence.row(e.index()))
+    }
+
+    /// True if node `n` exists at time `t`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn node_alive_at(&self, n: NodeId, t: TimePoint) -> bool {
+        self.node_presence.get(n.index(), t.index())
+    }
+
+    /// True if edge `e` exists at time `t`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn edge_alive_at(&self, e: EdgeId, t: TimePoint) -> bool {
+        self.edge_presence.get(e.index(), t.index())
+    }
+
+    /// The value of attribute `attr` for node `n` at time `t`.
+    ///
+    /// Static attributes return their single value whenever the node exists
+    /// at `t` (and `Null` otherwise); time-varying attributes return the
+    /// stored cell.
+    ///
+    /// # Panics
+    /// Panics if ids are out of range.
+    pub fn attr_value(&self, n: NodeId, attr: AttrId, t: TimePoint) -> Value {
+        match self.schema.def(attr).temporality() {
+            Temporality::Static => {
+                if self.node_alive_at(n, t) {
+                    let slot = self
+                        .schema
+                        .static_slot(attr)
+                        .expect("static slot exists for static attribute");
+                    self.static_table.get(n.index(), slot).clone()
+                } else {
+                    Value::Null
+                }
+            }
+            Temporality::TimeVarying => {
+                let slot = self
+                    .schema
+                    .time_varying_slot(attr)
+                    .expect("time-varying slot exists for time-varying attribute");
+                self.tv_tables[slot].get(n.index(), t.index()).clone()
+            }
+        }
+    }
+
+    /// The static value of a static attribute, independent of time.
+    ///
+    /// # Errors
+    /// Returns an error if the attribute is not static.
+    ///
+    /// # Panics
+    /// Panics if ids are out of range.
+    pub fn static_value(&self, n: NodeId, attr: AttrId) -> Result<Value, GraphError> {
+        let slot = self.schema.static_slot(attr).ok_or_else(|| {
+            GraphError::AttributeKindMismatch {
+                name: self.schema.def(attr).name().to_owned(),
+                expected: "static",
+            }
+        })?;
+        Ok(self.static_table.get(n.index(), slot).clone())
+    }
+
+    /// Node ids whose timestamp intersects `mask` ("exists in at least one
+    /// point of 𝒯" — union-style membership).
+    pub fn nodes_alive_any(&self, mask: &TimeSet) -> Vec<NodeId> {
+        (0..self.n_nodes())
+            .filter(|&r| self.node_presence.row_any(r, mask.bits()))
+            .map(|r| NodeId(r as u32))
+            .collect()
+    }
+
+    /// Edge ids whose timestamp intersects `mask`.
+    pub fn edges_alive_any(&self, mask: &TimeSet) -> Vec<EdgeId> {
+        (0..self.n_edges())
+            .filter(|&r| self.edge_presence.row_any(r, mask.bits()))
+            .map(|r| EdgeId(r as u32))
+            .collect()
+    }
+
+    /// Number of nodes existing at time `t`.
+    pub fn nodes_at(&self, t: TimePoint) -> usize {
+        self.node_presence.col_count(t.index())
+    }
+
+    /// Number of edges existing at time `t`.
+    pub fn edges_at(&self, t: TimePoint) -> usize {
+        self.edge_presence.col_count(t.index())
+    }
+
+    /// Raw node presence matrix (the paper's array **V**).
+    pub fn node_presence_matrix(&self) -> &BitMatrix {
+        &self.node_presence
+    }
+
+    /// Raw edge presence matrix (the paper's array **E**).
+    pub fn edge_presence_matrix(&self) -> &BitMatrix {
+        &self.edge_presence
+    }
+
+    /// Raw static attribute table (the paper's array **S**).
+    pub fn static_table(&self) -> &ValueMatrix {
+        &self.static_table
+    }
+
+    /// Raw value matrix of a time-varying attribute (the paper's **A_i**).
+    ///
+    /// # Errors
+    /// Returns an error if the attribute is not time-varying.
+    pub fn tv_table(&self, attr: AttrId) -> Result<&ValueMatrix, GraphError> {
+        let slot = self.schema.time_varying_slot(attr).ok_or_else(|| {
+            GraphError::AttributeKindMismatch {
+                name: self.schema.def(attr).name().to_owned(),
+                expected: "time-varying",
+            }
+        })?;
+        Ok(&self.tv_tables[slot])
+    }
+
+    /// Interner mapping node labels to ids (shared with derived graphs so
+    /// node identity is preserved across operators).
+    pub fn node_interner(&self) -> &Interner<String> {
+        &self.node_names
+    }
+
+    /// True if the graph carries per-timepoint edge values.
+    pub fn has_edge_values(&self) -> bool {
+        self.edge_values.is_some()
+    }
+
+    /// The value of edge `e` at time `t` (`Null` when the graph has no
+    /// edge values, the edge is absent, or no value was recorded).
+    ///
+    /// # Panics
+    /// Panics if ids are out of range.
+    pub fn edge_value(&self, e: EdgeId, t: TimePoint) -> Value {
+        match &self.edge_values {
+            Some(ev) => ev.get(e.index(), t.index()).clone(),
+            None => Value::Null,
+        }
+    }
+
+    /// The raw edge-value matrix, when present.
+    pub fn edge_values_matrix(&self) -> Option<&ValueMatrix> {
+        self.edge_values.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    /// Builds the paper's running example (Fig. 1): 5 authors over
+    /// {t0, t1, t2} with static gender and time-varying #publications.
+    pub(crate) fn fig1_graph() -> TemporalGraph {
+        crate::fixtures::fig1()
+    }
+
+    #[test]
+    fn fig1_shape() {
+        let g = fig1_graph();
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.domain().len(), 3);
+        // per-timepoint counts from Fig. 1
+        assert_eq!(g.nodes_at(TimePoint(0)), 4);
+        assert_eq!(g.nodes_at(TimePoint(1)), 3);
+        assert_eq!(g.nodes_at(TimePoint(2)), 3);
+    }
+
+    #[test]
+    fn fig1_timestamps_match_table2() {
+        let g = fig1_graph();
+        let u1 = g.node_id("u1").unwrap();
+        let u5 = g.node_id("u5").unwrap();
+        assert_eq!(
+            g.node_timestamp(u1).iter().map(|t| t.0).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(
+            g.node_timestamp(u5).iter().map(|t| t.0).collect::<Vec<_>>(),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn fig1_attribute_values() {
+        let g = fig1_graph();
+        let u1 = g.node_id("u1").unwrap();
+        let gender = g.schema().id("gender").unwrap();
+        let pubs = g.schema().id("publications").unwrap();
+        let m = g.schema().category(gender, "m").unwrap();
+        assert_eq!(g.attr_value(u1, gender, TimePoint(0)), m);
+        // u1 absent at t2 → static attr reads Null
+        assert_eq!(g.attr_value(u1, gender, TimePoint(2)), Value::Null);
+        assert_eq!(g.attr_value(u1, pubs, TimePoint(0)), Value::Int(3));
+        assert_eq!(g.attr_value(u1, pubs, TimePoint(1)), Value::Int(1));
+        assert_eq!(g.attr_value(u1, pubs, TimePoint(2)), Value::Null);
+        assert_eq!(g.static_value(u1, gender).unwrap(), m);
+        assert!(g.static_value(u1, pubs).is_err());
+        assert!(g.tv_table(pubs).is_ok());
+        assert!(g.tv_table(gender).is_err());
+    }
+
+    #[test]
+    fn alive_queries() {
+        let g = fig1_graph();
+        let t0t1 = TimeSet::range(3, 0, 1);
+        let alive = g.nodes_alive_any(&t0t1);
+        assert_eq!(alive.len(), 4); // u1..u4 (u5 only at t2)
+        let t2 = TimeSet::point(3, TimePoint(2));
+        assert_eq!(g.nodes_alive_any(&t2).len(), 3);
+        assert!(!g.edges_alive_any(&t2).is_empty());
+    }
+
+    #[test]
+    fn edge_lookup() {
+        let g = fig1_graph();
+        let u1 = g.node_id("u1").unwrap();
+        let u2 = g.node_id("u2").unwrap();
+        let e = g.edge_between(u1, u2).expect("u1-u2 collaborate");
+        let (a, b) = g.edge_endpoints(e);
+        assert_eq!((a, b), (u1, u2));
+        assert!(g.edge_alive_at(e, TimePoint(0)));
+    }
+
+    #[test]
+    fn validate_rejects_edge_without_endpoint() {
+        let mut b = GraphBuilder::new(TimeDomain::indexed(2), AttributeSchema::new());
+        let u = b.add_node("u").unwrap();
+        let v = b.add_node("v").unwrap();
+        b.set_presence(u, TimePoint(0)).unwrap();
+        // v never present, but edge claimed at t0
+        b.add_edge_at_unchecked(u, v, TimePoint(0)).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::EdgeWithoutEndpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_attr_on_absent_node() {
+        let mut schema = AttributeSchema::new();
+        schema
+            .declare("pubs", Temporality::TimeVarying)
+            .unwrap();
+        let mut b = GraphBuilder::new(TimeDomain::indexed(2), schema);
+        let u = b.add_node("u").unwrap();
+        b.set_presence(u, TimePoint(0)).unwrap();
+        let pubs = b.schema().id("pubs").unwrap();
+        b.set_time_varying_unchecked(u, pubs, TimePoint(1), Value::Int(3))
+            .unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::AttributePresenceMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,137 @@
+//! Failure injection for the on-disk graph format: every malformed input
+//! must produce a descriptive error, never a panic or a silently-wrong
+//! graph.
+
+use std::path::{Path, PathBuf};
+use tempo_graph::io::{load_dir, save_dir};
+use tempo_graph::{fixtures::fig1, GraphError};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tempo_io_fail_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write(dir: &Path, file: &str, content: &str) {
+    std::fs::write(dir.join(file), content).unwrap();
+}
+
+/// A minimal consistent directory the failure cases then corrupt.
+fn valid_skeleton(dir: &Path) {
+    write(dir, "time.tsv", "time\nt0\nt1\n");
+    write(dir, "schema.tsv", "name\tkind\ngender\tstatic\npubs\ttime-varying\n");
+    write(dir, "nodes.tsv", "id\tt0\tt1\nu\t1\t1\nv\t1\t0\n");
+    write(dir, "static.tsv", "id\tgender\nu\tm\nv\tf\n");
+    write(dir, "attr_pubs.tsv", "id\tt0\tt1\nu\t2\t1\nv\t3\t-\n");
+    write(dir, "edges.tsv", "src\tdst\tt0\tt1\nu\tv\t1\t0\n");
+}
+
+#[test]
+fn valid_skeleton_loads() {
+    let dir = scratch("valid");
+    valid_skeleton(&dir);
+    let g = load_dir(&dir).unwrap();
+    assert_eq!(g.n_nodes(), 2);
+    assert_eq!(g.n_edges(), 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn duplicate_time_labels_rejected() {
+    let dir = scratch("duptime");
+    valid_skeleton(&dir);
+    write(&dir, "time.tsv", "time\nt0\nt0\n");
+    assert!(matches!(
+        load_dir(&dir),
+        Err(GraphError::DuplicateTimeLabel(_))
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn edge_at_time_without_endpoint_rejected() {
+    let dir = scratch("badedge");
+    valid_skeleton(&dir);
+    // v does not exist at t1, but the edge claims to
+    write(&dir, "edges.tsv", "src\tdst\tt0\tt1\nu\tv\t1\t1\n");
+    assert!(matches!(
+        load_dir(&dir),
+        Err(GraphError::EdgeWithoutEndpoint { .. })
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn attribute_value_for_absent_node_rejected() {
+    let dir = scratch("badattr");
+    valid_skeleton(&dir);
+    // v absent at t1 but has a pubs value there
+    write(&dir, "attr_pubs.tsv", "id\tt0\tt1\nu\t2\t1\nv\t3\t9\n");
+    assert!(matches!(
+        load_dir(&dir),
+        Err(GraphError::AttributePresenceMismatch { .. })
+    ));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wrong_column_counts_rejected() {
+    for (file, content) in [
+        ("nodes.tsv", "id\tt0\nu\t1\n"),
+        ("edges.tsv", "src\tdst\tt0\nu\tv\t1\n"),
+        ("attr_pubs.tsv", "id\tt0\nu\t2\n"),
+    ] {
+        let dir = scratch("cols");
+        valid_skeleton(&dir);
+        write(&dir, file, content);
+        assert!(
+            matches!(load_dir(&dir), Err(GraphError::Format(_))),
+            "expected Format error for truncated {file}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn missing_attribute_file_rejected() {
+    let dir = scratch("missingattr");
+    valid_skeleton(&dir);
+    std::fs::remove_file(dir.join("attr_pubs.tsv")).unwrap();
+    assert!(matches!(load_dir(&dir), Err(GraphError::Format(_))));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_attribute_kind_rejected() {
+    let dir = scratch("badkind");
+    valid_skeleton(&dir);
+    write(&dir, "schema.tsv", "name\tkind\ngender\tsometimes\n");
+    assert!(matches!(load_dir(&dir), Err(GraphError::Format(_))));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn ragged_rows_rejected() {
+    let dir = scratch("ragged");
+    valid_skeleton(&dir);
+    write(&dir, "nodes.tsv", "id\tt0\tt1\nu\t1\n");
+    let err = load_dir(&dir).unwrap_err();
+    assert!(matches!(err, GraphError::Columnar(_)), "got {err:?}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn save_then_corrupt_then_reload() {
+    // round-trip a real fixture, then corrupt one presence bit so an edge
+    // dangles and confirm validation catches it
+    let dir = scratch("corrupt");
+    save_dir(&fig1(), &dir).unwrap();
+    let nodes = std::fs::read_to_string(dir.join("nodes.tsv")).unwrap();
+    // u2 exists everywhere and anchors every edge; remove its t0 presence
+    let corrupted = nodes.replace("u2\t1\t1\t1", "u2\t0\t1\t1");
+    assert_ne!(nodes, corrupted, "fixture layout changed");
+    write(&dir, "nodes.tsv", &corrupted);
+    assert!(load_dir(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}

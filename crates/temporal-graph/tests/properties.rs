@@ -1,0 +1,101 @@
+//! Property-based tests of the time algebra and graph construction.
+
+use proptest::prelude::*;
+use tempo_graph::{
+    AttributeSchema, GraphBuilder, Temporality, TimeDomain, TimePoint, TimeSet,
+};
+
+fn timeset_pair(n: usize) -> impl Strategy<Value = (TimeSet, TimeSet)> {
+    (
+        proptest::collection::vec(any::<bool>(), n),
+        proptest::collection::vec(any::<bool>(), n),
+    )
+        .prop_map(move |(a, b)| {
+            (
+                TimeSet::from_indices(n, a.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i)),
+                TimeSet::from_indices(n, b.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i)),
+            )
+        })
+}
+
+proptest! {
+    #[test]
+    fn set_algebra((a, b) in timeset_pair(24)) {
+        // commutativity
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        // absorption: a ∩ (a ∪ b) = a
+        prop_assert_eq!(a.intersect(&a.union(&b)), a.clone());
+        // inclusion-exclusion on sizes
+        prop_assert_eq!(
+            a.union(&b).len() + a.intersect(&b).len(),
+            a.len() + b.len()
+        );
+        // subset relations
+        prop_assert!(a.intersect(&b).is_subset(&a));
+        prop_assert!(a.is_subset(&a.union(&b)));
+    }
+
+    #[test]
+    fn interval_decomposition_roundtrips(bits in proptest::collection::vec(any::<bool>(), 1..24)) {
+        let n = bits.len();
+        let s = TimeSet::from_indices(
+            n,
+            bits.iter().enumerate().filter(|(_, &x)| x).map(|(i, _)| i),
+        );
+        // rebuilding from maximal intervals gives back the set
+        let mut rebuilt = TimeSet::empty(n);
+        for iv in s.intervals() {
+            rebuilt = rebuilt.union(&iv.to_set(n));
+        }
+        prop_assert_eq!(&rebuilt, &s);
+        // intervals are maximal: consecutive intervals are separated by a gap
+        let ivs = s.intervals();
+        for w in ivs.windows(2) {
+            prop_assert!(w[0].end.index() + 1 < w[1].start.index());
+        }
+        // min/max agree with interval ends
+        if let (Some(first), Some(last)) = (ivs.first(), ivs.last()) {
+            prop_assert_eq!(s.min(), Some(first.start));
+            prop_assert_eq!(s.max(), Some(last.end));
+        } else {
+            prop_assert!(s.is_empty());
+        }
+    }
+
+    #[test]
+    fn builder_presence_is_union_of_sources(
+        presence in proptest::collection::vec(0usize..6, 0..10),
+        edges in proptest::collection::vec((0usize..4, 0usize..4, 0usize..6), 0..10),
+    ) {
+        let mut schema = AttributeSchema::new();
+        schema.declare("kind", Temporality::Static).unwrap();
+        let mut b = GraphBuilder::new(TimeDomain::indexed(6), schema);
+        let nodes: Vec<_> = (0..4).map(|i| b.add_node(&format!("n{i}")).unwrap()).collect();
+        let mut expected = [[false; 6]; 4];
+        for (i, &t) in presence.iter().enumerate() {
+            let n = i % 4;
+            b.set_presence(nodes[n], TimePoint(t as u32)).unwrap();
+            expected[n][t] = true;
+        }
+        for &(u, v, t) in &edges {
+            if u == v {
+                continue;
+            }
+            b.add_edge_at(nodes[u], nodes[v], TimePoint(t as u32)).unwrap();
+            expected[u][t] = true;
+            expected[v][t] = true;
+        }
+        let g = b.build().unwrap();
+        for (i, &n) in nodes.iter().enumerate() {
+            for (t, &want) in expected[i].iter().enumerate() {
+                prop_assert_eq!(
+                    g.node_alive_at(n, TimePoint(t as u32)),
+                    want,
+                    "node {} at t{}", i, t
+                );
+            }
+        }
+        prop_assert!(g.validate().is_ok());
+    }
+}

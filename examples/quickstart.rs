@@ -1,0 +1,116 @@
+//! Quickstart: build a small temporal attributed graph, apply the temporal
+//! operators, aggregate it, and inspect its evolution.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use graphtempo_repro::prelude::*;
+
+fn main() {
+    // --- 1. Build a temporal attributed graph (Definition 2.1) -----------
+    // Three years, authors with a static gender and a yearly paper count.
+    let domain = TimeDomain::new(vec!["2021", "2022", "2023"]).unwrap();
+    let mut schema = AttributeSchema::new();
+    let gender = schema.declare("gender", Temporality::Static).unwrap();
+    let papers = schema.declare("papers", Temporality::TimeVarying).unwrap();
+
+    let mut b = GraphBuilder::new(domain, schema);
+    let f = b.intern_category(gender, "f");
+    let m = b.intern_category(gender, "m");
+
+    let alice = b.add_node("alice").unwrap();
+    let bob = b.add_node("bob").unwrap();
+    let carol = b.add_node("carol").unwrap();
+    let dan = b.add_node("dan").unwrap();
+    for (node, g) in [(alice, &f), (bob, &m), (carol, &f), (dan, &m)] {
+        b.set_static(node, gender, g.clone()).unwrap();
+    }
+    // presence + paper counts (setting a yearly value marks the author active)
+    for (node, year, count) in [
+        (alice, 0, 2),
+        (alice, 1, 3),
+        (alice, 2, 1),
+        (bob, 0, 1),
+        (bob, 1, 1),
+        (carol, 1, 4),
+        (carol, 2, 4),
+        (dan, 2, 2),
+    ] {
+        b.set_time_varying(node, papers, TimePoint(year), Value::Int(count))
+            .unwrap();
+    }
+    // collaborations per year
+    for (u, v, year) in [
+        (alice, bob, 0),
+        (alice, bob, 1),
+        (alice, carol, 1),
+        (alice, carol, 2),
+        (dan, carol, 2),
+    ] {
+        b.add_edge_at(u, v, TimePoint(year)).unwrap();
+    }
+    let g = b.build().unwrap();
+    println!(
+        "graph: {} authors, {} collaborations, {} years",
+        g.n_nodes(),
+        g.n_edges(),
+        g.domain().len()
+    );
+    println!("{}", GraphStats::compute(&g).render_table());
+
+    // --- 2. Temporal operators (§2.1) ------------------------------------
+    let y2021 = TimeSet::point(3, TimePoint(0));
+    let y2022 = TimeSet::point(3, TimePoint(1));
+    let y2023 = TimeSet::point(3, TimePoint(2));
+
+    let u = union(&g, &y2021, &y2022).unwrap();
+    let i = intersection(&g, &y2021, &y2022).unwrap();
+    let d_new = difference(&g, &y2023, &y2022).unwrap(); // what appeared in 2023
+    println!(
+        "union(2021,2022): {} nodes / {} edges; intersection: {} / {}; 2023−2022: {} / {}",
+        u.n_nodes(),
+        u.n_edges(),
+        i.n_nodes(),
+        i.n_edges(),
+        d_new.n_nodes(),
+        d_new.n_edges()
+    );
+
+    // --- 3. Aggregation (§2.2): DIST vs ALL ------------------------------
+    let attrs = vec![g.schema().id("gender").unwrap()];
+    let dist = aggregate(&u, &attrs, AggMode::Distinct);
+    let all = aggregate(&u, &attrs, AggMode::All);
+    println!("\nunion graph aggregated on gender (DIST):\n{}", dist.render(&u));
+    println!("union graph aggregated on gender (ALL):\n{}", all.render(&u));
+
+    // --- 4. Evolution (§2.3) ---------------------------------------------
+    let evo = EvolutionGraph::compute(&g, &y2022, &y2023).unwrap();
+    println!(
+        "2022 → 2023: node stability {}, growth {}, shrinkage {}",
+        evo.count_nodes(EvolutionClass::Stability),
+        evo.count_nodes(EvolutionClass::Growth),
+        evo.count_nodes(EvolutionClass::Shrinkage),
+    );
+    let evo_agg = evolution_aggregate(&g, &y2022, &y2023, &attrs, None).unwrap();
+    for (tuple, w) in evo_agg.iter_nodes() {
+        println!(
+            "  gender tuple {:?}: stable {}, grown {}, shrunk {}",
+            tuple, w.stability, w.growth, w.shrinkage
+        );
+    }
+
+    // --- 5. Exploration (§3): when do ≥1 f→f collaborations stay stable? -
+    let cfg = ExploreConfig {
+        event: Event::Stability,
+        extend: ExtendSide::New,
+        semantics: Semantics::Union,
+        k: 1,
+        attrs: attrs.clone(),
+        selector: Selector::edge_1attr(f.clone(), f.clone()),
+    };
+    let out = explore(&g, &cfg).unwrap();
+    println!("\nminimal interval pairs with ≥1 stable f→f collaboration:");
+    for (pair, r) in &out.pairs {
+        println!("  {} → {} events", pair.display(g.domain()), r);
+    }
+    println!("({} aggregate evaluations)", out.evaluations);
+}
