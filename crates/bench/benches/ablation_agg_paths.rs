@@ -9,9 +9,7 @@
 //! the dataframe formulation costs relative to direct hashing.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use graphtempo::aggregate::{
-    aggregate, aggregate_static_fast, aggregate_via_frames, AggMode,
-};
+use graphtempo::aggregate::{aggregate, aggregate_static_fast, aggregate_via_frames, AggMode};
 use std::sync::OnceLock;
 use tempo_bench::datasets::{attrs, dblp};
 use tempo_graph::TemporalGraph;

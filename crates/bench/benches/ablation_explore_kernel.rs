@@ -1,0 +1,89 @@
+//! Ablation of the zero-materialization exploration kernel: full
+//! exploration runs and single pair evaluations through the kernel
+//! (`EventMask` + interned `GroupTable`) versus the materializing reference
+//! path (`event_graph` + hash-map aggregation). Both share the pruning
+//! strategies, so any difference is pure evaluation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphtempo::explore::{
+    evaluate_pair_materialized, explore, explore_materializing, ExploreConfig, ExploreKernel,
+    ExtendSide, Selector, Semantics,
+};
+use graphtempo::ops::Event;
+use std::sync::OnceLock;
+use tempo_bench::datasets::{attrs, dblp};
+use tempo_graph::{TemporalGraph, TimeSet};
+
+fn graph() -> &'static TemporalGraph {
+    static G: OnceLock<TemporalGraph> = OnceLock::new();
+    G.get_or_init(dblp)
+}
+
+fn bench(c: &mut Criterion) {
+    let g = graph();
+    let gender = attrs(g, &["gender"])[0];
+    let f = g.schema().category(gender, "f").expect("category");
+    let mut group = c.benchmark_group("ablation_explore_kernel");
+    group.sample_size(10);
+    for (name, event, extend, semantics, k) in [
+        (
+            "stability_union",
+            Event::Stability,
+            ExtendSide::New,
+            Semantics::Union,
+            50,
+        ),
+        (
+            "stability_intersection",
+            Event::Stability,
+            ExtendSide::New,
+            Semantics::Intersection,
+            1,
+        ),
+        (
+            "growth_union",
+            Event::Growth,
+            ExtendSide::New,
+            Semantics::Union,
+            100,
+        ),
+        (
+            "shrinkage_union",
+            Event::Shrinkage,
+            ExtendSide::Old,
+            Semantics::Union,
+            100,
+        ),
+    ] {
+        let cfg = ExploreConfig {
+            event,
+            extend,
+            semantics,
+            k,
+            attrs: vec![gender],
+            selector: Selector::edge_1attr(f.clone(), f.clone()),
+        };
+        group.bench_function(format!("kernel/{name}"), |b| {
+            b.iter(|| explore(g, &cfg).expect("kernel explore"))
+        });
+        group.bench_function(format!("materializing/{name}"), |b| {
+            b.iter(|| explore_materializing(g, &cfg).expect("materializing explore"))
+        });
+        // Single-pair evaluation over the widest interval pair: the unit of
+        // work the kernel optimizes, without the enumeration loop around it.
+        let n = g.domain().len();
+        let told = TimeSet::range(n, 0, n / 2);
+        let tnew = TimeSet::range(n, n / 2 + 1, n - 1);
+        let kernel = ExploreKernel::new(g, &cfg);
+        group.bench_function(format!("kernel_pair/{name}"), |b| {
+            b.iter(|| kernel.evaluate(&told, &tnew).expect("kernel pair"))
+        });
+        group.bench_function(format!("materializing_pair/{name}"), |b| {
+            b.iter(|| evaluate_pair_materialized(g, &cfg, &told, &tnew).expect("materialized pair"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,10 +22,34 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("explore_pruning");
     group.sample_size(10);
     for (name, event, extend, semantics, k) in [
-        ("stability_union", Event::Stability, ExtendSide::New, Semantics::Union, 50),
-        ("stability_intersection", Event::Stability, ExtendSide::New, Semantics::Intersection, 1),
-        ("growth_union", Event::Growth, ExtendSide::New, Semantics::Union, 100),
-        ("shrinkage_union", Event::Shrinkage, ExtendSide::Old, Semantics::Union, 100),
+        (
+            "stability_union",
+            Event::Stability,
+            ExtendSide::New,
+            Semantics::Union,
+            50,
+        ),
+        (
+            "stability_intersection",
+            Event::Stability,
+            ExtendSide::New,
+            Semantics::Intersection,
+            1,
+        ),
+        (
+            "growth_union",
+            Event::Growth,
+            ExtendSide::New,
+            Semantics::Union,
+            100,
+        ),
+        (
+            "shrinkage_union",
+            Event::Shrinkage,
+            ExtendSide::Old,
+            Semantics::Union,
+            100,
+        ),
     ] {
         let cfg = ExploreConfig {
             event,

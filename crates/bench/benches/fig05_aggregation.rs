@@ -25,7 +25,11 @@ fn bench(c: &mut Criterion) {
     let g = dblp_graph();
     let last = TimePoint((g.domain().len() - 1) as u32);
     let proj = project_point(g, last).expect("projection");
-    for combo in [&["gender"][..], &["publications"][..], &["gender", "publications"][..]] {
+    for combo in [
+        &["gender"][..],
+        &["publications"][..],
+        &["gender", "publications"][..],
+    ] {
         let ids = attrs(&proj, combo);
         group.bench_function(format!("dblp_2020/{}", combo.join("+")), |b| {
             b.iter(|| aggregate(&proj, &ids, AggMode::Distinct))

@@ -1,25 +1,21 @@
 //! Exploration pruning study (§3, implicit in the paper): evaluations and
 //! wall-clock time of the monotonicity-pruned strategies versus naive
-//! enumeration of every interval pair, across all twelve Table-1 cases.
+//! enumeration of every interval pair, across all twelve Table-1 cases —
+//! plus the ablation of the zero-materialization evaluation kernel against
+//! the materializing reference path, written to `BENCH_explore_kernel.json`.
 
 use graphtempo::explore::{
-    explore, explore_naive, explore_parallel, suggest_k, ExploreConfig, ExtendSide, Selector,
-    Semantics,
+    explore, explore_materializing, explore_naive, explore_parallel, suggest_k, ExploreConfig,
+    ExtendSide, Selector, Semantics,
 };
 use graphtempo::ops::Event;
-use tempo_bench::datasets::{attrs, dblp};
-use tempo_bench::report::{secs, timed};
+use tempo_bench::datasets::{attrs, dblp, scale};
+use tempo_bench::report::{secs, timed, timed_min, Json};
+use tempo_graph::TemporalGraph;
 
-fn main() {
-    let g = dblp();
-    let gender = attrs(&g, &["gender"])[0];
-    let f = g.schema().category(gender, "f").expect("category");
-    let selector = Selector::edge_1attr(f.clone(), f);
-
-    println!(
-        "{:<12} {:<6} {:<4} {:>4} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6}",
-        "event", "extend", "sem", "k", "evals", "naive", "time(s)", "par4(s)", "naive(s)", "same"
-    );
+fn all_cases(g: &TemporalGraph, selector: &Selector) -> Vec<ExploreConfig> {
+    let gender = attrs(g, &["gender"])[0];
+    let mut out = Vec::new();
     for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
         for extend in [ExtendSide::Old, ExtendSide::New] {
             for semantics in [Semantics::Union, Semantics::Intersection] {
@@ -31,33 +27,148 @@ fn main() {
                     attrs: vec![gender],
                     selector: selector.clone(),
                 };
-                let k = suggest_k(&g, &cfg)
+                cfg.k = suggest_k(g, &cfg)
                     .expect("suggest_k succeeds")
                     .unwrap_or(1)
                     .max(1);
-                cfg.k = k;
-                let (fast, fast_t) = timed(|| explore(&g, &cfg).expect("explore"));
-                let (par, par_t) = timed(|| explore_parallel(&g, &cfg, 4).expect("parallel"));
-                assert_eq!(par.pairs, fast.pairs, "parallel must match sequential");
-                let (slow, slow_t) = timed(|| explore_naive(&g, &cfg).expect("naive"));
-                println!(
-                    "{:<12} {:<6} {:<4} {:>4} {:>8} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>6}",
-                    format!("{event:?}"),
-                    format!("{extend:?}"),
-                    match semantics {
-                        Semantics::Union => "∪",
-                        Semantics::Intersection => "∩",
-                    },
-                    k,
-                    fast.evaluations,
-                    slow.evaluations,
-                    secs(fast_t),
-                    secs(par_t),
-                    secs(slow_t),
-                    fast.pairs == slow.pairs
-                );
-                assert_eq!(fast.pairs, slow.pairs, "pruned results must match naive");
+                out.push(cfg);
             }
         }
     }
+    out
+}
+
+fn case_name(cfg: &ExploreConfig) -> (String, String, &'static str) {
+    (
+        format!("{:?}", cfg.event),
+        format!("{:?}", cfg.extend),
+        match cfg.semantics {
+            Semantics::Union => "union",
+            Semantics::Intersection => "intersection",
+        },
+    )
+}
+
+fn pruning_study(g: &TemporalGraph, cases: &[ExploreConfig]) {
+    println!(
+        "{:<12} {:<6} {:<4} {:>4} {:>8} {:>8} {:>9} {:>9} {:>9} {:>6}",
+        "event", "extend", "sem", "k", "evals", "naive", "time(s)", "par4(s)", "naive(s)", "same"
+    );
+    for cfg in cases {
+        let (event, extend, sem) = case_name(cfg);
+        let (fast, fast_t) = timed(|| explore(g, cfg).expect("explore"));
+        let (par, par_t) = timed(|| explore_parallel(g, cfg, 4).expect("parallel"));
+        assert_eq!(par.pairs, fast.pairs, "parallel must match sequential");
+        let (slow, slow_t) = timed(|| explore_naive(g, cfg).expect("naive"));
+        println!(
+            "{:<12} {:<6} {:<4} {:>4} {:>8} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>6}",
+            event,
+            extend,
+            if sem == "union" { "∪" } else { "∩" },
+            cfg.k,
+            fast.evaluations,
+            slow.evaluations,
+            secs(fast_t),
+            secs(par_t),
+            secs(slow_t),
+            fast.pairs == slow.pairs
+        );
+        assert_eq!(fast.pairs, slow.pairs, "pruned results must match naive");
+    }
+}
+
+/// Ablates the zero-materialization kernel against the materializing
+/// reference evaluator with pruning behavior held fixed (identical pair
+/// enumeration, identical `evaluations` counts), and returns the report.
+fn kernel_ablation(g: &TemporalGraph, cases: &[ExploreConfig]) -> Json {
+    const REPS: usize = 3;
+    println!(
+        "\n{:<12} {:<6} {:<13} {:>4} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "event",
+        "extend",
+        "semantics",
+        "k",
+        "evals",
+        "kernel(s)",
+        "mater.(s)",
+        "kern(µs)",
+        "mat(µs)",
+        "speedup"
+    );
+    let mut entries = Vec::new();
+    let mut log_speedups = Vec::new();
+    for cfg in cases {
+        let (event, extend, sem) = case_name(cfg);
+        let (fast, fast_t) = timed_min(REPS, || explore(g, cfg).expect("kernel explore"));
+        let (slow, slow_t) = timed_min(REPS, || {
+            explore_materializing(g, cfg).expect("materializing explore")
+        });
+        assert_eq!(fast.pairs, slow.pairs, "kernel must match materializing");
+        assert_eq!(
+            fast.evaluations, slow.evaluations,
+            "both evaluators share the pruning strategies, so the number of \
+             pair evaluations must be identical"
+        );
+        let evals = fast.evaluations.max(1) as f64;
+        let kernel_us = secs(fast_t) * 1e6 / evals;
+        let mater_us = secs(slow_t) * 1e6 / evals;
+        let speedup = secs(slow_t) / secs(fast_t).max(f64::EPSILON);
+        log_speedups.push(speedup.ln());
+        println!(
+            "{:<12} {:<6} {:<13} {:>4} {:>8} {:>10.4} {:>10.4} {:>9.2} {:>9.2} {:>7.2}x",
+            event,
+            extend,
+            sem,
+            cfg.k,
+            fast.evaluations,
+            secs(fast_t),
+            secs(slow_t),
+            kernel_us,
+            mater_us,
+            speedup
+        );
+        entries.push(Json::Obj(vec![
+            ("event".into(), Json::str(&event)),
+            ("extend".into(), Json::str(&extend)),
+            ("semantics".into(), Json::str(sem)),
+            ("k".into(), Json::Int(cfg.k)),
+            ("evaluations".into(), Json::Int(fast.evaluations as u64)),
+            ("pairs".into(), Json::Int(fast.pairs.len() as u64)),
+            ("kernel_s".into(), Json::Num(secs(fast_t))),
+            ("materializing_s".into(), Json::Num(secs(slow_t))),
+            ("kernel_us_per_eval".into(), Json::Num(kernel_us)),
+            ("materializing_us_per_eval".into(), Json::Num(mater_us)),
+            ("speedup".into(), Json::Num(speedup)),
+        ]));
+    }
+    let geomean = (log_speedups.iter().sum::<f64>() / log_speedups.len().max(1) as f64).exp();
+    println!("\ngeomean kernel speedup over materializing path: {geomean:.2}x");
+    Json::Obj(vec![
+        ("experiment".into(), Json::str("explore_kernel_ablation")),
+        ("dataset".into(), Json::str("dblp_synthetic")),
+        ("scale".into(), Json::Num(scale())),
+        ("reps".into(), Json::Int(REPS as u64)),
+        ("timepoints".into(), Json::Int(g.domain().len() as u64)),
+        ("nodes".into(), Json::Int(g.n_nodes() as u64)),
+        ("edges".into(), Json::Int(g.n_edges() as u64)),
+        ("geomean_speedup".into(), Json::Num(geomean)),
+        ("cases".into(), Json::Arr(entries)),
+    ])
+}
+
+fn main() {
+    let g = dblp();
+    let gender = attrs(&g, &["gender"])[0];
+    let f = g.schema().category(gender, "f").expect("category");
+    let selector = Selector::edge_1attr(f.clone(), f);
+    let cases = all_cases(&g, &selector);
+
+    pruning_study(&g, &cases);
+    let report = kernel_ablation(&g, &cases);
+
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_explore_kernel.json".to_owned());
+    std::fs::write(&path, report.render()).expect("write ablation report");
+    println!("wrote {path}");
 }

@@ -33,7 +33,10 @@ fn main() {
         &g,
         &[&["gender"], &["publications"], &["gender", "publications"]],
     );
-    print_series("Fig. 5a — DBLP aggregation time per time point (s)", &series);
+    print_series(
+        "Fig. 5a — DBLP aggregation time per time point (s)",
+        &series,
+    );
 
     let g = movielens();
     let series = series_for(
@@ -48,5 +51,8 @@ fn main() {
             &["gender", "age", "occupation", "rating"],
         ],
     );
-    print_series("Fig. 5b — MovieLens aggregation time per time point (s)", &series);
+    print_series(
+        "Fig. 5b — MovieLens aggregation time per time point (s)",
+        &series,
+    );
 }

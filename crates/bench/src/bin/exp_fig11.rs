@@ -23,7 +23,10 @@ fn rollup_speedup(g: &TemporalGraph, superset: &[&str], subset: &[&str], label: 
         let (direct, direct_time) = timed(|| aggregate_at_point(g, &sub_ids, t));
         let (rolled, roll_time) = timed(|| rollup(&full, subset).expect("subset of superset"));
         assert_eq!(direct, rolled, "roll-up must equal direct aggregation");
-        s.push(g.domain().label(t), secs(direct_time) / secs(roll_time).max(1e-9));
+        s.push(
+            g.domain().label(t),
+            secs(direct_time) / secs(roll_time).max(1e-9),
+        );
     }
     s
 }
@@ -32,9 +35,17 @@ fn main() {
     let g = dblp();
     let series = vec![
         rollup_speedup(&g, &["gender", "publications"], &["gender"], "G from (G,P)"),
-        rollup_speedup(&g, &["gender", "publications"], &["publications"], "P from (G,P)"),
+        rollup_speedup(
+            &g,
+            &["gender", "publications"],
+            &["publications"],
+            "P from (G,P)",
+        ),
     ];
-    print_series("Fig. 11a — DBLP roll-up speedup per time point (×)", &series);
+    print_series(
+        "Fig. 11a — DBLP roll-up speedup per time point (×)",
+        &series,
+    );
 
     let g = movielens();
     let series = vec![
@@ -60,9 +71,19 @@ fn main() {
     print_series("Fig. 11c — MovieLens pair roll-up speedup (×)", &series);
 
     let series = vec![
-        rollup_speedup(&g, &all4, &["gender", "age", "occupation"], "(G,A,O) from all"),
+        rollup_speedup(
+            &g,
+            &all4,
+            &["gender", "age", "occupation"],
+            "(G,A,O) from all",
+        ),
         rollup_speedup(&g, &all4, &["gender", "age", "rating"], "(G,A,R) from all"),
-        rollup_speedup(&g, &all4, &["age", "occupation", "rating"], "(A,O,R) from all"),
+        rollup_speedup(
+            &g,
+            &all4,
+            &["age", "occupation", "rating"],
+            "(A,O,R) from all",
+        ),
     ];
     print_series("Fig. 11d — MovieLens triplet roll-up speedup (×)", &series);
 }

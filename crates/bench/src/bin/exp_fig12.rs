@@ -35,7 +35,10 @@ fn main() {
         let evo = evolution_aggregate(&g, &t1, &t2, &gender, Some(&high_activity))
             .expect("non-empty intervals");
         println!("\n== {title} ==");
-        println!("{:<8} {:>8} {:>8} {:>8} {:>9}", "gender", "stable", "grown", "shrunk", "%stable");
+        println!(
+            "{:<8} {:>8} {:>8} {:>8} {:>9}",
+            "gender", "stable", "grown", "shrunk", "%stable"
+        );
         for (tuple, w) in evo.iter_nodes() {
             let total = w.stability + w.growth + w.shrinkage;
             if total == 0 {

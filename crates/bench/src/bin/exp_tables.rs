@@ -14,22 +14,24 @@ fn main() {
     println!("Table 3 — DBLP");
     let g = dblp();
     let stats = GraphStats::compute(&g);
-    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "year", "nodes", "paper", "edges", "paper");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "year", "nodes", "paper", "edges", "paper"
+    );
     for (t, year) in DBLP_YEARS.iter().enumerate() {
         println!(
             "{:<6} {:>10} {:>10} {:>10} {:>10}",
-            year,
-            stats.nodes_per_tp[t],
-            DBLP_NODES[t],
-            stats.edges_per_tp[t],
-            DBLP_EDGES[t]
+            year, stats.nodes_per_tp[t], DBLP_NODES[t], stats.edges_per_tp[t], DBLP_EDGES[t]
         );
     }
 
     println!("\nTable 4 — MovieLens");
     let g = movielens();
     let stats = GraphStats::compute(&g);
-    println!("{:<6} {:>10} {:>10} {:>10} {:>10}", "month", "nodes", "paper", "edges", "paper");
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>10}",
+        "month", "nodes", "paper", "edges", "paper"
+    );
     for (t, month) in MOVIELENS_MONTHS.iter().enumerate() {
         println!(
             "{:<6} {:>10} {:>10} {:>10} {:>10}",

@@ -67,7 +67,10 @@ pub fn run_edge_exploration(g: &TemporalGraph, attr: AttrId, src: Value, dst: Va
             selector: selector.clone(),
         };
         let Some(wth) = suggest_k(g, &cfg).expect("domain has ≥2 points") else {
-            println!("\n-- {}: no events between any consecutive points --", case.name);
+            println!(
+                "\n-- {}: no events between any consecutive points --",
+                case.name
+            );
             continue;
         };
         println!("\n-- {} — w_th = {wth} --", case.name);

@@ -26,7 +26,10 @@ impl fmt::Display for CliError {
             CliError::Usage(u) => write!(f, "usage: {u}"),
             CliError::NoGraph => write!(f, "no graph loaded — use `generate` or `load` first"),
             CliError::NoAggregate => {
-                write!(f, "no aggregate computed yet — run `agg` or `evolution` first")
+                write!(
+                    f,
+                    "no aggregate computed yet — run `agg` or `evolution` first"
+                )
             }
             CliError::Unknown(w) => write!(f, "unknown {w}"),
             CliError::Graph(e) => write!(f, "{e}"),
@@ -56,7 +59,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(CliError::NoGraph.to_string().contains("no graph"));
-        assert!(CliError::Usage("agg ...".into()).to_string().starts_with("usage"));
+        assert!(CliError::Usage("agg ...".into())
+            .to_string()
+            .starts_with("usage"));
         assert!(CliError::Unknown("attribute \"x\"".into())
             .to_string()
             .contains("unknown"));

@@ -4,9 +4,7 @@ use crate::error::CliError;
 use crate::parser::{kwarg, parse_interval, split_kwargs, tokenize};
 use graphtempo::aggregate::{aggregate, AggMode, AggregateGraph};
 use graphtempo::evolution::{evolution_aggregate, EvolutionAggregate};
-use graphtempo::explore::{
-    explore, suggest_k, ExploreConfig, ExtendSide, Selector, Semantics,
-};
+use graphtempo::explore::{explore, suggest_k, ExploreConfig, ExtendSide, Selector, Semantics};
 use graphtempo::export::{aggregate_edges_frame, aggregate_nodes_frame, aggregate_to_dot};
 use graphtempo::ops::{difference, intersection, project, union, Event, SideTest};
 use graphtempo::zoom::{zoom_out, Granularity};
@@ -95,9 +93,7 @@ impl Session {
             "solve" => self.cmd_solve(rest),
             "metrics" => self.cmd_metrics(),
             "export" => self.cmd_export(rest),
-            other => Err(CliError::Unknown(format!(
-                "command {other:?} (try `help`)"
-            ))),
+            other => Err(CliError::Unknown(format!("command {other:?} (try `help`)"))),
         }
     }
 
@@ -107,7 +103,10 @@ impl Session {
             .first()
             .ok_or_else(|| CliError::Usage("generate <dblp|movielens|school|random>".into()))?;
         let scale: f64 = kwarg(&kw, "scale")
-            .map(|s| s.parse().map_err(|_| CliError::Usage("scale=<float>".into())))
+            .map(|s| {
+                s.parse()
+                    .map_err(|_| CliError::Usage("scale=<float>".into()))
+            })
             .transpose()?
             .unwrap_or(0.05);
         let seed: Option<u64> = kwarg(&kw, "seed")
@@ -284,7 +283,8 @@ impl Session {
     fn cmd_agg(&mut self, args: &[String]) -> Result<String, CliError> {
         let g = self.graph()?;
         let (pos, kw) = split_kwargs(args);
-        let usage = "agg <dist|all> attrs=<a,b> [op=union|intersect|diff] [t1=<iv>] [t2=<iv>] [top=10]";
+        let usage =
+            "agg <dist|all> attrs=<a,b> [op=union|intersect|diff] [t1=<iv>] [t2=<iv>] [top=10]";
         let mode = match pos.first().map(String::as_str) {
             Some("dist") => AggMode::Distinct,
             Some("all") => AggMode::All,
@@ -392,7 +392,11 @@ impl Session {
             );
         }
         let e = evo.edge_totals();
-        let _ = writeln!(out, "  edges total: St={} Gr={} Shr={}", e.stability, e.growth, e.shrinkage);
+        let _ = writeln!(
+            out,
+            "  edges total: St={} Gr={} Shr={}",
+            e.stability, e.growth, e.shrinkage
+        );
         self.last_evo = Some(evo);
         Ok(out.trim_end().to_owned())
     }
@@ -572,7 +576,10 @@ impl Session {
             _ => return Err(CliError::Usage(usage.into())),
         };
         let m = aggregate_measure(g, &group, node_measure, edge_measure)?;
-        let mut out = format!("measure {node_spec} grouped by ({})\n", m.group_names().join(","));
+        let mut out = format!(
+            "measure {node_spec} grouped by ({})\n",
+            m.group_names().join(",")
+        );
         for (tuple, v) in m.iter_nodes() {
             let _ = writeln!(out, "  node {} = {v:.3}", render_tuple(g, &group, tuple));
         }
@@ -752,7 +759,10 @@ mod tests {
     fn requires_graph() {
         let mut s = Session::new();
         assert!(matches!(s.exec("stats"), Err(CliError::NoGraph)));
-        assert!(matches!(s.exec("agg dist attrs=kind"), Err(CliError::NoGraph)));
+        assert!(matches!(
+            s.exec("agg dist attrs=kind"),
+            Err(CliError::NoGraph)
+        ));
     }
 
     #[test]
@@ -802,7 +812,8 @@ mod tests {
         assert!(out.starts_with("wrote"));
         assert!(std::fs::read_to_string(&dot).unwrap().contains("digraph"));
         let nodes = dir.join("nodes.tsv");
-        s.exec(&format!("export nodes {}", nodes.display())).unwrap();
+        s.exec(&format!("export nodes {}", nodes.display()))
+            .unwrap();
         assert!(std::fs::read_to_string(&nodes).unwrap().contains("weight"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -873,7 +884,9 @@ mod tests {
         let mut s = ready();
         let out = s.exec("measure group=kind node=sum:level").unwrap();
         assert!(out.contains("node"));
-        let out = s.exec("measure group=kind node=avg:level edge=count").unwrap();
+        let out = s
+            .exec("measure group=kind node=avg:level edge=count")
+            .unwrap();
         assert!(out.contains("="));
         assert!(matches!(
             s.exec("measure group=kind node=median:level"),

@@ -140,10 +140,7 @@ impl BitVec {
     /// Panics on width mismatch.
     pub fn intersects(&self, mask: &BitVec) -> bool {
         self.check_width(mask);
-        self.words
-            .iter()
-            .zip(&mask.words)
-            .any(|(a, b)| a & b != 0)
+        self.words.iter().zip(&mask.words).any(|(a, b)| a & b != 0)
     }
 
     /// True if every bit of `mask` is also set in `self`.
@@ -152,10 +149,7 @@ impl BitVec {
     /// Panics on width mismatch.
     pub fn contains_all(&self, mask: &BitVec) -> bool {
         self.check_width(mask);
-        self.words
-            .iter()
-            .zip(&mask.words)
-            .all(|(a, b)| a & b == *b)
+        self.words.iter().zip(&mask.words).all(|(a, b)| a & b == *b)
     }
 
     /// Count of bits set in both `self` and `mask`.
@@ -169,6 +163,28 @@ impl BitVec {
             .zip(&mask.words)
             .map(|(a, b)| (a & b).count_ones() as usize)
             .sum()
+    }
+
+    /// Count of bits set in both `self` and `mask` (kernel-facing name for
+    /// [`count_ones_masked`](Self::count_ones_masked): one AND+popcount pass
+    /// over the packed words, no intermediate vector).
+    #[inline]
+    pub fn count_ones_and(&self, mask: &BitVec) -> usize {
+        self.count_ones_masked(mask)
+    }
+
+    /// True if any bit is set in both `self` and `mask` (kernel-facing name
+    /// for [`intersects`](Self::intersects)).
+    #[inline]
+    pub fn intersects_mask(&self, mask: &BitVec) -> bool {
+        self.intersects(mask)
+    }
+
+    /// True if `self ⊇ mask` bit-wise (kernel-facing name for
+    /// [`contains_all`](Self::contains_all)).
+    #[inline]
+    pub fn is_superset_of(&self, mask: &BitVec) -> bool {
+        self.contains_all(mask)
     }
 
     /// In-place bitwise OR.
@@ -509,6 +525,60 @@ impl BitMatrix {
             })
         })
     }
+
+    /// Iterates set-bit column positions of `row r & mask` in increasing
+    /// order, masking word by word — no row copy is materialized (contrast
+    /// with [`row_masked`](Self::row_masked), which clones the row).
+    ///
+    /// # Panics
+    /// Panics if the mask width differs from `ncols`.
+    pub fn iter_row_ones_and<'a>(
+        &'a self,
+        r: usize,
+        mask: &'a BitVec,
+    ) -> impl Iterator<Item = usize> + 'a {
+        assert_eq!(mask.len(), self.ncols, "mask width mismatch");
+        let words = self.row_words(r);
+        words
+            .iter()
+            .zip(&mask.words)
+            .enumerate()
+            .flat_map(|(wi, (&a, &b))| {
+                let mut w = a & b;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some(wi * WORD_BITS + bit)
+                    }
+                })
+            })
+    }
+
+    /// Per-row popcounts of `row & mask` for every row, in one pass over the
+    /// packed storage (the bulk form of
+    /// [`row_count_masked`](Self::row_count_masked)).
+    ///
+    /// # Panics
+    /// Panics if the mask width differs from `ncols`.
+    pub fn masked_popcounts(&self, mask: &BitVec) -> Vec<u32> {
+        assert_eq!(mask.len(), self.ncols, "mask width mismatch");
+        let mut out = Vec::with_capacity(self.nrows);
+        for chunk in self.data.chunks_exact(self.words_per_row.max(1)) {
+            let count: u32 = chunk
+                .iter()
+                .zip(&mask.words)
+                .map(|(a, b)| (a & b).count_ones())
+                .sum();
+            out.push(count);
+        }
+        // chunks_exact over empty rows-with-zero-width yields nothing; pad
+        // so the result always has one entry per row.
+        out.resize(self.nrows, 0);
+        out
+    }
 }
 
 #[cfg(test)]
@@ -581,14 +651,8 @@ mod tests {
     fn boolean_ops() {
         let a = BitVec::from_indices(10, [1, 3, 5]);
         let b = BitVec::from_indices(10, [3, 4]);
-        assert_eq!(
-            a.and(&b).iter_ones().collect::<Vec<_>>(),
-            vec![3]
-        );
-        assert_eq!(
-            a.or(&b).iter_ones().collect::<Vec<_>>(),
-            vec![1, 3, 4, 5]
-        );
+        assert_eq!(a.and(&b).iter_ones().collect::<Vec<_>>(), vec![3]);
+        assert_eq!(a.or(&b).iter_ones().collect::<Vec<_>>(), vec![1, 3, 4, 5]);
         let mut d = a.clone();
         d.and_not_assign(&b);
         assert_eq!(d.iter_ones().collect::<Vec<_>>(), vec![1, 5]);
@@ -689,5 +753,64 @@ mod tests {
         let mut m = BitMatrix::new(130);
         m.push_row(&BitVec::from_indices(130, [0, 64, 129]));
         assert_eq!(m.iter_row_ones(0).collect::<Vec<_>>(), vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn kernel_aliases_match_base_ops() {
+        let a = BitVec::from_indices(100, [1, 3, 64, 99]);
+        let b = BitVec::from_indices(100, [3, 64]);
+        let c = BitVec::from_indices(100, [2, 4]);
+        assert_eq!(a.count_ones_and(&b), a.count_ones_masked(&b));
+        assert_eq!(a.count_ones_and(&b), 2);
+        assert!(a.intersects_mask(&b) && !a.intersects_mask(&c));
+        assert!(a.is_superset_of(&b) && !b.is_superset_of(&a));
+    }
+
+    #[test]
+    fn matrix_iter_row_ones_and_masks_without_cloning() {
+        let mut m = BitMatrix::new(130);
+        m.push_row(&BitVec::from_indices(130, [0, 5, 64, 100, 129]));
+        m.push_empty_row();
+        let mask = BitVec::from_indices(130, [5, 64, 128, 129]);
+        assert_eq!(
+            m.iter_row_ones_and(0, &mask).collect::<Vec<_>>(),
+            vec![5, 64, 129]
+        );
+        assert_eq!(m.iter_row_ones_and(1, &mask).count(), 0);
+        // must agree with the cloning path for every row
+        for r in 0..m.nrows() {
+            assert_eq!(
+                m.iter_row_ones_and(r, &mask).collect::<Vec<_>>(),
+                m.row_masked(r, &mask).iter_ones().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_masked_popcounts_bulk() {
+        let mut m = BitMatrix::new(70);
+        m.push_row(&BitVec::from_indices(70, [0, 1, 65]));
+        m.push_row(&BitVec::from_indices(70, [2, 69]));
+        m.push_empty_row();
+        let mask = BitVec::from_indices(70, [1, 65, 69]);
+        let counts = m.masked_popcounts(&mask);
+        assert_eq!(counts, vec![2, 1, 0]);
+        for r in 0..m.nrows() {
+            assert_eq!(counts[r] as usize, m.row_count_masked(r, &mask));
+        }
+    }
+
+    #[test]
+    fn matrix_masked_popcounts_zero_width() {
+        let mut m = BitMatrix::new(0);
+        m.push_empty_row();
+        m.push_empty_row();
+        assert_eq!(m.masked_popcounts(&BitVec::zeros(0)), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask width mismatch")]
+    fn matrix_masked_popcounts_width_mismatch_panics() {
+        BitMatrix::zeros(2, 8).masked_popcounts(&BitVec::zeros(9));
     }
 }

@@ -81,7 +81,11 @@ pub fn read_frame<R: BufRead>(reader: R, delim: char) -> Result<Frame, ColumnarE
 ///
 /// # Errors
 /// Returns an error on IO failure.
-pub fn write_frame<W: Write>(frame: &Frame, writer: &mut W, delim: char) -> Result<(), ColumnarError> {
+pub fn write_frame<W: Write>(
+    frame: &Frame,
+    writer: &mut W,
+    delim: char,
+) -> Result<(), ColumnarError> {
     let mut d = [0u8; 4];
     let delim_str: &str = delim.encode_utf8(&mut d);
     writeln!(writer, "{}", frame.columns().join(delim_str))?;

@@ -47,7 +47,10 @@ impl fmt::Display for ColumnarError {
             ColumnarError::DuplicateColumn(c) => write!(f, "duplicate column name {c:?}"),
             ColumnarError::UnknownColumn(c) => write!(f, "unknown column {c:?}"),
             ColumnarError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, got {got}"
+                )
             }
             ColumnarError::SchemaMismatch { left, right } => {
                 write!(f, "schema mismatch: [{left}] vs [{right}]")
@@ -77,7 +80,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = ColumnarError::ArityMismatch { expected: 3, got: 2 };
+        let e = ColumnarError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
         assert!(e.to_string().contains("expected 3"));
         let e = ColumnarError::Parse {
             line: 7,

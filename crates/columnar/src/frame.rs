@@ -131,12 +131,7 @@ impl Frame {
     pub fn filter<F: FnMut(&[Value]) -> bool>(&self, mut pred: F) -> Frame {
         Frame {
             columns: self.columns.clone(),
-            rows: self
-                .rows
-                .iter()
-                .filter(|r| pred(r))
-                .cloned()
-                .collect(),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
         }
     }
 
@@ -184,8 +179,7 @@ impl Frame {
                 if row[mi].is_null() {
                     continue;
                 }
-                let mut new_row: Vec<Value> =
-                    id_idx.iter().map(|&i| row[i].clone()).collect();
+                let mut new_row: Vec<Value> = id_idx.iter().map(|&i| row[i].clone()).collect();
                 new_row.push(Value::Str(self.columns[mi].clone()));
                 new_row.push(row[mi].clone());
                 out.rows.push(new_row);
@@ -383,10 +377,20 @@ mod tests {
     fn sample() -> Frame {
         // Mirrors the paper's Table 2 attribute array A (#Publications)
         let mut f = Frame::new(vec!["id", "t0", "t1", "t2"]).unwrap();
-        f.push_row(vec![Value::Int(1), Value::Int(3), Value::Int(1), Value::Null])
-            .unwrap();
-        f.push_row(vec![Value::Int(2), Value::Int(1), Value::Int(1), Value::Int(1)])
-            .unwrap();
+        f.push_row(vec![
+            Value::Int(1),
+            Value::Int(3),
+            Value::Int(1),
+            Value::Null,
+        ])
+        .unwrap();
+        f.push_row(vec![
+            Value::Int(2),
+            Value::Int(1),
+            Value::Int(1),
+            Value::Int(1),
+        ])
+        .unwrap();
         f.push_row(vec![Value::Int(3), Value::Int(1), Value::Null, Value::Null])
             .unwrap();
         f
@@ -449,10 +453,7 @@ mod tests {
         // 2+3+1 non-null cells
         assert_eq!(long.nrows(), 6);
         // node 3 contributes exactly one row (t0)
-        let n3: Vec<_> = long
-            .iter_rows()
-            .filter(|r| r[0] == Value::Int(3))
-            .collect();
+        let n3: Vec<_> = long.iter_rows().filter(|r| r[0] == Value::Int(3)).collect();
         assert_eq!(n3.len(), 1);
         assert_eq!(n3[0][1], Value::Str("t0".into()));
         assert_eq!(n3[0][2], Value::Int(1));
@@ -465,7 +466,8 @@ mod tests {
             .unwrap();
         f.push_row(vec![Value::Int(1), Value::Str("second".into())])
             .unwrap();
-        f.push_row(vec![Value::Int(2), Value::Str("x".into())]).unwrap();
+        f.push_row(vec![Value::Int(2), Value::Str("x".into())])
+            .unwrap();
         let d = f.dedup_by(&["k"]).unwrap();
         assert_eq!(d.nrows(), 2);
         assert_eq!(d.get(0, "v").unwrap(), &Value::Str("first".into()));

@@ -161,7 +161,8 @@ impl ValueMatrix {
             let mut row = Vec::with_capacity(self.ncols + 1);
             row.push(label.clone());
             row.extend(self.row(r).iter().cloned());
-            f.push_row(row).expect("arity is consistent by construction");
+            f.push_row(row)
+                .expect("arity is consistent by construction");
         }
         f
     }

@@ -15,11 +15,54 @@
 //! [`aggregate_static_fast`] (the §4.2 optimization when every aggregation
 //! attribute is static).
 
+use std::borrow::Borrow;
 use std::collections::{HashMap, HashSet};
 use tempo_columnar::{Frame, Value, ValueTuple};
-use tempo_graph::{
-    AttrId, GraphError, NodeId, Temporality, TemporalGraph, TimePoint,
-};
+use tempo_graph::{AttrId, GraphError, NodeId, TemporalGraph, Temporality, TimePoint};
+
+use crate::ops::EventMask;
+
+/// Borrowed view of an aggregate edge key, letting [`AggregateGraph::edge_weight`]
+/// probe the edge map from two slices without allocating owned tuples.
+///
+/// Safe as a [`Borrow`] target because `(ValueTuple, ValueTuple)` and
+/// `(&[Value], &[Value])` hash identically (tuples hash field by field,
+/// `Vec` and slice both hash as length-prefixed element sequences).
+trait PairKey {
+    fn key(&self) -> (&[Value], &[Value]);
+}
+
+impl PairKey for (ValueTuple, ValueTuple) {
+    fn key(&self) -> (&[Value], &[Value]) {
+        (&self.0, &self.1)
+    }
+}
+
+impl PairKey for (&[Value], &[Value]) {
+    fn key(&self) -> (&[Value], &[Value]) {
+        (self.0, self.1)
+    }
+}
+
+impl std::hash::Hash for dyn PairKey + '_ {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl PartialEq for dyn PairKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for dyn PairKey + '_ {}
+
+impl<'a> Borrow<dyn PairKey + 'a> for (ValueTuple, ValueTuple) {
+    fn borrow(&self) -> &(dyn PairKey + 'a) {
+        self
+    }
+}
 
 /// Distinct (DIST) vs non-distinct (ALL) weight semantics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -74,7 +117,7 @@ impl AggregateGraph {
     /// Weight of an aggregate edge (0 when absent).
     pub fn edge_weight(&self, src: &[Value], dst: &[Value]) -> u64 {
         self.edges
-            .get(&(src.to_vec(), dst.to_vec()))
+            .get(&(src, dst) as &dyn PairKey)
             .copied()
             .unwrap_or(0)
     }
@@ -333,23 +376,32 @@ pub fn aggregate_static_fast(
     for &a in attrs {
         let def = g.schema().def(a);
         names.push(def.name().to_owned());
-        slots.push(g.schema().static_slot(a).ok_or_else(|| {
-            GraphError::AttributeKindMismatch {
-                name: def.name().to_owned(),
-                expected: "static",
-            }
-        })?);
+        slots.push(
+            g.schema()
+                .static_slot(a)
+                .ok_or_else(|| GraphError::AttributeKindMismatch {
+                    name: def.name().to_owned(),
+                    expected: "static",
+                })?,
+        );
     }
     let mut agg = AggregateGraph::new(names);
-    let node_tuple = |n: usize| -> ValueTuple {
-        slots
-            .iter()
-            .map(|&s| g.static_table().get(n, s).clone())
-            .collect()
-    };
+    // Resolve every node's tuple once up front: endpoint tuples are reused
+    // across all incident edges instead of being rebuilt per edge.
+    let node_tuples: Vec<ValueTuple> = (0..g.n_nodes())
+        .map(|n| {
+            slots
+                .iter()
+                .map(|&s| g.static_table().get(n, s).clone())
+                .collect()
+        })
+        .collect();
+    let full = tempo_columnar::BitVec::ones(g.domain().len());
+    let node_counts = g.node_presence_matrix().masked_popcounts(&full);
+    let edge_counts = g.edge_presence_matrix().masked_popcounts(&full);
 
-    for n in 0..g.n_nodes() {
-        let appearances = g.node_presence_matrix().row(n).count_ones() as u64;
+    for (n, tuple) in node_tuples.iter().enumerate() {
+        let appearances = u64::from(node_counts[n]);
         if appearances == 0 {
             continue;
         }
@@ -357,10 +409,10 @@ pub fn aggregate_static_fast(
             AggMode::Distinct => 1,
             AggMode::All => appearances,
         };
-        agg.add_node_weight(node_tuple(n), w);
+        agg.add_node_weight(tuple.clone(), w);
     }
-    for e in 0..g.n_edges() {
-        let appearances = g.edge_presence_matrix().row(e).count_ones() as u64;
+    for (e, &count) in edge_counts.iter().enumerate() {
+        let appearances = u64::from(count);
         if appearances == 0 {
             continue;
         }
@@ -369,7 +421,11 @@ pub fn aggregate_static_fast(
             AggMode::Distinct => 1,
             AggMode::All => appearances,
         };
-        agg.add_edge_weight(node_tuple(u.index()), node_tuple(v.index()), w);
+        agg.add_edge_weight(
+            node_tuples[u.index()].clone(),
+            node_tuples[v.index()].clone(),
+            w,
+        );
     }
     Ok(agg)
 }
@@ -422,10 +478,8 @@ pub fn aggregate_via_frames(
         }
     }
 
-    let static_slots: Vec<Option<usize>> = attrs
-        .iter()
-        .map(|&a| g.schema().static_slot(a))
-        .collect();
+    let static_slots: Vec<Option<usize>> =
+        attrs.iter().map(|&a| g.schema().static_slot(a)).collect();
 
     for n in 0..g.n_nodes() {
         for t in g.node_presence_matrix().iter_row_ones(n) {
@@ -434,8 +488,7 @@ pub fn aggregate_via_frames(
                 if let Some(slot) = static_slots[i] {
                     row.push(g.static_table().get(n, slot).clone());
                 } else {
-                    let key: ValueTuple =
-                        vec![Value::Int(n as i64), Value::Str(t.to_string())];
+                    let key: ValueTuple = vec![Value::Int(n as i64), Value::Str(t.to_string())];
                     let v = unpivoted[&i]
                         .get(&key)
                         .and_then(|rows| rows.first())
@@ -483,9 +536,10 @@ pub fn aggregate_via_frames(
         for t in g.edge_presence_matrix().iter_row_ones(e) {
             let lookup = |n: NodeId| -> Option<ValueTuple> {
                 let key: ValueTuple = vec![Value::Int(n.index() as i64), Value::Int(t as i64)];
-                a_index.get(&key).and_then(|rows| rows.first()).map(|&r| {
-                    a_prime.row(r)[2..].to_vec()
-                })
+                a_index
+                    .get(&key)
+                    .and_then(|rows| rows.first())
+                    .map(|&r| a_prime.row(r)[2..].to_vec())
             };
             let (Some(tu), Some(tv)) = (lookup(u), lookup(v)) else {
                 continue;
@@ -558,6 +612,387 @@ pub fn rollup(agg: &AggregateGraph, keep: &[&str]) -> Result<AggregateGraph, Gra
     Ok(out)
 }
 
+/// Sentinel group id: the node is absent at that time point.
+pub const NO_GROUP: u32 = u32::MAX;
+
+/// Interned attribute-tuple groups for one `(graph, attrs)` pair — the
+/// aggregation half of the zero-materialization exploration kernel.
+///
+/// Each node's aggregation tuple is resolved and interned into a dense
+/// `u32` group id **once**: per node when every attribute is static, else
+/// per (node, present time point), with static components resolved once per
+/// node and only time-varying cells read per point. Aggregating an event
+/// ([`EventMask`]) then counts group ids into dense accumulators —
+/// [`aggregate_masked`](Self::aggregate_masked) — or, for exploration,
+/// short-circuits into a bare count with no accumulator at all
+/// ([`count_distinct`](Self::count_distinct)) — instead of re-building
+/// heap-allocated [`ValueTuple`] hash keys per entity per interval pair.
+///
+/// The table is immutable after construction and `Sync`, so one instance is
+/// shared across all pairs (and worker threads) of an exploration run.
+pub struct GroupTable {
+    attr_names: Vec<String>,
+    /// Group id → attribute tuple.
+    tuples: Vec<ValueTuple>,
+    /// Attribute tuple → group id (for resolving selector targets).
+    index: HashMap<ValueTuple, u32>,
+    nt: usize,
+    /// One gid per node when every aggregation attribute is static.
+    static_gids: Option<Vec<u32>>,
+    /// One gid per (node, time) — `n * nt + t` — otherwise; [`NO_GROUP`]
+    /// where the node is absent.
+    time_gids: Option<Vec<u32>>,
+}
+
+fn intern_tuple(
+    index: &mut HashMap<ValueTuple, u32>,
+    tuples: &mut Vec<ValueTuple>,
+    tuple: ValueTuple,
+) -> u32 {
+    if let Some(&gid) = index.get(&tuple) {
+        return gid;
+    }
+    let gid = u32::try_from(tuples.len()).expect("more than u32::MAX distinct tuples");
+    tuples.push(tuple.clone());
+    index.insert(tuple, gid);
+    gid
+}
+
+impl GroupTable {
+    /// Builds the group table of `g` for the aggregation attributes `attrs`.
+    ///
+    /// # Panics
+    /// Panics if any id is not from `g`'s schema.
+    pub fn build(g: &TemporalGraph, attrs: &[AttrId]) -> GroupTable {
+        let attr_names: Vec<String> = attrs
+            .iter()
+            .map(|&a| g.schema().def(a).name().to_owned())
+            .collect();
+        let resolved = resolve_attrs(g, attrs);
+        let nt = g.domain().len();
+        let mut index = HashMap::new();
+        let mut tuples = Vec::new();
+
+        let all_static = resolved.iter().all(|r| matches!(r, Resolved::Static(_)));
+        let (static_gids, time_gids) = if all_static {
+            let gids = (0..g.n_nodes())
+                .map(|n| {
+                    let tuple: ValueTuple = resolved
+                        .iter()
+                        .map(|r| match r {
+                            Resolved::Static(slot) => g.static_table().get(n, *slot).clone(),
+                            Resolved::TimeVarying(_) => unreachable!("all attrs static"),
+                        })
+                        .collect();
+                    intern_tuple(&mut index, &mut tuples, tuple)
+                })
+                .collect();
+            (Some(gids), None)
+        } else {
+            let tv_tables: Vec<&tempo_columnar::ValueMatrix> = g
+                .schema()
+                .time_varying_ids()
+                .iter()
+                .map(|&a| g.tv_table(a).expect("time-varying table exists"))
+                .collect();
+            let mut gids = vec![NO_GROUP; g.n_nodes() * nt];
+            for n in 0..g.n_nodes() {
+                // static components once per node, time-varying per point
+                let template: ValueTuple = resolved
+                    .iter()
+                    .map(|r| match r {
+                        Resolved::Static(slot) => g.static_table().get(n, *slot).clone(),
+                        Resolved::TimeVarying(_) => Value::Null,
+                    })
+                    .collect();
+                for t in g.node_presence_matrix().iter_row_ones(n) {
+                    let mut tuple = template.clone();
+                    for (i, r) in resolved.iter().enumerate() {
+                        if let Resolved::TimeVarying(slot) = r {
+                            tuple[i] = tv_tables[*slot].get(n, t).clone();
+                        }
+                    }
+                    gids[n * nt + t] = intern_tuple(&mut index, &mut tuples, tuple);
+                }
+            }
+            (None, Some(gids))
+        };
+
+        GroupTable {
+            attr_names,
+            tuples,
+            index,
+            nt,
+            static_gids,
+            time_gids,
+        }
+    }
+
+    /// Names of the aggregation attributes, in tuple order.
+    pub fn attr_names(&self) -> &[String] {
+        &self.attr_names
+    }
+
+    /// Number of distinct attribute tuples seen in the source graph.
+    pub fn n_groups(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when every aggregation attribute is static (one gid per node).
+    pub fn is_static(&self) -> bool {
+        self.static_gids.is_some()
+    }
+
+    /// The attribute tuple of a group id.
+    pub fn tuple(&self, gid: u32) -> &ValueTuple {
+        &self.tuples[gid as usize]
+    }
+
+    /// Group id of an attribute tuple, if it occurs anywhere in the graph.
+    pub fn lookup(&self, tuple: &[Value]) -> Option<u32> {
+        self.index.get(tuple).copied()
+    }
+
+    /// Group id of node `n` at time `t`, or `None` when absent.
+    pub fn gid_at(&self, n: usize, t: usize) -> Option<u32> {
+        match (&self.static_gids, &self.time_gids) {
+            (Some(gids), _) => Some(gids[n]),
+            (_, Some(gids)) => {
+                let gid = gids[n * self.nt + t];
+                (gid != NO_GROUP).then_some(gid)
+            }
+            _ => unreachable!("one of the gid tables is always present"),
+        }
+    }
+
+    #[inline]
+    fn time_gid(&self, n: usize, t: usize) -> u32 {
+        let gid = self.time_gids.as_ref().expect("time-varying gids")[n * self.nt + t];
+        debug_assert_ne!(gid, NO_GROUP, "present entity must have a group id");
+        gid
+    }
+
+    /// Aggregates the event graph described by `mask` directly against the
+    /// source presence matrices: no subgraph is materialized, node weights
+    /// accumulate into a dense `Vec` indexed by group id.
+    ///
+    /// Equivalent to `aggregate(&event_graph(..), attrs, mode)` for the
+    /// [`EventMask`] produced by the same arguments (property-tested).
+    ///
+    /// # Panics
+    /// Panics if `g` is not the graph this table was built from.
+    pub fn aggregate_masked(
+        &self,
+        g: &TemporalGraph,
+        mask: &EventMask,
+        mode: AggMode,
+    ) -> AggregateGraph {
+        let scope = mask.scope().bits();
+        let mut node_acc = vec![0u64; self.tuples.len()];
+        match (&self.static_gids, mode) {
+            (Some(gids), AggMode::Distinct) => {
+                for n in mask.keep_nodes().iter_ones() {
+                    debug_assert!(
+                        g.node_presence_matrix().row_count_masked(n, scope) > 0,
+                        "kept node must appear within scope"
+                    );
+                    node_acc[gids[n] as usize] += 1;
+                }
+            }
+            (Some(gids), AggMode::All) => {
+                let counts = g.node_presence_matrix().masked_popcounts(scope);
+                for n in mask.keep_nodes().iter_ones() {
+                    node_acc[gids[n] as usize] += u64::from(counts[n]);
+                }
+            }
+            (None, _) => {
+                let mut seen: Vec<u32> = Vec::new();
+                for n in mask.keep_nodes().iter_ones() {
+                    seen.clear();
+                    for t in g.node_presence_matrix().iter_row_ones_and(n, scope) {
+                        let gid = self.time_gid(n, t);
+                        match mode {
+                            AggMode::All => node_acc[gid as usize] += 1,
+                            AggMode::Distinct => {
+                                if !seen.contains(&gid) {
+                                    seen.push(gid);
+                                    node_acc[gid as usize] += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut edge_acc: HashMap<(u32, u32), u64> = HashMap::new();
+        match &self.static_gids {
+            Some(gids) => {
+                let counts = matches!(mode, AggMode::All)
+                    .then(|| g.edge_presence_matrix().masked_popcounts(scope));
+                for e in mask.keep_edges().iter_ones() {
+                    let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+                    let w = match &counts {
+                        Some(c) => u64::from(c[e]),
+                        None => 1,
+                    };
+                    *edge_acc
+                        .entry((gids[u.index()], gids[v.index()]))
+                        .or_insert(0) += w;
+                }
+            }
+            None => {
+                let mut seen: Vec<(u32, u32)> = Vec::new();
+                for e in mask.keep_edges().iter_ones() {
+                    let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+                    seen.clear();
+                    for t in g.edge_presence_matrix().iter_row_ones_and(e, scope) {
+                        let pair = (self.time_gid(u.index(), t), self.time_gid(v.index(), t));
+                        match mode {
+                            AggMode::All => *edge_acc.entry(pair).or_insert(0) += 1,
+                            AggMode::Distinct => {
+                                if !seen.contains(&pair) {
+                                    seen.push(pair);
+                                    *edge_acc.entry(pair).or_insert(0) += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut agg = AggregateGraph::new(self.attr_names.clone());
+        for (gid, &w) in node_acc.iter().enumerate() {
+            if w > 0 {
+                agg.add_node_weight(self.tuples[gid].clone(), w);
+            }
+        }
+        for (&(s, d), &w) in &edge_acc {
+            agg.add_edge_weight(
+                self.tuples[s as usize].clone(),
+                self.tuples[d as usize].clone(),
+                w,
+            );
+        }
+        agg
+    }
+
+    /// Counts `result(G)` of the event graph described by `mask` under
+    /// distinct (DIST) semantics — the exploration hot path. No aggregate
+    /// graph, no hash map, no tuple is built: group ids are compared
+    /// directly, and per-entity scans short-circuit on the first match.
+    ///
+    /// Equivalent to `selector.count(&aggregate(&event_graph(..), attrs,
+    /// AggMode::Distinct))` with `target` resolved from the selector
+    /// (property-tested).
+    pub fn count_distinct(&self, g: &TemporalGraph, mask: &EventMask, target: &CountTarget) -> u64 {
+        let scope = mask.scope().bits();
+        match (target, &self.static_gids) {
+            // A tuple that occurs nowhere in the source graph can never
+            // occur in an event graph of it.
+            (CountTarget::Node(None), _) | (CountTarget::Edge(None), _) => 0,
+            (CountTarget::AllNodes, Some(_)) => mask.keep_nodes().count_ones() as u64,
+            (CountTarget::AllNodes, None) => {
+                let mut total = 0u64;
+                let mut seen: Vec<u32> = Vec::new();
+                for n in mask.keep_nodes().iter_ones() {
+                    seen.clear();
+                    for t in g.node_presence_matrix().iter_row_ones_and(n, scope) {
+                        let gid = self.time_gid(n, t);
+                        if !seen.contains(&gid) {
+                            seen.push(gid);
+                        }
+                    }
+                    total += seen.len() as u64;
+                }
+                total
+            }
+            (CountTarget::Node(Some(gid)), Some(gids)) => mask
+                .keep_nodes()
+                .iter_ones()
+                .filter(|&n| gids[n] == *gid)
+                .count() as u64,
+            (CountTarget::Node(Some(gid)), None) => mask
+                .keep_nodes()
+                .iter_ones()
+                .filter(|&n| {
+                    g.node_presence_matrix()
+                        .iter_row_ones_and(n, scope)
+                        .any(|t| self.time_gid(n, t) == *gid)
+                })
+                .count() as u64,
+            (CountTarget::AllEdges, Some(_)) => mask.keep_edges().count_ones() as u64,
+            (CountTarget::AllEdges, None) => {
+                let mut total = 0u64;
+                let mut seen: Vec<(u32, u32)> = Vec::new();
+                for e in mask.keep_edges().iter_ones() {
+                    let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+                    seen.clear();
+                    for t in g.edge_presence_matrix().iter_row_ones_and(e, scope) {
+                        let pair = (self.time_gid(u.index(), t), self.time_gid(v.index(), t));
+                        if !seen.contains(&pair) {
+                            seen.push(pair);
+                        }
+                    }
+                    total += seen.len() as u64;
+                }
+                total
+            }
+            (CountTarget::Edge(Some((gs, gd))), Some(gids)) => mask
+                .keep_edges()
+                .iter_ones()
+                .filter(|&e| {
+                    let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+                    gids[u.index()] == *gs && gids[v.index()] == *gd
+                })
+                .count() as u64,
+            (CountTarget::Edge(Some((gs, gd))), None) => mask
+                .keep_edges()
+                .iter_ones()
+                .filter(|&e| {
+                    let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
+                    g.edge_presence_matrix()
+                        .iter_row_ones_and(e, scope)
+                        .any(|t| {
+                            self.time_gid(u.index(), t) == *gs && self.time_gid(v.index(), t) == *gd
+                        })
+                })
+                .count() as u64,
+        }
+    }
+}
+
+/// What [`GroupTable::count_distinct`] counts, with selector tuples
+/// pre-resolved to group ids once per run. `None` ids mean the requested
+/// tuple occurs nowhere in the source graph, so the count is always zero.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CountTarget {
+    /// Sum of all aggregate node weights.
+    AllNodes,
+    /// Sum of all aggregate edge weights.
+    AllEdges,
+    /// Weight of one aggregate node.
+    Node(Option<u32>),
+    /// Weight of one aggregate edge.
+    Edge(Option<(u32, u32)>),
+}
+
+impl CountTarget {
+    /// Resolves a node-tuple target against the table.
+    pub fn node(table: &GroupTable, tuple: &[Value]) -> CountTarget {
+        CountTarget::Node(table.lookup(tuple))
+    }
+
+    /// Resolves an edge-tuple-pair target against the table.
+    pub fn edge(table: &GroupTable, src: &[Value], dst: &[Value]) -> CountTarget {
+        CountTarget::Edge(match (table.lookup(src), table.lookup(dst)) {
+            (Some(s), Some(d)) => Some((s, d)),
+            _ => None,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -628,7 +1063,11 @@ mod tests {
     #[test]
     fn frames_path_matches_direct() {
         let g = fig1();
-        for names in [&["gender"][..], &["publications"][..], &["gender", "publications"][..]] {
+        for names in [
+            &["gender"][..],
+            &["publications"][..],
+            &["gender", "publications"][..],
+        ] {
             let ga = attrs(&g, names);
             for mode in [AggMode::Distinct, AggMode::All] {
                 let direct = aggregate(&g, &ga, mode);
@@ -647,8 +1086,14 @@ mod tests {
         let m = cat(&p0, "gender", "m");
         let f = cat(&p0, "gender", "f");
         // t0 edges: u1->u2 (m->f), u3->u2 (f->f), u4->u2 (f->f)
-        assert_eq!(agg.edge_weight(std::slice::from_ref(&m), std::slice::from_ref(&f)), 1);
-        assert_eq!(agg.edge_weight(std::slice::from_ref(&f), std::slice::from_ref(&f)), 2);
+        assert_eq!(
+            agg.edge_weight(std::slice::from_ref(&m), std::slice::from_ref(&f)),
+            1
+        );
+        assert_eq!(
+            agg.edge_weight(std::slice::from_ref(&f), std::slice::from_ref(&f)),
+            2
+        );
         assert_eq!(agg.edge_weight(&[f], &[m]), 0);
     }
 
@@ -724,5 +1169,126 @@ mod tests {
         let text = agg.render(&g);
         assert!(text.contains("aggregate on (gender)"));
         assert!(text.contains("w="));
+    }
+
+    #[test]
+    fn group_table_static_and_mixed_layouts() {
+        let g = fig1();
+        let static_tbl = GroupTable::build(&g, &attrs(&g, &["gender"]));
+        assert!(static_tbl.is_static());
+        assert_eq!(static_tbl.n_groups(), 2); // m, f
+        let mixed = GroupTable::build(&g, &attrs(&g, &["gender", "publications"]));
+        assert!(!mixed.is_static());
+        // u1 is male with 3 publications at t0
+        let u1 = g.node_id("u1").unwrap().index();
+        let m = cat(&g, "gender", "m");
+        let gid = mixed.gid_at(u1, 0).unwrap();
+        assert_eq!(mixed.tuple(gid), &vec![m, Value::Int(3)]);
+        assert_eq!(mixed.lookup(&[Value::Int(999)]), None);
+        // u1 is absent at t2
+        assert_eq!(mixed.gid_at(u1, 2), None);
+    }
+
+    #[test]
+    fn aggregate_masked_matches_materializing_path_on_fig1() {
+        use crate::ops::{event_graph, event_mask, Event, SideTest};
+        let g = fig1();
+        let intervals = [
+            TimeSet::from_indices(3, [0]),
+            TimeSet::from_indices(3, [0, 1]),
+            TimeSet::from_indices(3, [2]),
+        ];
+        for names in [
+            &["gender"][..],
+            &["publications"][..],
+            &["gender", "publications"][..],
+        ] {
+            let ga = attrs(&g, names);
+            let table = GroupTable::build(&g, &ga);
+            for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
+                for told in &intervals {
+                    for tnew in &intervals {
+                        for mode in [AggMode::Distinct, AggMode::All] {
+                            let mask =
+                                event_mask(&g, event, told, tnew, SideTest::Any, SideTest::All)
+                                    .unwrap();
+                            let fast = table.aggregate_masked(&g, &mask, mode);
+                            let ev =
+                                event_graph(&g, event, told, tnew, SideTest::Any, SideTest::All)
+                                    .unwrap();
+                            let slow = aggregate(&ev, &attrs(&ev, names), mode);
+                            assert_eq!(
+                                fast, slow,
+                                "{event:?} {told:?} {tnew:?} {mode:?} attrs {names:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_distinct_matches_selector_count() {
+        use crate::explore::Selector;
+        use crate::ops::{event_graph, event_mask, Event, SideTest};
+        let g = fig1();
+        let told = TimeSet::from_indices(3, [0, 1]);
+        let tnew = TimeSet::from_indices(3, [2]);
+        let f = cat(&g, "gender", "f");
+        for names in [&["gender"][..], &["gender", "publications"][..]] {
+            let ga = attrs(&g, names);
+            let table = GroupTable::build(&g, &ga);
+            let node_tuple: ValueTuple = if names.len() == 1 {
+                vec![f.clone()]
+            } else {
+                vec![f.clone(), Value::Int(1)]
+            };
+            let selectors = [
+                Selector::AllNodes,
+                Selector::AllEdges,
+                Selector::NodeTuple(node_tuple.clone()),
+                Selector::EdgeTuple(node_tuple.clone(), node_tuple.clone()),
+            ];
+            let targets = [
+                CountTarget::AllNodes,
+                CountTarget::AllEdges,
+                CountTarget::node(&table, &node_tuple),
+                CountTarget::edge(&table, &node_tuple, &node_tuple),
+            ];
+            for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
+                let mask =
+                    event_mask(&g, event, &told, &tnew, SideTest::Any, SideTest::Any).unwrap();
+                let ev =
+                    event_graph(&g, event, &told, &tnew, SideTest::Any, SideTest::Any).unwrap();
+                let agg = aggregate(&ev, &attrs(&ev, names), AggMode::Distinct);
+                for (sel, target) in selectors.iter().zip(&targets) {
+                    assert_eq!(
+                        table.count_distinct(&g, &mask, target),
+                        sel.count(&agg),
+                        "{event:?} selector {sel:?} attrs {names:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_target_unknown_tuple_is_zero() {
+        use crate::ops::{event_mask, Event, SideTest};
+        let g = fig1();
+        let table = GroupTable::build(&g, &attrs(&g, &["gender"]));
+        let target = CountTarget::node(&table, &[Value::Int(12345)]);
+        assert_eq!(target, CountTarget::Node(None));
+        let mask = event_mask(
+            &g,
+            Event::Stability,
+            &TimeSet::from_indices(3, [0]),
+            &TimeSet::from_indices(3, [1]),
+            SideTest::Any,
+            SideTest::Any,
+        )
+        .unwrap();
+        assert_eq!(table.count_distinct(&g, &mask, &target), 0);
     }
 }

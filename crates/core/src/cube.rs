@@ -242,16 +242,12 @@ mod tests {
         let (_, cube) = cube();
         let bad = Level::new(vec!["age"]);
         assert!(cube.slice(&bad, TimePoint(0)).is_err());
-        assert!(cube
-            .query(&bad, &TimeSet::from_indices(3, [0]))
-            .is_err());
+        assert!(cube.query(&bad, &TimeSet::from_indices(3, [0])).is_err());
     }
 
     #[test]
     fn empty_scope_rejected() {
         let (_, cube) = cube();
-        assert!(cube
-            .query(&cube.base_level(), &TimeSet::empty(3))
-            .is_err());
+        assert!(cube.query(&cube.base_level(), &TimeSet::empty(3)).is_err());
     }
 }

@@ -228,9 +228,7 @@ pub fn evolution_aggregate(
         .map(|&a| g.schema().def(a).name().to_owned())
         .collect();
 
-    let passes = |n: NodeId, t: TimePoint| -> bool {
-        filter.is_none_or(|f| f(g, n, t))
-    };
+    let passes = |n: NodeId, t: TimePoint| -> bool { filter.is_none_or(|f| f(g, n, t)) };
     let tuple_of = |n: NodeId, t: TimePoint| -> ValueTuple {
         attrs.iter().map(|&a| g.attr_value(n, a, t)).collect()
     };
@@ -334,7 +332,7 @@ mod tests {
         // u5 appears at t2
         assert_eq!(evo.count_nodes(EvolutionClass::Growth), 1);
         assert_eq!(evo.count_edges(EvolutionClass::Growth), 1); // (u5,u2)
-        // u1 disappears after t1; its edge (u1,u2) shrinks
+                                                                // u1 disappears after t1; its edge (u1,u2) shrinks
         assert_eq!(evo.count_nodes(EvolutionClass::Shrinkage), 1);
         assert_eq!(evo.count_edges(EvolutionClass::Shrinkage), 1);
     }
@@ -356,8 +354,14 @@ mod tests {
             .map(|n| g.schema().id(n).unwrap())
             .collect();
         let evo = evolution_aggregate(&g, &ts(&[0]), &ts(&[1]), &attrs, None).unwrap();
-        let f = g.schema().category(g.schema().id("gender").unwrap(), "f").unwrap();
-        let m = g.schema().category(g.schema().id("gender").unwrap(), "m").unwrap();
+        let f = g
+            .schema()
+            .category(g.schema().id("gender").unwrap(), "f")
+            .unwrap();
+        let m = g
+            .schema()
+            .category(g.schema().id("gender").unwrap(), "m")
+            .unwrap();
         let w_f1 = evo.node_weights(&[f.clone(), Value::Int(1)]);
         assert_eq!(
             w_f1,
@@ -384,12 +388,12 @@ mod tests {
             .map(|n| g.schema().id(n).unwrap())
             .collect();
         let evo = evolution_aggregate(&g, &ts(&[0]), &ts(&[1]), &attrs, None).unwrap();
-        let f = g.schema().category(g.schema().id("gender").unwrap(), "f").unwrap();
+        let f = g
+            .schema()
+            .category(g.schema().id("gender").unwrap(), "f")
+            .unwrap();
         // (f,1)->(f,1): u3->u2 shrinks at t0, u4->u2 grows at t1
-        let w = evo.edge_weights(
-            &[f.clone(), Value::Int(1)],
-            &[f.clone(), Value::Int(1)],
-        );
+        let w = evo.edge_weights(&[f.clone(), Value::Int(1)], &[f.clone(), Value::Int(1)]);
         assert_eq!(w.shrinkage, 1);
         assert_eq!(w.growth, 1);
         assert_eq!(w.stability, 0);
@@ -434,8 +438,7 @@ mod tests {
         let filter = move |gr: &TemporalGraph, n: NodeId, t: TimePoint| {
             gr.attr_value(n, pubs, t).as_int().unwrap_or(0) >= 2
         };
-        let evo =
-            evolution_aggregate(&g, &ts(&[0]), &ts(&[1]), &gender, Some(&filter)).unwrap();
+        let evo = evolution_aggregate(&g, &ts(&[0]), &ts(&[1]), &gender, Some(&filter)).unwrap();
         let totals = evo.node_totals();
         // only u1@t0 (m,3) and u4@t0 (f,2) pass; both vanish by t1
         assert_eq!(totals.stability, 0);

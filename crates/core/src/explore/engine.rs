@@ -1,9 +1,8 @@
 //! The exploration strategies: U-Explore, I-Explore, and the two
 //! monotonicity shortcuts (§3.2–§3.4).
 
+use super::kernel::{evaluate_pair_materialized, ExploreKernel};
 use super::{direction, ExploreConfig, ExtendSide};
-use crate::aggregate::{aggregate, AggMode};
-use crate::ops::{event_graph, SideTest};
 use tempo_graph::{GraphError, TemporalGraph, TimeSet};
 
 /// One explored pair of intervals. For [`ExtendSide::Old`] the reference
@@ -35,28 +34,6 @@ pub struct ExploreOutcome {
     pub pairs: Vec<(IntervalPair, u64)>,
     /// Number of aggregate-graph evaluations performed (the pruning metric).
     pub evaluations: usize,
-}
-
-/// Evaluates `result(G)` for one pair under the config's semantics.
-pub(super) fn evaluate_pair(
-    g: &TemporalGraph,
-    cfg: &ExploreConfig,
-    told: &TimeSet,
-    tnew: &TimeSet,
-) -> Result<u64, GraphError> {
-    let (old_test, new_test) = side_tests(cfg);
-    let ev = event_graph(g, cfg.event, told, tnew, old_test, new_test)?;
-    let agg = aggregate(&ev, &cfg.attrs, AggMode::Distinct);
-    Ok(cfg.selector.count(&agg))
-}
-
-/// The membership tests implied by the config: the extended side uses the
-/// chosen semantics, the fixed reference side is a single point (Any ≡ All).
-fn side_tests(cfg: &ExploreConfig) -> (SideTest, SideTest) {
-    match cfg.extend {
-        ExtendSide::Old => (cfg.semantics.side_test(), SideTest::Any),
-        ExtendSide::New => (SideTest::Any, cfg.semantics.side_test()),
-    }
 }
 
 /// The chain of pairs for reference index `i`: the base pair
@@ -115,16 +92,50 @@ pub(super) fn chain(n: usize, i: usize, extend: ExtendSide) -> Vec<IntervalPair>
 /// Returns an error if the graph has fewer than two time points or an
 /// operator fails.
 pub fn explore(g: &TemporalGraph, cfg: &ExploreConfig) -> Result<ExploreOutcome, GraphError> {
+    let n = check_domain(g)?;
+    let kernel = ExploreKernel::new(g, cfg);
+    explore_sequential(&|told, tnew| kernel.evaluate(told, tnew), cfg, n)
+}
+
+/// [`explore`] evaluating every pair through the materializing reference
+/// path ([`evaluate_pair_materialized`]) instead of the kernel. Identical
+/// outcome (property-tested); exists so benchmarks can ablate the kernel's
+/// speedup with pruning behavior held fixed.
+///
+/// # Errors
+/// Returns an error if the graph has fewer than two time points or an
+/// operator fails.
+pub fn explore_materializing(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+) -> Result<ExploreOutcome, GraphError> {
+    let n = check_domain(g)?;
+    explore_sequential(
+        &|told: &TimeSet, tnew: &TimeSet| evaluate_pair_materialized(g, cfg, told, tnew),
+        cfg,
+        n,
+    )
+}
+
+fn check_domain(g: &TemporalGraph) -> Result<usize, GraphError> {
     let n = g.domain().len();
     if n < 2 {
         return Err(GraphError::EmptyInterval(
             "exploration needs at least two time points".to_owned(),
         ));
     }
+    Ok(n)
+}
+
+fn explore_sequential(
+    eval: &dyn Fn(&TimeSet, &TimeSet) -> Result<u64, GraphError>,
+    cfg: &ExploreConfig,
+    n: usize,
+) -> Result<ExploreOutcome, GraphError> {
     let mut pairs = Vec::new();
     let mut evaluations = 0;
     for i in 0..n - 1 {
-        let outcome = explore_reference(g, cfg, n, i)?;
+        let outcome = explore_reference(eval, cfg, n, i)?;
         evaluations += outcome.evaluations;
         pairs.extend(outcome.pairs);
     }
@@ -147,18 +158,16 @@ pub fn explore_parallel(
     cfg: &ExploreConfig,
     threads: usize,
 ) -> Result<ExploreOutcome, GraphError> {
-    let n = g.domain().len();
-    if n < 2 {
-        return Err(GraphError::EmptyInterval(
-            "exploration needs at least two time points".to_owned(),
-        ));
-    }
+    let n = check_domain(g)?;
     let threads = threads.clamp(1, n - 1);
     if threads == 1 {
         return explore(g, cfg);
     }
-    // Each reference point i is one independent sub-problem: run the
-    // sequential strategy on its chain.
+    // One kernel for the whole run (the group table is interned once and
+    // shared by reference); each reference point i is one independent
+    // sub-problem running the sequential strategy on its chain.
+    let kernel = ExploreKernel::new(g, cfg);
+    let kernel = &kernel;
     let mut slots: Vec<Option<Result<ExploreOutcome, GraphError>>> = vec![None; n - 1];
     let mut refs: Vec<(usize, &mut Option<Result<ExploreOutcome, GraphError>>)> =
         slots.iter_mut().enumerate().collect();
@@ -167,7 +176,12 @@ pub fn explore_parallel(
         for batch in refs.chunks_mut(chunk) {
             scope.spawn(move |_| {
                 for (i, slot) in batch.iter_mut() {
-                    **slot = Some(explore_reference(g, cfg, n, *i));
+                    **slot = Some(explore_reference(
+                        &|told: &TimeSet, tnew: &TimeSet| kernel.evaluate(told, tnew),
+                        cfg,
+                        n,
+                        *i,
+                    ));
                 }
             });
         }
@@ -184,9 +198,11 @@ pub fn explore_parallel(
     Ok(ExploreOutcome { pairs, evaluations })
 }
 
-/// Runs the configured strategy on the single chain of reference `i`.
+/// Runs the configured strategy on the single chain of reference `i`,
+/// counting one evaluation per `eval` call (the pruning metric is therefore
+/// identical whichever evaluator — kernel or materializing — is plugged in).
 fn explore_reference(
-    g: &TemporalGraph,
+    eval: &dyn Fn(&TimeSet, &TimeSet) -> Result<u64, GraphError>,
     cfg: &ExploreConfig,
     n: usize,
     i: usize,
@@ -199,7 +215,7 @@ fn explore_reference(
     match (cfg.semantics, dir) {
         (Semantics::Union, Direction::Increasing) => {
             for pair in chain_pairs {
-                let r = evaluate_pair(g, cfg, &pair.told, &pair.tnew)?;
+                let r = eval(&pair.told, &pair.tnew)?;
                 evaluations += 1;
                 if r >= cfg.k {
                     pairs.push((pair, r));
@@ -209,7 +225,7 @@ fn explore_reference(
         }
         (Semantics::Union, Direction::Decreasing) => {
             let pair = chain_pairs.into_iter().next().expect("non-empty chain");
-            let r = evaluate_pair(g, cfg, &pair.told, &pair.tnew)?;
+            let r = eval(&pair.told, &pair.tnew)?;
             evaluations += 1;
             if r >= cfg.k {
                 pairs.push((pair, r));
@@ -218,7 +234,7 @@ fn explore_reference(
         (Semantics::Intersection, Direction::Decreasing) => {
             let mut last_good = None;
             for pair in chain_pairs {
-                let r = evaluate_pair(g, cfg, &pair.told, &pair.tnew)?;
+                let r = eval(&pair.told, &pair.tnew)?;
                 evaluations += 1;
                 if r >= cfg.k {
                     last_good = Some((pair, r));
@@ -229,8 +245,11 @@ fn explore_reference(
             pairs.extend(last_good);
         }
         (Semantics::Intersection, Direction::Increasing) => {
-            let pair = chain_pairs.into_iter().next_back().expect("non-empty chain");
-            let r = evaluate_pair(g, cfg, &pair.told, &pair.tnew)?;
+            let pair = chain_pairs
+                .into_iter()
+                .next_back()
+                .expect("non-empty chain");
+            let r = eval(&pair.told, &pair.tnew)?;
             evaluations += 1;
             if r >= cfg.k {
                 pairs.push((pair, r));
@@ -239,10 +258,6 @@ fn explore_reference(
     }
     Ok(ExploreOutcome { pairs, evaluations })
 }
-
-
-
-
 
 #[cfg(test)]
 mod tests {
@@ -338,7 +353,12 @@ mod tests {
         let g = fig1();
         // edge (u4,u2) exists at every point; with k=1 and intersection
         // semantics extending new, reference t0 extends to {t1,t2}.
-        let c = cfg(Event::Stability, ExtendSide::New, Semantics::Intersection, 1);
+        let c = cfg(
+            Event::Stability,
+            ExtendSide::New,
+            Semantics::Intersection,
+            1,
+        );
         let out = explore(&g, &c).unwrap();
         assert!(!out.pairs.is_empty());
         let (pair, r) = &out.pairs[0];
@@ -354,7 +374,12 @@ mod tests {
     fn shrinkage_intersection_extend_new_checks_longest() {
         let g = fig1();
         // shrinkage old−new(∩): increasing with extension ⇒ longest-only.
-        let c = cfg(Event::Shrinkage, ExtendSide::New, Semantics::Intersection, 1);
+        let c = cfg(
+            Event::Shrinkage,
+            ExtendSide::New,
+            Semantics::Intersection,
+            1,
+        );
         let out = explore(&g, &c).unwrap();
         // evaluations = one per reference point
         assert_eq!(out.evaluations, 2);
@@ -375,6 +400,27 @@ mod tests {
                     let par = super::explore_parallel(&g, &c, threads).unwrap();
                     assert_eq!(par.pairs, seq.pairs, "{event:?}/{semantics:?}/{threads}");
                     assert_eq!(par.evaluations, seq.evaluations);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materializing_variant_matches_kernel_explore() {
+        let g = fig1();
+        for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
+            for extend in [ExtendSide::Old, ExtendSide::New] {
+                for semantics in [Semantics::Union, Semantics::Intersection] {
+                    for k in [1, 2] {
+                        let c = cfg(event, extend, semantics, k);
+                        let fast = explore(&g, &c).unwrap();
+                        let slow = explore_materializing(&g, &c).unwrap();
+                        assert_eq!(
+                            fast.pairs, slow.pairs,
+                            "{event:?}/{extend:?}/{semantics:?}/{k}"
+                        );
+                        assert_eq!(fast.evaluations, slow.evaluations);
+                    }
                 }
             }
         }

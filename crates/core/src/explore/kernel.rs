@@ -1,0 +1,183 @@
+//! The zero-materialization evaluation kernel.
+//!
+//! Exploration evaluates `result(G)` for many interval pairs over the same
+//! source graph. The original path builds a full [`TemporalGraph`] per pair
+//! ([`evaluate_pair_materialized`], kept as the reference implementation and
+//! ablation baseline): every node name is re-interned, static rows are
+//! copied, time-varying cells are cloned — only for most of that structure
+//! to be discarded after one selector count.
+//!
+//! [`ExploreKernel`] removes the materialization entirely. Per run it builds
+//! one [`GroupTable`] (each node's attribute tuple interned to a dense group
+//! id once) and resolves the selector to a [`CountTarget`] (group ids, not
+//! tuples). Per pair it computes an [`EventMask`](crate::ops::EventMask) —
+//! word-level AND/ANDNOT membership against the source presence matrices —
+//! and counts matching group ids directly. No subgraph, no row clones, no
+//! per-pair hash keys.
+
+use super::{ExploreConfig, ExtendSide, Selector};
+use crate::aggregate::{aggregate, AggMode, CountTarget, GroupTable};
+use crate::ops::{event_graph, event_mask, SideTest};
+use tempo_graph::{GraphError, TemporalGraph, TimeSet};
+
+/// The membership tests implied by the config: the extended side uses the
+/// chosen semantics, the fixed reference side is a single point (Any ≡ All).
+pub(super) fn side_tests(cfg: &ExploreConfig) -> (SideTest, SideTest) {
+    match cfg.extend {
+        ExtendSide::Old => (cfg.semantics.side_test(), SideTest::Any),
+        ExtendSide::New => (SideTest::Any, cfg.semantics.side_test()),
+    }
+}
+
+/// Reference implementation of one pair evaluation: materializes the event
+/// graph with [`event_graph`] and aggregates it from scratch. Used by the
+/// naive oracle (so the pruned/kernel path is continuously cross-validated
+/// against an independent implementation) and by the ablation benchmarks.
+///
+/// # Errors
+/// Returns an error if either interval is empty or an operator fails.
+pub fn evaluate_pair_materialized(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+    told: &TimeSet,
+    tnew: &TimeSet,
+) -> Result<u64, GraphError> {
+    let (old_test, new_test) = side_tests(cfg);
+    let ev = event_graph(g, cfg.event, told, tnew, old_test, new_test)?;
+    let agg = aggregate(&ev, &cfg.attrs, AggMode::Distinct);
+    Ok(cfg.selector.count(&agg))
+}
+
+/// Shared per-run state of the zero-materialization evaluation kernel.
+///
+/// Immutable after construction and `Sync`: one kernel is built per
+/// exploration run and shared by reference across all interval pairs and
+/// worker threads.
+pub struct ExploreKernel<'g> {
+    g: &'g TemporalGraph,
+    cfg: &'g ExploreConfig,
+    table: GroupTable,
+    target: CountTarget,
+    old_test: SideTest,
+    new_test: SideTest,
+}
+
+impl<'g> ExploreKernel<'g> {
+    /// Builds the kernel for one exploration run: interns the group table
+    /// for `cfg.attrs` and resolves the selector to group ids.
+    ///
+    /// # Panics
+    /// Panics if any attribute id is not from `g`'s schema.
+    pub fn new(g: &'g TemporalGraph, cfg: &'g ExploreConfig) -> Self {
+        let table = GroupTable::build(g, &cfg.attrs);
+        let target = match &cfg.selector {
+            Selector::AllNodes => CountTarget::AllNodes,
+            Selector::AllEdges => CountTarget::AllEdges,
+            Selector::NodeTuple(t) => CountTarget::node(&table, t),
+            Selector::EdgeTuple(s, d) => CountTarget::edge(&table, s, d),
+        };
+        let (old_test, new_test) = side_tests(cfg);
+        ExploreKernel {
+            g,
+            cfg,
+            table,
+            target,
+            old_test,
+            new_test,
+        }
+    }
+
+    /// Evaluates `result(G)` for one interval pair: event mask + group-id
+    /// count, no materialization.
+    ///
+    /// # Errors
+    /// Returns an error if either interval is empty.
+    pub fn evaluate(&self, told: &TimeSet, tnew: &TimeSet) -> Result<u64, GraphError> {
+        let mask = event_mask(
+            self.g,
+            self.cfg.event,
+            told,
+            tnew,
+            self.old_test,
+            self.new_test,
+        )?;
+        Ok(self.table.count_distinct(self.g, &mask, &self.target))
+    }
+
+    /// The interned group table backing this kernel.
+    pub fn group_table(&self) -> &GroupTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::{Selector, Semantics};
+    use crate::ops::Event;
+    use tempo_graph::fixtures::fig1;
+    use tempo_graph::TimePoint;
+
+    #[test]
+    fn kernel_matches_materialized_on_fig1() {
+        let g = fig1();
+        let gender = g.schema().id("gender").unwrap();
+        let f = g.schema().category(gender, "f").unwrap();
+        let selectors = [
+            Selector::AllNodes,
+            Selector::AllEdges,
+            Selector::NodeTuple(vec![f.clone()]),
+            Selector::edge_1attr(f.clone(), f.clone()),
+        ];
+        for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
+            for extend in [ExtendSide::Old, ExtendSide::New] {
+                for semantics in [Semantics::Union, Semantics::Intersection] {
+                    for selector in &selectors {
+                        let cfg = ExploreConfig {
+                            event,
+                            extend,
+                            semantics,
+                            k: 1,
+                            attrs: vec![gender],
+                            selector: selector.clone(),
+                        };
+                        let kernel = ExploreKernel::new(&g, &cfg);
+                        for i in 0..2usize {
+                            for j in 0..2usize {
+                                let told = TimeSet::range(3, i.min(j), i.max(j));
+                                let tnew = TimeSet::point(3, TimePoint(2));
+                                assert_eq!(
+                                    kernel.evaluate(&told, &tnew).unwrap(),
+                                    evaluate_pair_materialized(&g, &cfg, &told, &tnew).unwrap(),
+                                    "{event:?}/{extend:?}/{semantics:?}/{selector:?}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_selector_tuple_counts_zero() {
+        let g = fig1();
+        let gender = g.schema().id("gender").unwrap();
+        let cfg = ExploreConfig {
+            event: Event::Stability,
+            extend: ExtendSide::New,
+            semantics: Semantics::Union,
+            k: 1,
+            attrs: vec![gender],
+            selector: Selector::NodeTuple(vec![tempo_columnar::Value::Int(77)]),
+        };
+        let kernel = ExploreKernel::new(&g, &cfg);
+        let told = TimeSet::point(3, TimePoint(0));
+        let tnew = TimeSet::point(3, TimePoint(1));
+        assert_eq!(kernel.evaluate(&told, &tnew).unwrap(), 0);
+        assert_eq!(
+            evaluate_pair_materialized(&g, &cfg, &told, &tnew).unwrap(),
+            0
+        );
+    }
+}

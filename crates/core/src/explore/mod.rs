@@ -21,11 +21,13 @@
 //! | shrinkage | new | ∩ | increasing | longest-interval check |
 
 mod engine;
+mod kernel;
 mod naive;
 mod solve;
 mod threshold;
 
-pub use engine::{explore, explore_parallel, ExploreOutcome, IntervalPair};
+pub use engine::{explore, explore_materializing, explore_parallel, ExploreOutcome, IntervalPair};
+pub use kernel::{evaluate_pair_materialized, ExploreKernel};
 pub use naive::explore_naive;
 pub use solve::{solve_problem, EventReport, ProblemReport};
 pub use threshold::{initial_threshold, suggest_k, ThresholdStat};

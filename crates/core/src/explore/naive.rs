@@ -4,9 +4,12 @@
 //! minimal/maximal definitions (Definitions 3.4 and 3.5) literally, without
 //! assuming monotonicity. Serves as the correctness oracle for the pruned
 //! strategies and as the baseline their evaluation savings are measured
-//! against.
+//! against. Deliberately evaluates through the materializing reference path
+//! rather than the kernel, so oracle comparisons also cross-validate the
+//! kernel's counts against an independent implementation.
 
-use super::engine::{chain, evaluate_pair, ExploreOutcome, IntervalPair};
+use super::engine::{chain, ExploreOutcome, IntervalPair};
+use super::kernel::evaluate_pair_materialized;
 use super::{ExploreConfig, Semantics};
 use tempo_graph::{GraphError, TemporalGraph};
 
@@ -17,10 +20,7 @@ use tempo_graph::{GraphError, TemporalGraph};
 /// # Errors
 /// Returns an error if the graph has fewer than two time points or an
 /// operator fails.
-pub fn explore_naive(
-    g: &TemporalGraph,
-    cfg: &ExploreConfig,
-) -> Result<ExploreOutcome, GraphError> {
+pub fn explore_naive(g: &TemporalGraph, cfg: &ExploreConfig) -> Result<ExploreOutcome, GraphError> {
     let n = g.domain().len();
     if n < 2 {
         return Err(GraphError::EmptyInterval(
@@ -33,7 +33,7 @@ pub fn explore_naive(
         let chain_pairs = chain(n, i, cfg.extend);
         let mut results: Vec<(IntervalPair, u64)> = Vec::with_capacity(chain_pairs.len());
         for pair in chain_pairs {
-            let r = evaluate_pair(g, cfg, &pair.told, &pair.tnew)?;
+            let r = evaluate_pair_materialized(g, cfg, &pair.told, &pair.tnew)?;
             evaluations += 1;
             results.push((pair, r));
         }

@@ -109,8 +109,7 @@ mod tests {
     fn solves_all_events() {
         let g = fig1();
         let gender = g.schema().id("gender").unwrap();
-        let report =
-            solve_problem(&g, 1, &[gender], &Selector::AllEdges, ExtendSide::New).unwrap();
+        let report = solve_problem(&g, 1, &[gender], &Selector::AllEdges, ExtendSide::New).unwrap();
         assert_eq!(report.events.len(), 3);
         assert!(report.total_evaluations() > 0);
         // stability with k=1 qualifies somewhere on fig1

@@ -5,10 +5,10 @@
 //! weight when the exploration operator is monotonically increasing (then
 //! `k` is tuned upward), the maximum when it is decreasing (tuned downward).
 
-use super::engine::evaluate_pair;
+use super::kernel::ExploreKernel;
 use super::{direction, Direction, ExploreConfig, Selector};
-use crate::aggregate::{aggregate, AggMode};
-use crate::ops::{event_graph, SideTest};
+use crate::aggregate::AggMode;
+use crate::ops::{event_mask, SideTest};
 use tempo_graph::{GraphError, TemporalGraph, TimePoint, TimeSet};
 
 /// Which statistic of the consecutive-pair weights to take.
@@ -38,6 +38,9 @@ pub fn initial_threshold(
             "threshold initialization needs at least two time points".to_owned(),
         ));
     }
+    // One kernel (and therefore one interned group table) is shared across
+    // all consecutive pairs of the scan.
+    let kernel = ExploreKernel::new(g, cfg);
     let mut best: Option<u64> = None;
     for i in 0..n - 1 {
         let told = TimeSet::point(n, TimePoint(i as u32));
@@ -49,15 +52,17 @@ pub fn initial_threshold(
             // §3.5 ("the minimum or maximum weight of the given type of
             // entity").
             Selector::NodeTuple(_) | Selector::EdgeTuple(..) => {
-                let r = evaluate_pair(g, cfg, &told, &tnew)?;
+                let r = kernel.evaluate(&told, &tnew)?;
                 if r == 0 {
                     continue;
                 }
                 r
             }
             all => {
-                let ev = event_graph(g, cfg.event, &told, &tnew, SideTest::Any, SideTest::Any)?;
-                let agg = aggregate(&ev, &cfg.attrs, AggMode::Distinct);
+                let mask = event_mask(g, cfg.event, &told, &tnew, SideTest::Any, SideTest::Any)?;
+                let agg = kernel
+                    .group_table()
+                    .aggregate_masked(g, &mask, AggMode::Distinct);
                 let weights: Vec<u64> = if all.is_edge() {
                     agg.iter_edges().iter().map(|(_, w)| *w).collect()
                 } else {

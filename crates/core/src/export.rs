@@ -32,10 +32,7 @@ fn tuple_label(g: Option<&TemporalGraph>, attrs: &[AttrId], tuple: &ValueTuple) 
 ///
 /// When the source graph is supplied, categorical codes resolve to their
 /// labels (e.g. `f,1` instead of `#1,1`).
-pub fn aggregate_to_dot(
-    agg: &AggregateGraph,
-    source: Option<&TemporalGraph>,
-) -> String {
+pub fn aggregate_to_dot(agg: &AggregateGraph, source: Option<&TemporalGraph>) -> String {
     let attrs: Vec<AttrId> = source
         .map(|g| {
             agg.attr_names()
@@ -45,7 +42,11 @@ pub fn aggregate_to_dot(
         })
         .unwrap_or_default();
     let mut out = String::from("digraph aggregate {\n");
-    let _ = writeln!(out, "  label=\"aggregate on ({})\";", agg.attr_names().join(","));
+    let _ = writeln!(
+        out,
+        "  label=\"aggregate on ({})\";",
+        agg.attr_names().join(",")
+    );
     for (tuple, w) in agg.iter_nodes() {
         let label = tuple_label(source, &attrs, tuple);
         let _ = writeln!(out, "  \"{label}\" [label=\"{label}\\nw={w}\"];");
@@ -61,10 +62,7 @@ pub fn aggregate_to_dot(
 
 /// Renders an aggregated evolution graph as DOT, annotating every entity
 /// with its stability/growth/shrinkage weights (the paper's Fig. 4b).
-pub fn evolution_to_dot(
-    evo: &EvolutionAggregate,
-    source: Option<&TemporalGraph>,
-) -> String {
+pub fn evolution_to_dot(evo: &EvolutionAggregate, source: Option<&TemporalGraph>) -> String {
     let attrs: Vec<AttrId> = source
         .map(|g| {
             evo.attr_names()

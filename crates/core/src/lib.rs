@@ -62,13 +62,16 @@ pub mod measures;
 pub mod ops;
 pub mod zoom;
 
-pub use aggregate::{AggMode, AggregateGraph};
+pub use aggregate::{AggMode, AggregateGraph, CountTarget, GroupTable};
+pub use cube::{GraphCube, Level};
 pub use evolution::{EvolutionAggregate, EvolutionClass, EvolutionGraph, EvolutionWeights};
 pub use explore::{
-    explore, explore_naive, suggest_k, Direction, ExploreConfig, ExploreOutcome, ExtendSide,
-    IntervalPair, Selector, Semantics, ThresholdStat,
+    explore, explore_materializing, explore_naive, suggest_k, Direction, ExploreConfig,
+    ExploreKernel, ExploreOutcome, ExtendSide, IntervalPair, Selector, Semantics, ThresholdStat,
 };
-pub use ops::{difference, event_graph, intersection, project, project_point, union, Event, SideTest};
-pub use cube::{GraphCube, Level};
 pub use measures::{aggregate_measure, EdgeMeasure, MeasureAggregate, NodeMeasure};
+pub use ops::{
+    difference, event_graph, event_mask, intersection, project, project_point, union, Event,
+    EventMask, SideTest,
+};
 pub use zoom::{zoom_out, Granularity};

@@ -304,8 +304,13 @@ mod tests {
         let u2 = b.get_or_add_node("u2");
         let u4 = b.get_or_add_node("u4");
         let pubs = b.schema().id("publications").unwrap();
-        b.set_time_varying(u2, pubs, tempo_graph::TimePoint(3), tempo_columnar::Value::Int(2))
-            .unwrap();
+        b.set_time_varying(
+            u2,
+            pubs,
+            tempo_graph::TimePoint(3),
+            tempo_columnar::Value::Int(2),
+        )
+        .unwrap();
         b.add_edge_at(u4, u2, tempo_graph::TimePoint(3)).unwrap();
         let g2 = b.build().unwrap();
 
@@ -352,5 +357,4 @@ mod tests {
         let _ = cache.store_for(&gp);
         assert_eq!(cache.len(), 2);
     }
-
 }

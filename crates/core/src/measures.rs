@@ -233,9 +233,7 @@ pub fn aggregate_measure(
 mod tests {
     use super::*;
     use tempo_graph::fixtures::fig1;
-    use tempo_graph::{
-        AttributeSchema, GraphBuilder, Temporality, TimeDomain, TimePoint,
-    };
+    use tempo_graph::{AttributeSchema, GraphBuilder, Temporality, TimeDomain, TimePoint};
 
     fn gender_and_pubs(g: &TemporalGraph) -> (AttrId, AttrId) {
         (
@@ -302,28 +300,36 @@ mod tests {
         b.set_edge_value(u, w, TimePoint(0), Value::Int(1)).unwrap();
         let g = b.build().unwrap();
 
-        let sum = aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::SumValues)
-            .unwrap();
-        assert_eq!(sum.edge_value(std::slice::from_ref(&k), std::slice::from_ref(&k)), Some(7.0));
-        let avg = aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::AvgValues)
-            .unwrap();
-        assert!((avg.edge_value(std::slice::from_ref(&k), std::slice::from_ref(&k)).unwrap() - 7.0 / 3.0).abs() < 1e-9);
-        let max = aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::MaxValues)
-            .unwrap();
-        assert_eq!(max.edge_value(std::slice::from_ref(&k), std::slice::from_ref(&k)), Some(4.0));
+        let sum =
+            aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::SumValues).unwrap();
+        assert_eq!(
+            sum.edge_value(std::slice::from_ref(&k), std::slice::from_ref(&k)),
+            Some(7.0)
+        );
+        let avg =
+            aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::AvgValues).unwrap();
+        assert!(
+            (avg.edge_value(std::slice::from_ref(&k), std::slice::from_ref(&k))
+                .unwrap()
+                - 7.0 / 3.0)
+                .abs()
+                < 1e-9
+        );
+        let max =
+            aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::MaxValues).unwrap();
+        assert_eq!(
+            max.edge_value(std::slice::from_ref(&k), std::slice::from_ref(&k)),
+            Some(4.0)
+        );
     }
 
     #[test]
     fn edge_value_measure_requires_values() {
         let g = fig1(); // fig1 has no edge values
         let gender = g.schema().id("gender").unwrap();
-        assert!(aggregate_measure(
-            &g,
-            &[gender],
-            NodeMeasure::Count,
-            EdgeMeasure::SumValues
-        )
-        .is_err());
+        assert!(
+            aggregate_measure(&g, &[gender], NodeMeasure::Count, EdgeMeasure::SumValues).is_err()
+        );
     }
 
     #[test]
@@ -341,12 +347,11 @@ mod tests {
         b.set_presence(u, TimePoint(0)).unwrap();
         let g = b.build().unwrap();
         // score never set → Min has no observation
-        let min = aggregate_measure(&g, &[kind], NodeMeasure::Min(score), EdgeMeasure::Count)
-            .unwrap();
+        let min =
+            aggregate_measure(&g, &[kind], NodeMeasure::Min(score), EdgeMeasure::Count).unwrap();
         assert_eq!(min.node_value(std::slice::from_ref(&k)), None);
         // but Count still sees the appearance
-        let count =
-            aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::Count).unwrap();
+        let count = aggregate_measure(&g, &[kind], NodeMeasure::Count, EdgeMeasure::Count).unwrap();
         assert_eq!(count.node_value(std::slice::from_ref(&k)), Some(1.0));
     }
 }

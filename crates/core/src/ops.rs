@@ -12,7 +12,7 @@
 //! ([`SideTest::All`]). Definitions 2.3–2.5 are the [`SideTest::Any`]
 //! instances.
 
-use tempo_columnar::{BitMatrix, Interner, Value, ValueMatrix};
+use tempo_columnar::{BitMatrix, BitVec, Interner, Value, ValueMatrix};
 use tempo_graph::{require_non_empty, GraphError, NodeId, TemporalGraph, TimeSet};
 
 /// How an entity's timestamp is tested against one side interval.
@@ -46,6 +46,165 @@ pub enum Event {
     Shrinkage,
 }
 
+/// The membership result of an event operator, expressed as packed bitmasks
+/// over the *source* graph's node and edge rows.
+///
+/// This is the zero-materialization half of the exploration kernel: where
+/// [`event_graph`] copies the selected entities into a fresh
+/// [`TemporalGraph`], an `EventMask` merely records *which* rows of `g`
+/// belong to the event graph and over which `scope` their timestamps count.
+/// Aggregation can then run directly against the source presence matrices
+/// (see `graphtempo::aggregate::GroupTable`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EventMask {
+    keep_nodes: BitVec,
+    keep_edges: BitVec,
+    scope: TimeSet,
+}
+
+impl EventMask {
+    /// Bitmask over source node rows: bit `r` set iff node `r` is in the
+    /// event graph.
+    #[inline]
+    pub fn keep_nodes(&self) -> &BitVec {
+        &self.keep_nodes
+    }
+
+    /// Bitmask over source edge rows: bit `r` set iff edge `r` is in the
+    /// event graph.
+    #[inline]
+    pub fn keep_edges(&self) -> &BitVec {
+        &self.keep_edges
+    }
+
+    /// Time scope of the event graph (`𝒯old ∪ 𝒯new` for stability, `𝒯new`
+    /// for growth, `𝒯old` for shrinkage): kept entities' timestamps are
+    /// restricted to it.
+    #[inline]
+    pub fn scope(&self) -> &TimeSet {
+        &self.scope
+    }
+
+    /// Number of nodes in the event graph.
+    pub fn n_nodes(&self) -> usize {
+        self.keep_nodes.count_ones()
+    }
+
+    /// Number of edges in the event graph.
+    pub fn n_edges(&self) -> usize {
+        self.keep_edges.count_ones()
+    }
+
+    /// Source row indices of kept nodes, ascending.
+    pub fn node_rows(&self) -> Vec<usize> {
+        self.keep_nodes.iter_ones().collect()
+    }
+
+    /// Source row indices of kept edges, ascending.
+    pub fn edge_rows(&self) -> Vec<usize> {
+        self.keep_edges.iter_ones().collect()
+    }
+}
+
+/// Tests one presence-matrix row against a side interval without copying
+/// the row out (word-level AND / superset checks on the packed storage).
+#[inline]
+fn row_member(m: &BitMatrix, r: usize, side: &TimeSet, test: SideTest) -> bool {
+    match test {
+        SideTest::Any => m.row_any(r, side.bits()),
+        SideTest::All => m.row_all(r, side.bits()),
+    }
+}
+
+/// Computes the [`EventMask`] of the §3 event operators for a pair of
+/// intervals under explicit side semantics — the selection half of
+/// [`event_graph`] with no subgraph materialization: membership is decided
+/// row by row against the packed presence matrices.
+///
+/// # Errors
+/// Returns an error if either interval is empty.
+pub fn event_mask(
+    g: &TemporalGraph,
+    event: Event,
+    told: &TimeSet,
+    tnew: &TimeSet,
+    old_test: SideTest,
+    new_test: SideTest,
+) -> Result<EventMask, GraphError> {
+    require_non_empty(told, "𝒯old")?;
+    require_non_empty(tnew, "𝒯new")?;
+    let nodes_m = g.node_presence_matrix();
+    let edges_m = g.edge_presence_matrix();
+
+    let (keep_nodes, keep_edges, scope) = match event {
+        Event::Stability => {
+            let mut keep_nodes = BitVec::zeros(g.n_nodes());
+            for r in 0..g.n_nodes() {
+                if row_member(nodes_m, r, told, old_test) && row_member(nodes_m, r, tnew, new_test)
+                {
+                    keep_nodes.set(r, true);
+                }
+            }
+            let mut keep_edges = BitVec::zeros(g.n_edges());
+            for r in 0..g.n_edges() {
+                if row_member(edges_m, r, told, old_test) && row_member(edges_m, r, tnew, new_test)
+                {
+                    keep_edges.set(r, true);
+                }
+            }
+            (keep_nodes, keep_edges, told.union(tnew))
+        }
+        Event::Growth => {
+            let (keep_nodes, keep_edges) = difference_masks(g, tnew, new_test, told, old_test);
+            (keep_nodes, keep_edges, tnew.clone())
+        }
+        Event::Shrinkage => {
+            let (keep_nodes, keep_edges) = difference_masks(g, told, old_test, tnew, new_test);
+            (keep_nodes, keep_edges, told.clone())
+        }
+    };
+    Ok(EventMask {
+        keep_nodes,
+        keep_edges,
+        scope,
+    })
+}
+
+/// Mask form of the difference selection (Definition 2.5): edges member of
+/// `keep_side` and not of `drop_side`; nodes member of `keep_side` and
+/// either not member of `drop_side` or incident to a kept edge.
+fn difference_masks(
+    g: &TemporalGraph,
+    keep_side: &TimeSet,
+    keep_test: SideTest,
+    drop_side: &TimeSet,
+    drop_test: SideTest,
+) -> (BitVec, BitVec) {
+    let nodes_m = g.node_presence_matrix();
+    let edges_m = g.edge_presence_matrix();
+    let mut keep_edges = BitVec::zeros(g.n_edges());
+    let mut incident = BitVec::zeros(g.n_nodes());
+    for r in 0..g.n_edges() {
+        if row_member(edges_m, r, keep_side, keep_test)
+            && !row_member(edges_m, r, drop_side, drop_test)
+        {
+            keep_edges.set(r, true);
+            let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(r as u32));
+            incident.set(u.index(), true);
+            incident.set(v.index(), true);
+        }
+    }
+    let mut keep_nodes = BitVec::zeros(g.n_nodes());
+    for r in 0..g.n_nodes() {
+        if row_member(nodes_m, r, keep_side, keep_test)
+            && (!row_member(nodes_m, r, drop_side, drop_test) || incident.get(r))
+        {
+            keep_nodes.set(r, true);
+        }
+    }
+    (keep_nodes, keep_edges)
+}
+
 /// Materializes the subgraph of `g` induced by the kept node and edge rows,
 /// with all timestamps and time-varying values masked to `scope`.
 fn materialize_subgraph(
@@ -62,17 +221,12 @@ fn materialize_subgraph(
         let name = g.node_name(NodeId(r as u32)).to_owned();
         let new_id = names.intern(name);
         remap[r] = new_id;
-        node_presence.push_row(
-            &g.node_presence_matrix()
-                .row_masked(r, scope.bits()),
-        );
+        node_presence.push_row(&g.node_presence_matrix().row_masked(r, scope.bits()));
     }
 
     let mut edges = Vec::with_capacity(keep_edges.len());
     let mut edge_presence = BitMatrix::new(nt);
-    let mut edge_values = g
-        .edge_values_matrix()
-        .map(|_| ValueMatrix::new(nt));
+    let mut edge_values = g.edge_values_matrix().map(|_| ValueMatrix::new(nt));
     for &r in keep_edges {
         let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(r as u32));
         let (nu, nv) = (remap[u.index()], remap[v.index()]);
@@ -169,11 +323,7 @@ pub fn project_point(
 ///
 /// # Errors
 /// Returns an error if either interval is empty or materialization fails.
-pub fn union(
-    g: &TemporalGraph,
-    t1: &TimeSet,
-    t2: &TimeSet,
-) -> Result<TemporalGraph, GraphError> {
+pub fn union(g: &TemporalGraph, t1: &TimeSet, t2: &TimeSet) -> Result<TemporalGraph, GraphError> {
     require_non_empty(t1, "𝒯₁")?;
     require_non_empty(t2, "𝒯₂")?;
     let scope = t1.union(t2);
@@ -236,78 +386,16 @@ pub fn event_graph(
     old_test: SideTest,
     new_test: SideTest,
 ) -> Result<TemporalGraph, GraphError> {
-    require_non_empty(told, "𝒯old")?;
-    require_non_empty(tnew, "𝒯new")?;
-
-    let node_member = |r: usize, side: &TimeSet, test: SideTest| {
-        let tau = TimeSet::from_bits(g.node_presence_matrix().row(r));
-        test.member(&tau, side)
-    };
-    let edge_member = |r: usize, side: &TimeSet, test: SideTest| {
-        let tau = TimeSet::from_bits(g.edge_presence_matrix().row(r));
-        test.member(&tau, side)
-    };
-
-    let (keep_nodes, keep_edges, scope) = match event {
-        Event::Stability => {
-            let scope = told.union(tnew);
-            let nodes: Vec<usize> = (0..g.n_nodes())
-                .filter(|&r| node_member(r, told, old_test) && node_member(r, tnew, new_test))
-                .collect();
-            let edges: Vec<usize> = (0..g.n_edges())
-                .filter(|&r| edge_member(r, told, old_test) && edge_member(r, tnew, new_test))
-                .collect();
-            (nodes, edges, scope)
-        }
-        Event::Growth => {
-            let edges: Vec<usize> = (0..g.n_edges())
-                .filter(|&r| edge_member(r, tnew, new_test) && !edge_member(r, told, old_test))
-                .collect();
-            let nodes = difference_nodes(
-                g,
-                &edges,
-                |r| node_member(r, tnew, new_test),
-                |r| node_member(r, told, old_test),
-            );
-            (nodes, edges, tnew.clone())
-        }
-        Event::Shrinkage => {
-            let edges: Vec<usize> = (0..g.n_edges())
-                .filter(|&r| edge_member(r, told, old_test) && !edge_member(r, tnew, new_test))
-                .collect();
-            let nodes = difference_nodes(
-                g,
-                &edges,
-                |r| node_member(r, told, old_test),
-                |r| node_member(r, tnew, new_test),
-            );
-            (nodes, edges, told.clone())
-        }
-    };
-    materialize_subgraph(g, &keep_nodes, &keep_edges, &scope)
-}
-
-/// Node selection of Definition 2.5: present in the kept interval, and
-/// either absent from the removed interval or an endpoint of a kept edge.
-fn difference_nodes(
-    g: &TemporalGraph,
-    kept_edges: &[usize],
-    present: impl Fn(usize) -> bool,
-    absent_from: impl Fn(usize) -> bool,
-) -> Vec<usize> {
-    let mut incident = vec![false; g.n_nodes()];
-    for &e in kept_edges {
-        let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
-        incident[u.index()] = true;
-        incident[v.index()] = true;
-    }
-    (0..g.n_nodes())
-        .filter(|&r| present(r) && (!absent_from(r) || incident[r]))
-        .collect()
+    let mask = event_mask(g, event, told, tnew, old_test, new_test)?;
+    materialize_subgraph(g, &mask.node_rows(), &mask.edge_rows(), mask.scope())
 }
 
 /// Convenience: renders an aggregate value tuple for error messages/tests.
-pub(crate) fn render_tuple(g: &TemporalGraph, attrs: &[tempo_graph::AttrId], tuple: &[Value]) -> String {
+pub(crate) fn render_tuple(
+    g: &TemporalGraph,
+    attrs: &[tempo_graph::AttrId],
+    tuple: &[Value],
+) -> String {
     let parts: Vec<String> = attrs
         .iter()
         .zip(tuple)
@@ -412,10 +500,7 @@ mod tests {
         assert_eq!(d.n_edges(), 1);
         let e = d.edge_ids().next().unwrap();
         let (u, v) = d.edge_endpoints(e);
-        assert_eq!(
-            (d.node_name(u), d.node_name(v)),
-            ("u5", "u2")
-        );
+        assert_eq!((d.node_name(u), d.node_name(v)), ("u5", "u2"));
     }
 
     #[test]
@@ -462,6 +547,65 @@ mod tests {
         assert!(all.n_nodes() <= any.n_nodes());
         assert_eq!(any.n_nodes(), 2); // u2, u4
         assert_eq!(all.n_nodes(), 2); // u2, u4 both span t0,t1
+    }
+
+    #[test]
+    fn event_mask_agrees_with_event_graph_on_fig1() {
+        let g = fig1();
+        let intervals = [ts(&[0]), ts(&[1]), ts(&[0, 1]), ts(&[2])];
+        for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
+            for told in &intervals {
+                for tnew in &intervals {
+                    for old_test in [SideTest::Any, SideTest::All] {
+                        for new_test in [SideTest::Any, SideTest::All] {
+                            let mask =
+                                event_mask(&g, event, told, tnew, old_test, new_test).unwrap();
+                            let graph =
+                                event_graph(&g, event, told, tnew, old_test, new_test).unwrap();
+                            assert_eq!(mask.n_nodes(), graph.n_nodes());
+                            assert_eq!(mask.n_edges(), graph.n_edges());
+                            // same rows: every kept node's name resolves in the graph
+                            for r in mask.node_rows() {
+                                assert!(
+                                    graph.node_id(g.node_name(NodeId(r as u32))).is_some(),
+                                    "{event:?} kept node row {r} missing from event graph"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_mask_single_timepoint_domain() {
+        use tempo_graph::fixtures::fig1;
+        let g = fig1();
+        // collapse to a single-point interval on both sides: stability keeps
+        // exactly the point's entities, growth/shrinkage keep nothing
+        let p = ts(&[1]);
+        let stab = event_mask(&g, Event::Stability, &p, &p, SideTest::Any, SideTest::Any).unwrap();
+        assert_eq!(stab.n_nodes(), 3); // u1, u2, u4 alive at t1
+        let grow = event_mask(&g, Event::Growth, &p, &p, SideTest::Any, SideTest::Any).unwrap();
+        assert_eq!((grow.n_nodes(), grow.n_edges()), (0, 0));
+        assert!(grow.keep_nodes().is_zero() && grow.keep_edges().is_zero());
+    }
+
+    #[test]
+    fn event_mask_empty_interval_errors() {
+        let g = fig1();
+        assert!(matches!(
+            event_mask(
+                &g,
+                Event::Stability,
+                &TimeSet::empty(3),
+                &ts(&[1]),
+                SideTest::Any,
+                SideTest::Any
+            ),
+            Err(GraphError::EmptyInterval(_))
+        ));
     }
 
     #[test]

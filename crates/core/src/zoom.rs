@@ -151,12 +151,8 @@ pub fn zoom_out(
         })
         .collect();
 
-    let coarse_row = |tau: &TimeSet| -> Vec<bool> {
-        masks
-            .iter()
-            .map(|m| semantics.member(tau, m))
-            .collect()
-    };
+    let coarse_row =
+        |tau: &TimeSet| -> Vec<bool> { masks.iter().map(|m| semantics.member(tau, m)).collect() };
 
     // Nodes.
     let mut keep_nodes: Vec<usize> = Vec::new();

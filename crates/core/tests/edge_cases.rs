@@ -7,7 +7,7 @@ use graphtempo::ops::{
 };
 use tempo_columnar::Value;
 use tempo_graph::{
-    AttributeSchema, GraphBuilder, GraphError, Temporality, TemporalGraph, TimeDomain, TimePoint,
+    AttributeSchema, GraphBuilder, GraphError, TemporalGraph, Temporality, TimeDomain, TimePoint,
     TimeSet,
 };
 
@@ -181,7 +181,10 @@ fn self_loop_edges_flow_through_operators() {
     .unwrap();
     assert_eq!(i.n_edges(), 1);
     let agg = aggregate(&i, &[i.schema().id("kind").unwrap()], AggMode::Distinct);
-    assert_eq!(agg.edge_weight(std::slice::from_ref(&k), std::slice::from_ref(&k)), 1);
+    assert_eq!(
+        agg.edge_weight(std::slice::from_ref(&k), std::slice::from_ref(&k)),
+        1
+    );
 }
 
 #[test]

@@ -6,9 +6,7 @@
 use graphtempo::aggregate::{
     aggregate, aggregate_static_fast, aggregate_via_frames, rollup, AggMode,
 };
-use graphtempo::explore::{
-    explore, explore_naive, ExploreConfig, ExtendSide, Selector, Semantics,
-};
+use graphtempo::explore::{explore, explore_naive, ExploreConfig, ExtendSide, Selector, Semantics};
 use graphtempo::materialize::{aggregate_at_point, TimepointStore};
 use graphtempo::ops::{
     difference, event_graph, intersection, project_point, union, Event, SideTest,
@@ -20,33 +18,31 @@ use tempo_graph::{AttrId, TemporalGraph, TimePoint, TimeSet};
 /// Strategy: a random evolving graph plus its config.
 fn graph_strategy() -> impl Strategy<Value = TemporalGraph> {
     (
-        10usize..40,   // pool
-        3usize..7,     // timepoints
-        5usize..15,    // active per tp
-        5usize..40,    // edges per tp
-        0u8..=10,      // node persistence (tenths)
-        0u8..=10,      // edge persistence (tenths)
-        1usize..4,     // kinds
-        1i64..5,       // levels
-        any::<u64>(),  // seed
+        10usize..40,  // pool
+        3usize..7,    // timepoints
+        5usize..15,   // active per tp
+        5usize..40,   // edges per tp
+        0u8..=10,     // node persistence (tenths)
+        0u8..=10,     // edge persistence (tenths)
+        1usize..4,    // kinds
+        1i64..5,      // levels
+        any::<u64>(), // seed
     )
-        .prop_map(
-            |(pool, tps, active, edges, np, ep, kinds, levels, seed)| {
-                RandomGraphConfig {
-                    pool,
-                    timepoints: tps,
-                    active_per_tp: active.min(pool),
-                    edges_per_tp: edges,
-                    node_persistence: f64::from(np) / 10.0,
-                    edge_persistence: f64::from(ep) / 10.0,
-                    kinds,
-                    levels,
-                    seed,
-                }
-                .generate()
-                .expect("random generator produces valid graphs")
-            },
-        )
+        .prop_map(|(pool, tps, active, edges, np, ep, kinds, levels, seed)| {
+            RandomGraphConfig {
+                pool,
+                timepoints: tps,
+                active_per_tp: active.min(pool),
+                edges_per_tp: edges,
+                node_persistence: f64::from(np) / 10.0,
+                edge_persistence: f64::from(ep) / 10.0,
+                kinds,
+                levels,
+                seed,
+            }
+            .generate()
+            .expect("random generator produces valid graphs")
+        })
 }
 
 /// Random non-empty contiguous interval over `n` points.

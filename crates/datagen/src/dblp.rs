@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tempo_columnar::Value;
 use tempo_graph::{
-    AttributeSchema, GraphBuilder, GraphError, NodeId, Temporality, TemporalGraph, TimeDomain,
+    AttributeSchema, GraphBuilder, GraphError, NodeId, TemporalGraph, Temporality, TimeDomain,
     TimePoint,
 };
 
@@ -111,9 +111,7 @@ impl DblpConfig {
         let community: Vec<usize> = (0..pool)
             .map(|_| rng.gen_range(0..self.communities.max(1)))
             .collect();
-        let genders: Vec<bool> = (0..pool)
-            .map(|_| rng.gen_bool(self.female_ratio))
-            .collect();
+        let genders: Vec<bool> = (0..pool).map(|_| rng.gen_bool(self.female_ratio)).collect();
 
         let mut b = GraphBuilder::new(domain, schema);
         let f = b.intern_category(gender, "f");
@@ -131,10 +129,8 @@ impl DblpConfig {
         // Stable core: pairs (2i, 2i+1) collaborate every year of the span.
         let core_pairs = ((self.stable_pairs as f64 * self.scale).round() as usize).max(1);
         let core_authors: Vec<usize> = (0..2 * core_pairs.min(pool / 2)).collect();
-        let core_edges: Vec<(usize, usize)> = core_authors
-            .chunks_exact(2)
-            .map(|p| (p[0], p[1]))
-            .collect();
+        let core_edges: Vec<(usize, usize)> =
+            core_authors.chunks_exact(2).map(|p| (p[0], p[1])).collect();
 
         // Stars: prolific authors publishing >4 papers every year. They sit
         // right after the stable-core indices (disjoint, so no persistent
@@ -148,12 +144,8 @@ impl DblpConfig {
             .map(|i| core_authors.len() + i)
             .filter(|&n| n < pool)
             .collect();
-        let is_star = |n: usize| -> Option<usize> {
-            stars
-                .binary_search(&n)
-                .ok()
-                .map(|i| star_base[i])
-        };
+        let is_star =
+            |n: usize| -> Option<usize> { stars.binary_search(&n).ok().map(|i| star_base[i]) };
         let forced_active: Vec<usize> = {
             let mut v = core_authors.clone();
             v.extend(&stars);
@@ -280,7 +272,10 @@ mod tests {
         let mut seen = 0;
         for e in g.edge_ids().take(50) {
             for t in g.edge_timestamp(e).iter() {
-                let v = g.edge_value(e, t).as_int().expect("value set where present");
+                let v = g
+                    .edge_value(e, t)
+                    .as_int()
+                    .expect("value set where present");
                 assert!((1..=3).contains(&v));
                 seen += 1;
             }

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tempo_columnar::Value;
 use tempo_graph::{
-    AttributeSchema, GraphBuilder, GraphError, NodeId, Temporality, TemporalGraph, TimeDomain,
+    AttributeSchema, GraphBuilder, GraphError, NodeId, TemporalGraph, Temporality, TimeDomain,
     TimePoint,
 };
 
@@ -204,9 +204,14 @@ mod tests {
         let g = MovieLensConfig::scaled(0.2).generate().unwrap();
         let schema = g.schema();
         assert_eq!(schema.def(schema.id("gender").unwrap()).category_count(), 2);
-        assert_eq!(schema.def(schema.id("age").unwrap()).category_count(), AGE_GROUPS);
         assert_eq!(
-            schema.def(schema.id("occupation").unwrap()).category_count(),
+            schema.def(schema.id("age").unwrap()).category_count(),
+            AGE_GROUPS
+        );
+        assert_eq!(
+            schema
+                .def(schema.id("occupation").unwrap())
+                .category_count(),
             OCCUPATIONS
         );
         let rating = schema.id("rating").unwrap();

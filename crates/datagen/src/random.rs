@@ -5,7 +5,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tempo_columnar::Value;
 use tempo_graph::{
-    AttributeSchema, GraphBuilder, GraphError, Temporality, TemporalGraph, TimeDomain, TimePoint,
+    AttributeSchema, GraphBuilder, GraphError, TemporalGraph, Temporality, TimeDomain, TimePoint,
 };
 
 /// Configuration of the generic evolving random-graph generator.

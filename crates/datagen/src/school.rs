@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 use tempo_columnar::Value;
 use tempo_graph::{
-    AttributeSchema, GraphBuilder, GraphError, Temporality, TemporalGraph, TimeDomain, TimePoint,
+    AttributeSchema, GraphBuilder, GraphError, TemporalGraph, Temporality, TimeDomain, TimePoint,
 };
 
 /// Configuration of the school contact-network generator.
@@ -70,7 +70,9 @@ impl SchoolConfig {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n = self.n_students();
         let domain = TimeDomain::new(
-            (0..self.days.max(1)).map(|d| format!("day{d:02}")).collect::<Vec<_>>(),
+            (0..self.days.max(1))
+                .map(|d| format!("day{d:02}"))
+                .collect::<Vec<_>>(),
         )?;
         let mut schema = AttributeSchema::new();
         let grade = schema.declare("grade", Temporality::Static)?;
@@ -119,8 +121,7 @@ impl SchoolConfig {
                     base + rng.gen_range(0..self.students_per_class)
                 } else if rng.gen_bool(self.intra_grade) {
                     // grademate
-                    let gbase =
-                        grade_of(a) * self.classes_per_grade * self.students_per_class;
+                    let gbase = grade_of(a) * self.classes_per_grade * self.students_per_class;
                     gbase + rng.gen_range(0..self.classes_per_grade * self.students_per_class)
                 } else {
                     rng.gen_range(0..n)

@@ -3,20 +3,20 @@
 
 /// Year labels of the DBLP dataset (Table 3).
 pub const DBLP_YEARS: [&str; 21] = [
-    "2000", "2001", "2002", "2003", "2004", "2005", "2006", "2007", "2008", "2009", "2010",
-    "2011", "2012", "2013", "2014", "2015", "2016", "2017", "2018", "2019", "2020",
+    "2000", "2001", "2002", "2003", "2004", "2005", "2006", "2007", "2008", "2009", "2010", "2011",
+    "2012", "2013", "2014", "2015", "2016", "2017", "2018", "2019", "2020",
 ];
 
 /// Nodes per year of the DBLP dataset (Table 3).
 pub const DBLP_NODES: [usize; 21] = [
-    1708, 2165, 1761, 2827, 3278, 4466, 4730, 5193, 5501, 5363, 6236, 6535, 6769, 7457, 7035,
-    8581, 8966, 9660, 11037, 12377, 12996,
+    1708, 2165, 1761, 2827, 3278, 4466, 4730, 5193, 5501, 5363, 6236, 6535, 6769, 7457, 7035, 8581,
+    8966, 9660, 11037, 12377, 12996,
 ];
 
 /// Edges per year of the DBLP dataset (Table 3).
 pub const DBLP_EDGES: [usize; 21] = [
-    2336, 2949, 2458, 4130, 4821, 7145, 7296, 7620, 8528, 8740, 10163, 10090, 11871, 12989,
-    12072, 15844, 16873, 18470, 21197, 27455, 28546,
+    2336, 2949, 2458, 4130, 4821, 7145, 7296, 7620, 8528, 8740, 10163, 10090, 11871, 12989, 12072,
+    15844, 16873, 18470, 21197, 27455, 28546,
 ];
 
 /// Month labels of the MovieLens dataset (Table 4).

@@ -90,11 +90,7 @@ impl AttributeSchema {
     ///
     /// # Errors
     /// Returns an error if the name is already declared.
-    pub fn declare(
-        &mut self,
-        name: &str,
-        temporality: Temporality,
-    ) -> Result<AttrId, GraphError> {
+    pub fn declare(&mut self, name: &str, temporality: Temporality) -> Result<AttrId, GraphError> {
         if self.attrs.iter().any(|a| a.name == name) {
             return Err(GraphError::DuplicateAttribute(name.to_owned()));
         }

@@ -190,12 +190,13 @@ impl GraphBuilder {
     /// Returns an error for an unknown node or a non-static attribute.
     pub fn set_static(&mut self, n: NodeId, attr: AttrId, value: Value) -> Result<(), GraphError> {
         self.check_node(n)?;
-        let slot = self.schema.static_slot(attr).ok_or_else(|| {
-            GraphError::AttributeKindMismatch {
-                name: self.schema.def(attr).name().to_owned(),
-                expected: "static",
-            }
-        })?;
+        let slot =
+            self.schema
+                .static_slot(attr)
+                .ok_or_else(|| GraphError::AttributeKindMismatch {
+                    name: self.schema.def(attr).name().to_owned(),
+                    expected: "static",
+                })?;
         self.static_table.set(n.index(), slot, value);
         Ok(())
     }
@@ -361,10 +362,7 @@ mod tests {
     fn duplicate_node_rejected() {
         let mut b = GraphBuilder::new(TimeDomain::indexed(2), schema());
         b.add_node("u").unwrap();
-        assert!(matches!(
-            b.add_node("u"),
-            Err(GraphError::DuplicateNode(_))
-        ));
+        assert!(matches!(b.add_node("u"), Err(GraphError::DuplicateNode(_))));
         assert_eq!(b.get_or_add_node("u"), NodeId(0));
         assert_eq!(b.get_or_add_node("v"), NodeId(1));
         assert_eq!(b.n_nodes(), 2);
@@ -406,7 +404,8 @@ mod tests {
         let mut b = GraphBuilder::new(TimeDomain::indexed(2), schema());
         let u = b.add_node("u").unwrap();
         let pubs = b.schema().id("pubs").unwrap();
-        b.set_time_varying(u, pubs, TimePoint(0), Value::Int(5)).unwrap();
+        b.set_time_varying(u, pubs, TimePoint(0), Value::Int(5))
+            .unwrap();
         let g = b.build().unwrap();
         assert!(g.node_alive_at(u, TimePoint(0)));
         assert_eq!(g.attr_value(u, pubs, TimePoint(0)), Value::Int(5));
@@ -472,7 +471,8 @@ mod tests {
         b.set_edge_value(u, v, TimePoint(1), Value::Int(7)).unwrap();
         let g = b.build().unwrap();
         let mut b2 = GraphBuilder::from_graph(g, &["t2"]).unwrap();
-        b2.set_edge_value(u, v, TimePoint(2), Value::Int(9)).unwrap();
+        b2.set_edge_value(u, v, TimePoint(2), Value::Int(9))
+            .unwrap();
         let g2 = b2.build().unwrap();
         let e = g2.edge_between(u, v).unwrap();
         assert_eq!(g2.edge_value(e, TimePoint(1)), Value::Int(7));
@@ -487,7 +487,8 @@ mod tests {
         let v = b.add_node("v").unwrap();
         b.add_edge_at(u, v, TimePoint(0)).unwrap();
         let pubs = b.schema().id("pubs").unwrap();
-        b.set_time_varying(u, pubs, TimePoint(1), Value::Int(2)).unwrap();
+        b.set_time_varying(u, pubs, TimePoint(1), Value::Int(2))
+            .unwrap();
         let g = b.build().unwrap();
 
         let mut b2 = GraphBuilder::from_graph(g, &["t2"]).unwrap();
@@ -498,7 +499,8 @@ mod tests {
         // append the new snapshot
         let w = b2.add_node("w").unwrap();
         b2.add_edge_at(u, w, TimePoint(2)).unwrap();
-        b2.set_time_varying(u, pubs, TimePoint(2), Value::Int(5)).unwrap();
+        b2.set_time_varying(u, pubs, TimePoint(2), Value::Int(5))
+            .unwrap();
         let g2 = b2.build().unwrap();
         assert_eq!(g2.domain().labels(), &["t0", "t1", "t2"]);
         assert!(g2.edge_alive_at(g2.edge_between(u, v).unwrap(), TimePoint(0)));
@@ -524,8 +526,10 @@ mod tests {
         let mut b = GraphBuilder::new(TimeDomain::indexed(4), schema());
         let u = b.add_node("u").unwrap();
         let v = b.add_node("v").unwrap();
-        b.set_presence_set(u, &TimeSet::from_indices(4, [0, 2])).unwrap();
-        b.add_edge_span(v, u, &TimeSet::from_indices(4, [2, 3])).unwrap();
+        b.set_presence_set(u, &TimeSet::from_indices(4, [0, 2]))
+            .unwrap();
+        b.add_edge_span(v, u, &TimeSet::from_indices(4, [2, 3]))
+            .unwrap();
         let g = b.build().unwrap();
         assert_eq!(g.node_timestamp(u).len(), 3); // {0,2} ∪ {3} via edge span
         let e = g.edge_between(v, u).unwrap();

@@ -32,7 +32,13 @@ pub fn fig1() -> TemporalGraph {
         .expect("fresh schema");
 
     let mut b = GraphBuilder::new(domain, schema);
-    let genders = [("u1", "m"), ("u2", "f"), ("u3", "f"), ("u4", "f"), ("u5", "m")];
+    let genders = [
+        ("u1", "m"),
+        ("u2", "f"),
+        ("u3", "f"),
+        ("u4", "f"),
+        ("u5", "m"),
+    ];
     for (name, gv) in genders {
         let n = b.add_node(name).expect("names are distinct");
         let v = b.intern_category(gender, gv);
@@ -69,7 +75,8 @@ pub fn fig1() -> TemporalGraph {
     for (u, v, t) in edges {
         let u = b.get_or_add_node(u);
         let v = b.get_or_add_node(v);
-        b.add_edge_at(u, v, TimePoint(t)).expect("nodes and times valid");
+        b.add_edge_at(u, v, TimePoint(t))
+            .expect("nodes and times valid");
     }
 
     b.build().expect("fixture satisfies all invariants")

@@ -200,9 +200,7 @@ impl TemporalGraph {
     pub fn validate(&self) -> Result<(), GraphError> {
         for (ei, &(u, v)) in self.edges.iter().enumerate() {
             for t in self.edge_presence.iter_row_ones(ei) {
-                if !self.node_presence.get(u.index(), t)
-                    || !self.node_presence.get(v.index(), t)
-                {
+                if !self.node_presence.get(u.index(), t) || !self.node_presence.get(v.index(), t) {
                     return Err(GraphError::EdgeWithoutEndpoint {
                         src: self.node_name(u).to_owned(),
                         dst: self.node_name(v).to_owned(),
@@ -217,11 +215,7 @@ impl TemporalGraph {
                     if !ev.get(e, t).is_null() && !self.edge_presence.get(e, t) {
                         let (u, v) = self.edges[e];
                         return Err(GraphError::AttributePresenceMismatch {
-                            node: format!(
-                                "edge ({}, {})",
-                                self.node_name(u),
-                                self.node_name(v)
-                            ),
+                            node: format!("edge ({}, {})", self.node_name(u), self.node_name(v)),
                             attr: "edge value".to_owned(),
                             time: self.domain.label(TimePoint(t as u32)).to_owned(),
                         });
@@ -271,9 +265,7 @@ impl TemporalGraph {
     /// # Panics
     /// Panics if the id is out of range.
     pub fn node_name(&self, n: NodeId) -> &str {
-        self.node_names
-            .resolve(n.0)
-            .expect("node id out of range")
+        self.node_names.resolve(n.0).expect("node id out of range")
     }
 
     /// Looks up a node by label.
@@ -375,12 +367,13 @@ impl TemporalGraph {
     /// # Panics
     /// Panics if ids are out of range.
     pub fn static_value(&self, n: NodeId, attr: AttrId) -> Result<Value, GraphError> {
-        let slot = self.schema.static_slot(attr).ok_or_else(|| {
-            GraphError::AttributeKindMismatch {
-                name: self.schema.def(attr).name().to_owned(),
-                expected: "static",
-            }
-        })?;
+        let slot =
+            self.schema
+                .static_slot(attr)
+                .ok_or_else(|| GraphError::AttributeKindMismatch {
+                    name: self.schema.def(attr).name().to_owned(),
+                    expected: "static",
+                })?;
         Ok(self.static_table.get(n.index(), slot).clone())
     }
 
@@ -564,9 +557,7 @@ mod tests {
     #[test]
     fn validate_rejects_attr_on_absent_node() {
         let mut schema = AttributeSchema::new();
-        schema
-            .declare("pubs", Temporality::TimeVarying)
-            .unwrap();
+        schema.declare("pubs", Temporality::TimeVarying).unwrap();
         let mut b = GraphBuilder::new(TimeDomain::indexed(2), schema);
         let u = b.add_node("u").unwrap();
         b.set_presence(u, TimePoint(0)).unwrap();

@@ -95,7 +95,11 @@ pub fn save_dir(g: &TemporalGraph, dir: &Path) -> Result<(), GraphError> {
     // static.tsv
     let static_ids = g.schema().static_ids();
     let mut scols = vec!["id".to_owned()];
-    scols.extend(static_ids.iter().map(|&a| g.schema().def(a).name().to_owned()));
+    scols.extend(
+        static_ids
+            .iter()
+            .map(|&a| g.schema().def(a).name().to_owned()),
+    );
     let mut stat = Frame::new(scols)?;
     for n in g.node_ids() {
         let mut row = Vec::with_capacity(static_ids.len() + 1);
@@ -189,10 +193,7 @@ fn cell_to_string(v: &Value) -> String {
 /// Returns an error on IO failure or malformed/inconsistent files.
 pub fn load_dir(dir: &Path) -> Result<TemporalGraph, GraphError> {
     let time = read_file(&dir.join("time.tsv"))?;
-    let labels: Vec<String> = time
-        .iter_rows()
-        .map(|r| cell_to_string(&r[0]))
-        .collect();
+    let labels: Vec<String> = time.iter_rows().map(|r| cell_to_string(&r[0])).collect();
     let domain = TimeDomain::new(labels.clone())?;
     let nt = domain.len();
 
@@ -325,7 +326,8 @@ mod tests {
     use crate::fixtures::fig1;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("tempo_graph_io_{name}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("tempo_graph_io_{name}_{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

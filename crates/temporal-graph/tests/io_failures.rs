@@ -20,7 +20,11 @@ fn write(dir: &Path, file: &str, content: &str) {
 /// A minimal consistent directory the failure cases then corrupt.
 fn valid_skeleton(dir: &Path) {
     write(dir, "time.tsv", "time\nt0\nt1\n");
-    write(dir, "schema.tsv", "name\tkind\ngender\tstatic\npubs\ttime-varying\n");
+    write(
+        dir,
+        "schema.tsv",
+        "name\tkind\ngender\tstatic\npubs\ttime-varying\n",
+    );
     write(dir, "nodes.tsv", "id\tt0\tt1\nu\t1\t1\nv\t1\t0\n");
     write(dir, "static.tsv", "id\tgender\nu\tm\nv\tf\n");
     write(dir, "attr_pubs.tsv", "id\tt0\tt1\nu\t2\t1\nv\t3\t-\n");

@@ -1,9 +1,7 @@
 //! Property-based tests of the time algebra and graph construction.
 
 use proptest::prelude::*;
-use tempo_graph::{
-    AttributeSchema, GraphBuilder, Temporality, TimeDomain, TimePoint, TimeSet,
-};
+use tempo_graph::{AttributeSchema, GraphBuilder, Temporality, TimeDomain, TimePoint, TimeSet};
 
 fn timeset_pair(n: usize) -> impl Strategy<Value = (TimeSet, TimeSet)> {
     (

@@ -30,8 +30,16 @@ fn main() {
         gr.attr_value(node, pubs, t).as_int().unwrap_or(0) > 4
     };
     for (label, t1, t2) in [
-        ("2010 vs the 2000s", TimeSet::range(n, 0, 9), TimeSet::point(n, TimePoint(10))),
-        ("2020 vs the 2010s", TimeSet::range(n, 10, 19), TimeSet::point(n, TimePoint(20))),
+        (
+            "2010 vs the 2000s",
+            TimeSet::range(n, 0, 9),
+            TimeSet::point(n, TimePoint(10)),
+        ),
+        (
+            "2020 vs the 2010s",
+            TimeSet::range(n, 10, 19),
+            TimeSet::point(n, TimePoint(20)),
+        ),
     ] {
         let evo = evolution_aggregate(&g, &t1, &t2, &attrs, Some(&high_activity)).unwrap();
         println!("\nevolution of active authors (>4 publications), {label}:");

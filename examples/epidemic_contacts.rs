@@ -57,7 +57,11 @@ fn main() {
     let week1 = TimeSet::range(n, 0, (n / 2).saturating_sub(1));
     let week2 = TimeSet::range(n, n / 2, n - 1);
     let stable = intersection(&g, &week1, &week2).unwrap();
-    let stable_agg = aggregate(&stable, &[stable.schema().id("class").unwrap()], AggMode::Distinct);
+    let stable_agg = aggregate(
+        &stable,
+        &[stable.schema().id("class").unwrap()],
+        AggMode::Distinct,
+    );
     let stable_intra: u64 = stable_agg
         .iter_edges()
         .iter()

@@ -35,7 +35,11 @@ fn main() {
     for k in [1.max(wth / 86), 1.max(wth / 2), wth] {
         cfg.k = k;
         let out = explore(&g, &cfg).unwrap();
-        println!("  k={k}: {} maximal pairs ({} evaluations)", out.pairs.len(), out.evaluations);
+        println!(
+            "  k={k}: {} maximal pairs ({} evaluations)",
+            out.pairs.len(),
+            out.evaluations
+        );
         for (pair, r) in out.pairs.iter().take(3) {
             println!("    {} → {r} stable F→F edges", pair.display(g.domain()));
         }
@@ -55,7 +59,11 @@ fn main() {
     for k in [1.max(wth / 12), 1.max(wth / 2), wth] {
         cfg.k = k;
         let out = explore(&g, &cfg).unwrap();
-        println!("  k={k}: {} minimal pairs ({} evaluations)", out.pairs.len(), out.evaluations);
+        println!(
+            "  k={k}: {} minimal pairs ({} evaluations)",
+            out.pairs.len(),
+            out.evaluations
+        );
         for (pair, r) in out.pairs.iter().take(3) {
             println!("    {} → {r} new F→F edges", pair.display(g.domain()));
         }
@@ -75,7 +83,11 @@ fn main() {
     for k in [wth, wth * 2, wth * 5] {
         cfg.k = k;
         let out = explore(&g, &cfg).unwrap();
-        println!("  k={k}: {} minimal pairs ({} evaluations)", out.pairs.len(), out.evaluations);
+        println!(
+            "  k={k}: {} minimal pairs ({} evaluations)",
+            out.pairs.len(),
+            out.evaluations
+        );
         for (pair, r) in out.pairs.iter().take(3) {
             println!("    {} → {r} deleted F→F edges", pair.display(g.domain()));
         }

@@ -31,9 +31,7 @@ fn main() {
     println!("\nAugust by gender:\n{}", by_gender.render(&g));
 
     // Drill down to (gender, age) for the same slice.
-    let ga = cube
-        .drill_down(&Level::new(vec!["gender"]), "age")
-        .unwrap();
+    let ga = cube.drill_down(&Level::new(vec!["gender"]), "age").unwrap();
     let detailed = cube.slice(&ga, aug).unwrap();
     println!(
         "drill-down to (gender, age): {} aggregate nodes, {} aggregate edges",
@@ -64,5 +62,8 @@ fn main() {
         &[coarse.schema().id("gender").unwrap()],
         AggMode::Distinct,
     );
-    println!("gender DIST on the zoomed graph:\n{}", coarse_agg.render(&coarse));
+    println!(
+        "gender DIST on the zoomed graph:\n{}",
+        coarse_agg.render(&coarse)
+    );
 }

@@ -79,8 +79,14 @@ fn main() {
     let attrs = vec![g.schema().id("gender").unwrap()];
     let dist = aggregate(&u, &attrs, AggMode::Distinct);
     let all = aggregate(&u, &attrs, AggMode::All);
-    println!("\nunion graph aggregated on gender (DIST):\n{}", dist.render(&u));
-    println!("union graph aggregated on gender (ALL):\n{}", all.render(&u));
+    println!(
+        "\nunion graph aggregated on gender (DIST):\n{}",
+        dist.render(&u)
+    );
+    println!(
+        "union graph aggregated on gender (ALL):\n{}",
+        all.render(&u)
+    );
 
     // --- 4. Evolution (§2.3) ---------------------------------------------
     let evo = EvolutionGraph::compute(&g, &y2022, &y2023).unwrap();

@@ -26,20 +26,21 @@ pub mod prelude {
         cube::{GraphCube, Level},
         evolution::{evolution_aggregate, EvolutionClass, EvolutionGraph},
         explore::{
-            explore, explore_naive, explore_parallel, solve_problem, suggest_k, ExploreConfig, ExtendSide,
-            ProblemReport, Selector, Semantics, ThresholdStat,
+            explore, explore_naive, explore_parallel, solve_problem, suggest_k, ExploreConfig,
+            ExtendSide, ProblemReport, Selector, Semantics, ThresholdStat,
         },
         export::{aggregate_to_dot, evolution_to_dot},
         materialize::{MaterializationCache, TimepointStore},
         measures::{aggregate_measure, EdgeMeasure, MeasureAggregate, NodeMeasure},
-        ops::{difference, event_graph, intersection, project, project_point, union, Event,
-            SideTest},
+        ops::{
+            difference, event_graph, intersection, project, project_point, union, Event, SideTest,
+        },
         zoom::{zoom_out, Granularity},
     };
     pub use tempo_columnar::{Frame, Value};
     pub use tempo_datagen::{DblpConfig, MovieLensConfig, RandomGraphConfig, SchoolConfig};
     pub use tempo_graph::{
-        AttrId, AttributeSchema, GraphBuilder, GraphStats, Temporality, TemporalGraph,
-        TimeDomain, TimePoint, TimeSet,
+        AttrId, AttributeSchema, GraphBuilder, GraphStats, TemporalGraph, Temporality, TimeDomain,
+        TimePoint, TimeSet,
     };
 }

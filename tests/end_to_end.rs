@@ -90,12 +90,18 @@ fn io_roundtrip_generated_graph() {
     // aggregate equality is a strong whole-graph check (values + presence)
     let ga = aggregate(
         &g,
-        &[g.schema().id("gender").unwrap(), g.schema().id("publications").unwrap()],
+        &[
+            g.schema().id("gender").unwrap(),
+            g.schema().id("publications").unwrap(),
+        ],
         AggMode::All,
     );
     let ha = aggregate(
         &h,
-        &[h.schema().id("gender").unwrap(), h.schema().id("publications").unwrap()],
+        &[
+            h.schema().id("gender").unwrap(),
+            h.schema().id("publications").unwrap(),
+        ],
         AggMode::All,
     );
     // categorical codes may differ; compare via total weights and counts
@@ -116,7 +122,11 @@ fn school_homophily_supports_targeted_closure() {
     let first_half = TimeSet::range(n, 0, n / 2 - 1);
     let second_half = TimeSet::range(n, n / 2, n - 1);
     let stable = intersection(&g, &first_half, &second_half).unwrap();
-    let agg = aggregate(&stable, &[stable.schema().id("class").unwrap()], AggMode::Distinct);
+    let agg = aggregate(
+        &stable,
+        &[stable.schema().id("class").unwrap()],
+        AggMode::Distinct,
+    );
     let intra: u64 = agg
         .iter_edges()
         .iter()

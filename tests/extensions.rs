@@ -23,8 +23,10 @@ fn incremental_snapshot_pipeline() {
     let f = b.schema().category(gender, "f");
     let val = f.unwrap_or(Value::Cat(0));
     b.set_static(rookie, gender, val).unwrap();
-    b.set_time_varying(veteran, pubs, t_new, Value::Int(2)).unwrap();
-    b.set_time_varying(rookie, pubs, t_new, Value::Int(1)).unwrap();
+    b.set_time_varying(veteran, pubs, t_new, Value::Int(2))
+        .unwrap();
+    b.set_time_varying(rookie, pubs, t_new, Value::Int(1))
+        .unwrap();
     b.add_edge_at(veteran, rookie, t_new).unwrap();
     let g2 = b.build().unwrap();
     assert_eq!(g2.domain().len(), old_len + 1);
@@ -56,7 +58,9 @@ fn cube_levels_consistent_with_rollup_chain() {
     assert_eq!(cube.all_levels().len(), 7);
     // rolling up twice equals querying the coarse level directly
     let scope = g.domain().all();
-    let fine = cube.query(&Level::new(vec!["gender", "age"]), &scope).unwrap();
+    let fine = cube
+        .query(&Level::new(vec!["gender", "age"]), &scope)
+        .unwrap();
     let via_rollup = rollup(&fine, &["gender"]).unwrap();
     let direct = cube.query(&Level::new(vec!["gender"]), &scope).unwrap();
     assert_eq!(via_rollup, direct);

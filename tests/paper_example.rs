@@ -150,8 +150,7 @@ fn section3_worked_exploration() {
         o.pairs
             .iter()
             .map(|(p, r)| {
-                let mut pts: Vec<u32> =
-                    p.told.union(&p.tnew).iter().map(|t| t.0).collect();
+                let mut pts: Vec<u32> = p.told.union(&p.tnew).iter().map(|t| t.0).collect();
                 pts.sort_unstable();
                 (pts, *r)
             })

@@ -1,0 +1,155 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `criterion` to this vendored implementation (see `[patch.crates-io]` in
+//! the workspace manifest). It provides `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
+//! `bench_function` and `Bencher::iter` with plain wall-clock timing and a
+//! textual report — no statistical analysis, plotting or CLI filtering.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // one warmup round so lazy statics and caches are populated
+        let mut warmup = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        f(&mut warmup);
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "  {}/{id}: median {} (min {}, max {}, {} samples)",
+            self.name,
+            fmt_duration(median),
+            fmt_duration(min),
+            fmt_duration(max),
+            samples.len()
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(self) {}
+}
+
+/// Times the body passed to [`Bencher::iter`].
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `f` (the stub's sampling unit).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.elapsed = start.elapsed();
+        std::hint::black_box(out);
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// work (re-export of `std::hint::black_box` for API compatibility).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.3} µs", s * 1e6)
+    }
+}
+
+/// Declares a function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        let mut runs = 0usize;
+        group.sample_size(3).bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                black_box(runs)
+            })
+        });
+        group.finish();
+        // 1 warmup + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

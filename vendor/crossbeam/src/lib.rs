@@ -1,0 +1,73 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no crates.io access, so the workspace patches
+//! `crossbeam` to this vendored implementation (see `[patch.crates-io]` in
+//! the workspace manifest). Only `crossbeam::thread::scope` /
+//! `Scope::spawn` are provided, implemented over `std::thread::scope`
+//! (stable since 1.63, below the workspace's MSRV).
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    use std::any::Any;
+
+    /// Result type of [`scope`], matching crossbeam's signature.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning scoped threads; wraps [`std::thread::Scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so
+        /// nested spawns work, as in crossbeam).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Creates a scope in which spawned threads are joined before `scope`
+    /// returns. A panicking child propagates as a panic at join (upstream
+    /// crossbeam instead reports it through the `Err` variant; callers
+    /// using `.expect(...)` observe the same abort either way).
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_share_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let mut sums = [0u64; 2];
+        let (a, b) = sums.split_at_mut(1);
+        super::thread::scope(|scope| {
+            scope.spawn(|_| a[0] = data[..2].iter().sum());
+            scope.spawn(|_| b[0] = data[2..].iter().sum());
+        })
+        .expect("workers succeed");
+        assert_eq!(sums, [3, 7]);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|inner| {
+                let h2 = inner.spawn(|_| 21u32);
+                h2.join().expect("inner join") * 2
+            });
+            h.join().expect("outer join")
+        })
+        .expect("scope succeeds");
+        assert_eq!(out, 42);
+    }
+}
