@@ -1,0 +1,71 @@
+//! Ablation of the instrumentation subsystem itself: full exploration runs
+//! with the metrics registry recording (the default) versus globally
+//! disabled via `tempo_instrument::set_enabled(false)`. The disabled path
+//! must stay within noise of the enabled path minus recording cost — the
+//! acceptance bar for shipping instrumentation on by default is that
+//! *disabling* it buys back less than ~2% on exploration workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphtempo::explore::{explore, ExploreConfig, ExtendSide, Selector, Semantics};
+use graphtempo::ops::Event;
+use std::sync::OnceLock;
+use tempo_bench::datasets::{attrs, dblp};
+use tempo_graph::TemporalGraph;
+
+fn graph() -> &'static TemporalGraph {
+    static G: OnceLock<TemporalGraph> = OnceLock::new();
+    G.get_or_init(dblp)
+}
+
+fn bench(c: &mut Criterion) {
+    let g = graph();
+    let gender = attrs(g, &["gender"])[0];
+    let f = g.schema().category(gender, "f").expect("category");
+    let mut group = c.benchmark_group("ablation_instrument_overhead");
+    group.sample_size(10);
+    for (name, event, extend, semantics, k) in [
+        (
+            "stability_union",
+            Event::Stability,
+            ExtendSide::New,
+            Semantics::Union,
+            50,
+        ),
+        (
+            "growth_union",
+            Event::Growth,
+            ExtendSide::New,
+            Semantics::Union,
+            100,
+        ),
+        (
+            "shrinkage_union",
+            Event::Shrinkage,
+            ExtendSide::Old,
+            Semantics::Union,
+            100,
+        ),
+    ] {
+        let cfg = ExploreConfig {
+            event,
+            extend,
+            semantics,
+            k,
+            attrs: vec![gender],
+            selector: Selector::edge_1attr(f.clone(), f.clone()),
+        };
+        tempo_instrument::set_enabled(true);
+        group.bench_function(format!("enabled/{name}"), |b| {
+            b.iter(|| explore(g, &cfg).expect("explore"))
+        });
+        tempo_instrument::set_enabled(false);
+        group.bench_function(format!("disabled/{name}"), |b| {
+            b.iter(|| explore(g, &cfg).expect("explore"))
+        });
+        tempo_instrument::set_enabled(true);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,7 +10,7 @@ use graphtempo::explore::{
 };
 use graphtempo::ops::Event;
 use tempo_bench::datasets::{attrs, dblp, scale};
-use tempo_bench::report::{secs, timed, timed_min, Json};
+use tempo_bench::report::{metrics_json, secs, timed, timed_min, Json};
 use tempo_graph::TemporalGraph;
 
 fn all_cases(g: &TemporalGraph, selector: &Selector) -> Vec<ExploreConfig> {
@@ -164,7 +164,17 @@ fn main() {
     let cases = all_cases(&g, &selector);
 
     pruning_study(&g, &cases);
+    // reset so the report's `metrics` section covers exactly the ablation
+    tempo_instrument::global().reset();
     let report = kernel_ablation(&g, &cases);
+    let Json::Obj(mut fields) = report else {
+        unreachable!("kernel_ablation returns an object")
+    };
+    fields.push((
+        "metrics".into(),
+        metrics_json(&tempo_instrument::global().snapshot()),
+    ));
+    let report = Json::Obj(fields);
 
     let path = std::env::args()
         .nth(1)

@@ -156,6 +156,47 @@ impl Json {
     }
 }
 
+/// Converts a live instrumentation snapshot into the report [`Json`]
+/// dialect so experiment binaries can embed a `metrics` section next to
+/// their wall-clock numbers. Histograms keep their summary statistics but
+/// drop per-bucket detail, which is noise at report granularity.
+pub fn metrics_json(snap: &tempo_instrument::Snapshot) -> Json {
+    let counters = snap
+        .counters
+        .iter()
+        .map(|(name, v)| (name.clone(), Json::Int(*v)))
+        .collect();
+    let gauges = snap
+        .gauges
+        .iter()
+        .map(|(name, v)| (name.clone(), Json::Num(*v as f64)))
+        .collect();
+    let histograms = snap
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            (
+                name.clone(),
+                Json::Obj(vec![
+                    ("count".into(), Json::Int(h.count)),
+                    ("sum_ns".into(), Json::Int(h.sum)),
+                    ("min_ns".into(), Json::Int(h.min)),
+                    ("max_ns".into(), Json::Int(h.max)),
+                    ("p50_ns".into(), Json::Int(h.p50)),
+                    ("p90_ns".into(), Json::Int(h.p90)),
+                    ("p99_ns".into(), Json::Int(h.p99)),
+                    ("mean_ns".into(), Json::Num(h.mean())),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("counters".into(), Json::Obj(counters)),
+        ("gauges".into(), Json::Obj(gauges)),
+        ("histograms".into(), Json::Obj(histograms)),
+    ])
+}
+
 /// Escapes a string for embedding in a JSON literal.
 pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());

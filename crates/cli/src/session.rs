@@ -35,7 +35,8 @@ GraphTempo interactive shell — commands:
   measure group=<a,..> node=<count|sum:attr|min:attr|max:attr|avg:attr>
           [edge=<count|sum|min|max|avg>]  aggregate measures beyond COUNT
   solve k=<n> attrs=<a> [extend=<old|new>] [edge=<v>-><v>]   Definition 3.6 report
-  metrics                              density and snapshot turnover profile
+  metrics [--json <path>]              density/turnover profile + live instrumentation
+                                       (--json dumps the registry snapshot to a file)
   export <dot|nodes|edges> <path>      export the last aggregate
   help | quit
 Intervals: a label (2005, May), an index (#3), or a range (2001..2005).";
@@ -91,7 +92,7 @@ impl Session {
             "cube" => self.cmd_cube(rest),
             "measure" => self.cmd_measure(rest),
             "solve" => self.cmd_solve(rest),
-            "metrics" => self.cmd_metrics(),
+            "metrics" => self.cmd_metrics(rest),
             "export" => self.cmd_export(rest),
             other => Err(CliError::Unknown(format!("command {other:?} (try `help`)"))),
         }
@@ -628,8 +629,20 @@ impl Session {
         Ok(report.render(g.domain()).trim_end().to_owned())
     }
 
-    fn cmd_metrics(&self) -> Result<String, CliError> {
+    fn cmd_metrics(&self, args: &[String]) -> Result<String, CliError> {
         use tempo_graph::metrics::{avg_degree_at, density_at, turnover_profile};
+        // `metrics --json <path>` dumps the live instrumentation registry
+        // and needs no graph.
+        if let Some(i) = args.iter().position(|a| a == "--json") {
+            let path = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage("metrics --json <path>".into()))?;
+            std::fs::write(path, tempo_instrument::global().snapshot().render_json())?;
+            return Ok(format!("wrote instrumentation snapshot to {path}"));
+        }
+        if !args.is_empty() {
+            return Err(CliError::Usage("metrics [--json <path>]".into()));
+        }
         let g = self.graph()?;
         let mut out = String::from("  time        density  avg-degree\n");
         for t in g.domain().iter() {
@@ -649,6 +662,13 @@ impl Session {
                 g.domain().labels()[i],
                 g.domain().labels()[i + 1]
             );
+        }
+        let snap = tempo_instrument::global().snapshot();
+        if !snap.is_empty() {
+            out.push_str("  instrumentation (session totals):\n");
+            for line in snap.render_text().lines() {
+                let _ = writeln!(out, "  {line}");
+            }
         }
         Ok(out.trim_end().to_owned())
     }
@@ -877,6 +897,37 @@ mod tests {
         let out = s.exec("metrics").unwrap();
         assert!(out.contains("density"));
         assert!(out.contains("Jaccard"));
+    }
+
+    #[test]
+    fn metrics_json_reports_explore_instrumentation() {
+        let mut s = ready();
+        s.exec("explore event=stability semantics=union extend=new k=1 attrs=kind")
+            .unwrap();
+        // registry is process-global and monotone, so evaluations are
+        // non-zero no matter which sibling tests also ran
+        let dir = std::env::temp_dir().join(format!("gt_cli_metrics_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        let out = s
+            .exec(&format!("metrics --json {}", path.display()))
+            .unwrap();
+        assert!(out.starts_with("wrote"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"explore.evaluations\""));
+        assert!(json.contains("\"explore.eval_ns\""));
+        let snap = tempo_instrument::global().snapshot();
+        let evals = snap.counter("explore.evaluations");
+        assert!(evals > 0, "explore must record evaluations");
+        // every evaluation records exactly one latency sample
+        assert_eq!(snap.histogram("explore.eval_ns").unwrap().count, evals);
+        // plain `metrics` also appends the registry dump
+        let out = s.exec("metrics").unwrap();
+        assert!(out.contains("instrumentation"));
+        assert!(out.contains("explore.evaluations"));
+        // --json without a path is a usage error
+        assert!(matches!(s.exec("metrics --json"), Err(CliError::Usage(_))));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

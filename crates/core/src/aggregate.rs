@@ -642,6 +642,12 @@ pub struct GroupTable {
     /// One gid per (node, time) — `n * nt + t` — otherwise; [`NO_GROUP`]
     /// where the node is absent.
     time_gids: Option<Vec<u32>>,
+    /// Cached instrumentation handles: `count_distinct` runs once per
+    /// interval pair across worker threads, so the registry lock is taken
+    /// only at build time.
+    ins_calls: std::sync::Arc<tempo_instrument::Counter>,
+    ins_unknown_target: std::sync::Arc<tempo_instrument::Counter>,
+    ins_bitmask_fast: std::sync::Arc<tempo_instrument::Counter>,
 }
 
 fn intern_tuple(
@@ -664,6 +670,8 @@ impl GroupTable {
     /// # Panics
     /// Panics if any id is not from `g`'s schema.
     pub fn build(g: &TemporalGraph, attrs: &[AttrId]) -> GroupTable {
+        let ins = tempo_instrument::global();
+        let _span = ins.histogram("aggregate.group_table_build_ns").span();
         let attr_names: Vec<String> = attrs
             .iter()
             .map(|&a| g.schema().def(a).name().to_owned())
@@ -718,6 +726,9 @@ impl GroupTable {
             (None, Some(gids))
         };
 
+        ins.counter("aggregate.group_tables_built").inc();
+        ins.counter("aggregate.groups_interned")
+            .add(tuples.len() as u64);
         GroupTable {
             attr_names,
             tuples,
@@ -725,6 +736,9 @@ impl GroupTable {
             nt,
             static_gids,
             time_gids,
+            ins_calls: ins.counter("aggregate.count_distinct.calls"),
+            ins_unknown_target: ins.counter("aggregate.count_distinct.unknown_target"),
+            ins_bitmask_fast: ins.counter("aggregate.count_distinct.bitmask_fast"),
         }
     }
 
@@ -887,12 +901,19 @@ impl GroupTable {
     /// AggMode::Distinct))` with `target` resolved from the selector
     /// (property-tested).
     pub fn count_distinct(&self, g: &TemporalGraph, mask: &EventMask, target: &CountTarget) -> u64 {
+        self.ins_calls.inc();
         let scope = mask.scope().bits();
         match (target, &self.static_gids) {
             // A tuple that occurs nowhere in the source graph can never
             // occur in an event graph of it.
-            (CountTarget::Node(None), _) | (CountTarget::Edge(None), _) => 0,
-            (CountTarget::AllNodes, Some(_)) => mask.keep_nodes().count_ones() as u64,
+            (CountTarget::Node(None), _) | (CountTarget::Edge(None), _) => {
+                self.ins_unknown_target.inc();
+                0
+            }
+            (CountTarget::AllNodes, Some(_)) => {
+                self.ins_bitmask_fast.inc();
+                mask.keep_nodes().count_ones() as u64
+            }
             (CountTarget::AllNodes, None) => {
                 let mut total = 0u64;
                 let mut seen: Vec<u32> = Vec::new();
@@ -922,7 +943,10 @@ impl GroupTable {
                         .any(|t| self.time_gid(n, t) == *gid)
                 })
                 .count() as u64,
-            (CountTarget::AllEdges, Some(_)) => mask.keep_edges().count_ones() as u64,
+            (CountTarget::AllEdges, Some(_)) => {
+                self.ins_bitmask_fast.inc();
+                mask.keep_edges().count_ones() as u64
+            }
             (CountTarget::AllEdges, None) => {
                 let mut total = 0u64;
                 let mut seen: Vec<(u32, u32)> = Vec::new();

@@ -209,7 +209,14 @@ fn explore_reference(
 ) -> Result<ExploreOutcome, GraphError> {
     use super::{Direction, Semantics};
     let dir = direction(cfg.event, cfg.extend, cfg.semantics);
+    let strategy = match (cfg.semantics, dir) {
+        (Semantics::Union, Direction::Increasing) => "union_increasing",
+        (Semantics::Union, Direction::Decreasing) => "union_decreasing",
+        (Semantics::Intersection, Direction::Decreasing) => "intersection_decreasing",
+        (Semantics::Intersection, Direction::Increasing) => "intersection_increasing",
+    };
     let chain_pairs = chain(n, i, cfg.extend);
+    let chain_len = chain_pairs.len();
     let mut pairs = Vec::new();
     let mut evaluations = 0;
     match (cfg.semantics, dir) {
@@ -256,6 +263,14 @@ fn explore_reference(
             }
         }
     }
+    // Pairs skipped thanks to the monotonicity shortcut of this strategy
+    // row. Reference chains are few (one per time point), so the registry
+    // lookup here is off the per-pair hot path.
+    let pruned = (chain_len - evaluations) as u64;
+    let ins = tempo_instrument::global();
+    ins.counter("explore.pruned").add(pruned);
+    ins.counter(&format!("explore.pruned.{strategy}"))
+        .add(pruned);
     Ok(ExploreOutcome { pairs, evaluations })
 }
 

@@ -60,6 +60,12 @@ pub struct ExploreKernel<'g> {
     target: CountTarget,
     old_test: SideTest,
     new_test: SideTest,
+    /// Instrumentation handles, resolved once so per-pair recording never
+    /// touches the registry lock (the kernel is shared across threads).
+    ins_evals: std::sync::Arc<tempo_instrument::Counter>,
+    ins_eval_ns: std::sync::Arc<tempo_instrument::Histogram>,
+    ins_mask_ns: std::sync::Arc<tempo_instrument::Histogram>,
+    ins_count_ns: std::sync::Arc<tempo_instrument::Histogram>,
 }
 
 impl<'g> ExploreKernel<'g> {
@@ -69,6 +75,8 @@ impl<'g> ExploreKernel<'g> {
     /// # Panics
     /// Panics if any attribute id is not from `g`'s schema.
     pub fn new(g: &'g TemporalGraph, cfg: &'g ExploreConfig) -> Self {
+        let ins = tempo_instrument::global();
+        let build_span = ins.histogram("explore.kernel_build_ns").span();
         let table = GroupTable::build(g, &cfg.attrs);
         let target = match &cfg.selector {
             Selector::AllNodes => CountTarget::AllNodes,
@@ -77,6 +85,7 @@ impl<'g> ExploreKernel<'g> {
             Selector::EdgeTuple(s, d) => CountTarget::edge(&table, s, d),
         };
         let (old_test, new_test) = side_tests(cfg);
+        drop(build_span);
         ExploreKernel {
             g,
             cfg,
@@ -84,6 +93,10 @@ impl<'g> ExploreKernel<'g> {
             target,
             old_test,
             new_test,
+            ins_evals: ins.counter("explore.evaluations"),
+            ins_eval_ns: ins.histogram("explore.eval_ns"),
+            ins_mask_ns: ins.histogram("explore.mask_ns"),
+            ins_count_ns: ins.histogram("explore.count_ns"),
         }
     }
 
@@ -93,14 +106,20 @@ impl<'g> ExploreKernel<'g> {
     /// # Errors
     /// Returns an error if either interval is empty.
     pub fn evaluate(&self, told: &TimeSet, tnew: &TimeSet) -> Result<u64, GraphError> {
-        let mask = event_mask(
-            self.g,
-            self.cfg.event,
-            told,
-            tnew,
-            self.old_test,
-            self.new_test,
-        )?;
+        let _eval_span = self.ins_eval_ns.span();
+        self.ins_evals.inc();
+        let mask = {
+            let _s = self.ins_mask_ns.span();
+            event_mask(
+                self.g,
+                self.cfg.event,
+                told,
+                tnew,
+                self.old_test,
+                self.new_test,
+            )?
+        };
+        let _s = self.ins_count_ns.span();
         Ok(self.table.count_distinct(self.g, &mask, &self.target))
     }
 

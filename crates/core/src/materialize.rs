@@ -74,9 +74,33 @@ pub struct TimepointStore {
     per_tp: Vec<AggregateGraph>,
 }
 
+/// Comma-joined schema names of `attrs`, used to label per-attribute-set
+/// build-latency histograms.
+fn attr_label(g: &TemporalGraph, attrs: &[AttrId]) -> String {
+    attrs
+        .iter()
+        .map(|&a| g.schema().def(a).name().to_owned())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Starts the pair of build-latency spans (overall + per attribute set).
+fn build_spans(g: &TemporalGraph, attrs: &[AttrId]) -> [tempo_instrument::SpanGuard; 2] {
+    let ins = tempo_instrument::global();
+    [
+        ins.histogram("materialize.store_build_ns").span(),
+        ins.histogram(&format!(
+            "materialize.store_build_ns{{attrs={}}}",
+            attr_label(g, attrs)
+        ))
+        .span(),
+    ]
+}
+
 impl TimepointStore {
     /// Builds the store sequentially.
     pub fn build(g: &TemporalGraph, attrs: &[AttrId]) -> Self {
+        let _spans = build_spans(g, attrs);
         let per_tp = g
             .domain()
             .iter()
@@ -99,6 +123,7 @@ impl TimepointStore {
         if threads == 1 {
             return Self::build(g, attrs);
         }
+        let _spans = build_spans(g, attrs);
         let mut per_tp: Vec<Option<AggregateGraph>> = vec![None; nt];
         let mut slots: Vec<(usize, &mut Option<AggregateGraph>)> =
             per_tp.iter_mut().enumerate().collect();
@@ -147,6 +172,9 @@ impl TimepointStore {
             self.per_tp
                 .push(aggregate_at_point(g, &self.attrs, TimePoint(t as u32)));
         }
+        tempo_instrument::global()
+            .counter("materialize.points_appended")
+            .add(added as u64);
         Ok(added)
     }
 
@@ -212,14 +240,20 @@ impl<'g> MaterializationCache<'g> {
 
     /// Returns the store for `attrs`, building it on first use.
     pub fn store_for(&self, attrs: &[AttrId]) -> Arc<TimepointStore> {
+        let ins = tempo_instrument::global();
         if let Some(s) = self.stores.lock().get(attrs) {
+            ins.counter("materialize.cache.hits").inc();
             return Arc::clone(s);
         }
+        ins.counter("materialize.cache.misses").inc();
         // Build outside the lock so concurrent misses don't serialize the
         // aggregation work; last writer wins harmlessly (stores are equal).
         let built = Arc::new(TimepointStore::build_parallel(self.g, attrs, self.threads));
         let mut guard = self.stores.lock();
-        Arc::clone(guard.entry(attrs.to_vec()).or_insert(built))
+        let store = Arc::clone(guard.entry(attrs.to_vec()).or_insert(built));
+        ins.gauge("materialize.cache.entries")
+            .set(guard.len() as i64);
+        store
     }
 
     /// Number of distinct attribute sets cached.

@@ -30,13 +30,15 @@ pub struct Granularity {
 impl Granularity {
     /// Partitions a domain of `fine_len` points into windows of
     /// `window` consecutive points (the last window may be shorter).
-    /// Labels are `<first>..<last>` fine labels.
+    /// Labels are `<first>..<last>` fine labels. A window covering the
+    /// whole domain (`window >= n`) yields a single group, consistent with
+    /// [`Granularity::from_cuts`] with no cuts.
     ///
     /// # Errors
-    /// Returns an error if `window` is zero or not smaller than the domain.
+    /// Returns an error if `window` is zero or the domain is empty.
     pub fn windows(domain: &TimeDomain, window: usize) -> Result<Self, GraphError> {
         let n = domain.len();
-        if window == 0 || window >= n {
+        if window == 0 || n == 0 {
             return Err(GraphError::EmptyInterval(format!(
                 "window {window} invalid for a domain of {n} points"
             )));
@@ -164,11 +166,16 @@ pub fn zoom_out(
             node_rows.push(row);
         }
     }
-    let mut remap = vec![u32::MAX; g.n_nodes()];
+    // Explicit old-row → new-row map for the kept nodes. The interner also
+    // assigns codes in keep order (asserted below), but edge endpoint
+    // lookup must not depend on that internal coincidence.
+    let mut new_index = vec![usize::MAX; g.n_nodes()];
     let mut names = tempo_columnar::Interner::new();
     let mut node_presence = BitMatrix::new(coarse_n);
     for (new_i, &old) in keep_nodes.iter().enumerate() {
-        remap[old] = names.intern(g.node_name(tempo_graph::NodeId(old as u32)).to_owned());
+        let code = names.intern(g.node_name(tempo_graph::NodeId(old as u32)).to_owned());
+        debug_assert_eq!(code as usize, new_i, "fresh names intern in keep order");
+        new_index[old] = new_i;
         node_presence.push_row(&tempo_columnar::BitVec::from_bools(&node_rows[new_i]));
     }
 
@@ -180,19 +187,20 @@ pub fn zoom_out(
     let mut edge_values = g.edge_values_matrix().map(|_| ValueMatrix::new(coarse_n));
     for e in g.edge_ids() {
         let (u, v) = g.edge_endpoints(e);
-        if remap[u.index()] == u32::MAX || remap[v.index()] == u32::MAX {
+        let (ui, vi) = (new_index[u.index()], new_index[v.index()]);
+        if ui == usize::MAX || vi == usize::MAX {
             continue;
         }
         let mut row = coarse_row(&g.edge_timestamp(e));
-        let urow = &node_rows[remap[u.index()] as usize];
-        let vrow = &node_rows[remap[v.index()] as usize];
+        let urow = &node_rows[ui];
+        let vrow = &node_rows[vi];
         for (i, b) in row.iter_mut().enumerate() {
             *b = *b && urow[i] && vrow[i];
         }
         if row.iter().any(|&b| b) {
             edges.push((
-                tempo_graph::NodeId(remap[u.index()]),
-                tempo_graph::NodeId(remap[v.index()]),
+                tempo_graph::NodeId(ui as u32),
+                tempo_graph::NodeId(vi as u32),
             ));
             if let (Some(out), Some(src)) = (&mut edge_values, g.edge_values_matrix()) {
                 let new_r = out.push_null_row();
@@ -269,7 +277,19 @@ mod tests {
         assert_eq!(gr.group(2), (4, 4));
         assert_eq!(gr.labels(), &["t0..t1", "t2..t3", "t4"]);
         assert!(Granularity::windows(&d, 0).is_err());
-        assert!(Granularity::windows(&d, 5).is_err());
+    }
+
+    #[test]
+    fn whole_domain_window_is_single_group() {
+        let d = TimeDomain::indexed(5);
+        for w in [5, 7, 100] {
+            let gr = Granularity::windows(&d, w).unwrap();
+            assert_eq!(gr.len(), 1, "window {w}");
+            assert_eq!(gr.group(0), (0, 4));
+            assert_eq!(gr.labels(), &["t0..t4"]);
+            // equivalent to the cut-free partition, which was always accepted
+            assert_eq!(gr, Granularity::from_cuts(&d, &[]).unwrap());
+        }
     }
 
     #[test]
@@ -347,6 +367,62 @@ mod tests {
             let attrs = vec![z.schema().id("gender").unwrap()];
             let agg = crate::aggregate::aggregate(&z, &attrs, crate::aggregate::AggMode::All);
             assert!(agg.total_node_weight() > 0);
+        }
+    }
+
+    #[test]
+    fn zoom_out_edge_endpoints_survive_heavy_dropping() {
+        // Intersection zoom drops every even-indexed node, so kept-row
+        // indices diverge widely from original row indices. Endpoint lookup
+        // must go through the explicit old-row → new-row map — any
+        // off-by-anything there rewires edges to the wrong survivors.
+        use tempo_graph::{AttributeSchema, GraphBuilder, TimeDomain};
+        let mut b = GraphBuilder::new(TimeDomain::indexed(4), AttributeSchema::new());
+        let n = 8usize;
+        let ids: Vec<_> = (0..n)
+            .map(|i| b.add_node(&format!("v{i}")).unwrap())
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                // partial presence → dropped by intersection zoom
+                b.set_presence(id, TimePoint(0)).unwrap();
+            } else {
+                for t in 0..4 {
+                    b.set_presence(id, TimePoint(t)).unwrap();
+                }
+            }
+        }
+        let pairs = [(1usize, 3usize), (3, 5), (5, 7), (1, 7)];
+        for &(x, y) in &pairs {
+            for t in 0..4 {
+                b.add_edge_at(ids[x], ids[y], TimePoint(t)).unwrap();
+            }
+        }
+        // edges touching to-be-dropped nodes must vanish with them
+        b.add_edge_at(ids[0], ids[1], TimePoint(0)).unwrap();
+        b.add_edge_at(ids[2], ids[3], TimePoint(0)).unwrap();
+        let g = b.build().unwrap();
+
+        let gr = Granularity::windows(g.domain(), 2).unwrap();
+        let z = zoom_out(&g, &gr, SideTest::All).unwrap();
+        assert!(z.validate().is_ok());
+        assert_eq!(z.n_nodes(), 4);
+        for i in 0..n {
+            assert_eq!(
+                z.node_id(&format!("v{i}")).is_some(),
+                i % 2 == 1,
+                "node v{i}"
+            );
+        }
+        assert_eq!(z.n_edges(), pairs.len());
+        for &(x, y) in &pairs {
+            let u = z.node_id(&format!("v{x}")).unwrap();
+            let v = z.node_id(&format!("v{y}")).unwrap();
+            let e = z
+                .edge_between(u, v)
+                .expect("surviving edge keeps its endpoints");
+            assert!(z.edge_alive_at(e, TimePoint(0)), "edge v{x}-v{y}");
+            assert!(z.edge_alive_at(e, TimePoint(1)), "edge v{x}-v{y}");
         }
     }
 

@@ -1,0 +1,120 @@
+//! End-to-end check that the instrumentation registry agrees with the
+//! values the public APIs report. Runs as its own integration-test binary
+//! (and deliberately as a single `#[test]`) because the registry is
+//! process-global: sibling tests running in parallel would perturb exact
+//! counter deltas.
+
+use graphtempo::explore::{explore, ExploreConfig, ExtendSide, Selector, Semantics};
+use graphtempo::materialize::MaterializationCache;
+use graphtempo::ops::Event;
+use tempo_datagen::RandomGraphConfig;
+use tempo_graph::TemporalGraph;
+
+fn graph() -> TemporalGraph {
+    RandomGraphConfig {
+        pool: 40,
+        timepoints: 6,
+        active_per_tp: 20,
+        edges_per_tp: 40,
+        node_persistence: 0.6,
+        edge_persistence: 0.5,
+        kinds: 3,
+        levels: 3,
+        seed: 0xfeed,
+    }
+    .generate()
+    .expect("random generator produces valid graphs")
+}
+
+#[test]
+fn registry_matches_reported_outcomes() {
+    let g = graph();
+    let kind = g.schema().id("kind").expect("random graphs have `kind`");
+    let ins = tempo_instrument::global();
+
+    // -- exploration: counter and latency histograms track evaluations --
+    let before = ins.snapshot();
+    let mut expected_evals = 0u64;
+    let mut runs = 0u64;
+    for (event, extend) in [
+        (Event::Stability, ExtendSide::New),
+        (Event::Growth, ExtendSide::New),
+        (Event::Shrinkage, ExtendSide::Old),
+    ] {
+        let cfg = ExploreConfig {
+            event,
+            extend,
+            semantics: Semantics::Union,
+            k: 1,
+            attrs: vec![kind],
+            selector: Selector::AllEdges,
+        };
+        let outcome = explore(&g, &cfg).expect("explore");
+        expected_evals += outcome.evaluations as u64;
+        runs += 1;
+    }
+    assert!(expected_evals > 0, "fixture must force real evaluations");
+    let after = ins.snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(
+        delta("explore.evaluations"),
+        expected_evals,
+        "counter must equal the sum of ExploreOutcome::evaluations"
+    );
+    let hist_delta = |name: &str| {
+        after.histogram(name).map_or(0, |h| h.count) - before.histogram(name).map_or(0, |h| h.count)
+    };
+    // one latency sample, one mask build, and one count per evaluation
+    assert_eq!(hist_delta("explore.eval_ns"), expected_evals);
+    assert_eq!(hist_delta("explore.mask_ns"), expected_evals);
+    assert_eq!(hist_delta("explore.count_ns"), expected_evals);
+    // one kernel (and therefore one group table) per explore() call
+    assert_eq!(hist_delta("explore.kernel_build_ns"), runs);
+    assert_eq!(delta("aggregate.group_tables_built"), runs);
+    // count_distinct runs once per evaluation (plus any internal extras)
+    assert!(delta("aggregate.count_distinct.calls") >= expected_evals);
+    // pruning is recorded per strategy row; totals only need to be sane
+    assert!(after.counter("explore.pruned.union_increasing") <= after.counter("explore.pruned"));
+
+    // -- materialization: cache hits/misses and build latency --
+    let before = ins.snapshot();
+    let cache = MaterializationCache::new(&g, 1);
+    let attrs = vec![kind];
+    let a = cache.store_for(&attrs);
+    let b = cache.store_for(&attrs);
+    assert!(std::sync::Arc::ptr_eq(&a, &b));
+    let after = ins.snapshot();
+    let delta = |name: &str| after.counter(name) - before.counter(name);
+    assert_eq!(delta("materialize.cache.misses"), 1);
+    assert_eq!(delta("materialize.cache.hits"), 1);
+    assert_eq!(
+        after
+            .histogram("materialize.store_build_ns")
+            .map_or(0, |h| h.count)
+            - before
+                .histogram("materialize.store_build_ns")
+                .map_or(0, |h| h.count),
+        1
+    );
+
+    // -- the global gate suppresses all recording --
+    let before = ins.snapshot();
+    tempo_instrument::set_enabled(false);
+    let cfg = ExploreConfig {
+        event: Event::Stability,
+        extend: ExtendSide::New,
+        semantics: Semantics::Union,
+        k: 1,
+        attrs: vec![kind],
+        selector: Selector::AllEdges,
+    };
+    let outcome = explore(&g, &cfg).expect("explore while disabled");
+    tempo_instrument::set_enabled(true);
+    assert!(outcome.evaluations > 0);
+    let after = ins.snapshot();
+    assert_eq!(
+        after.counter("explore.evaluations"),
+        before.counter("explore.evaluations"),
+        "disabled registry must not record"
+    );
+}

@@ -1,0 +1,755 @@
+//! Zero-dependency, thread-safe metrics registry for the GraphTempo workspace.
+//!
+//! Production temporal-graph engines treat measurement as a first-class
+//! subsystem: optimization claims are only falsifiable when the hot paths
+//! report what they did (evaluations, prunes, cache hits, bytes moved) and
+//! how long it took. This crate provides that substrate with nothing beyond
+//! `std`:
+//!
+//! - [`Counter`] — monotone `u64` event counter (relaxed atomics).
+//! - [`Gauge`] — signed instantaneous value (e.g. live cache entries).
+//! - [`Histogram`] — log₂-bucketed latency histogram over nanoseconds with
+//!   sum/count/min/max and quantile estimates.
+//! - [`SpanGuard`] — RAII timer that records its elapsed time into a
+//!   [`Histogram`] on drop.
+//! - [`Registry`] — a named collection of the above, handing out shared
+//!   [`Arc`] handles so hot loops never touch the registry lock.
+//!
+//! A process-wide registry is available through [`global()`]; the
+//! instrumented crates (`tempo-graph`, `graphtempo`, the CLI, the benches)
+//! all record into it. Recording can be switched off wholesale with
+//! [`set_enabled`] — the disabled path is a single relaxed atomic load, so
+//! instrumentation can stay compiled into release binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use tempo_instrument::global;
+//!
+//! let evals = global().counter("example.evaluations");
+//! let lat = global().histogram("example.eval_ns");
+//! for _ in 0..3 {
+//!     let _span = lat.span();
+//!     evals.inc();
+//! }
+//! assert!(global().snapshot().counter("example.evaluations") >= 3);
+//! ```
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Global on/off switch for all recording.
+///
+/// Enabled by default; the disabled path costs one relaxed load per call
+/// site, which keeps the overhead of compiled-in instrumentation within
+/// measurement noise (see the `ablation_instrument_overhead` bench).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables all metric recording process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Returns whether metric recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Returns the process-wide registry shared by all instrumented crates.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Monotone event counter.
+///
+/// All operations use relaxed ordering: counters are statistics, not
+/// synchronization primitives.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Signed instantaneous value (set/add), e.g. live cache entries.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log₂ buckets: index `i ≥ 1` holds values in `[2^(i-1), 2^i)`,
+/// index `0` holds zero. Covers the full `u64` range.
+const BUCKETS: usize = 65;
+
+/// Log₂-bucketed histogram over nanosecond samples.
+///
+/// Recording is lock-free: one relaxed `fetch_add` into the bucket plus
+/// sum/count/min/max updates. Quantiles are estimated from bucket upper
+/// bounds, so they carry at most a 2× quantization error — plenty for the
+/// "where does the time go" questions this crate answers.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for a sample (0 for 0, else `⌈log₂(v+1)⌉`).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample (nanoseconds by convention).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Starts a scoped timer that records into this histogram on drop.
+    ///
+    /// When recording is disabled the guard never reads the clock.
+    #[inline]
+    pub fn span(self: &Arc<Self>) -> SpanGuard {
+        SpanGuard {
+            hist: Arc::clone(self),
+            start: enabled().then(Instant::now),
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Resets all state.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+
+    /// Immutable point-in-time view.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let quantile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    return bucket_upper(i);
+                }
+            }
+            bucket_upper(BUCKETS - 1)
+        };
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            p50: quantile(0.50),
+            p90: quantile(0.90),
+            p99: quantile(0.99),
+            buckets: counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_upper(i), c))
+                .collect(),
+        }
+    }
+}
+
+/// RAII timer: records the elapsed nanoseconds into its histogram on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    hist: Arc<Histogram>,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Drops the guard without recording anything.
+    pub fn cancel(mut self) {
+        self.start = None;
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.hist.record_duration(start.elapsed());
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A named collection of metrics.
+///
+/// Lookup (`counter`/`gauge`/`histogram`) takes a short mutex; hot paths
+/// should resolve their handles once (at construction time) and record
+/// through the returned [`Arc`]s, which never touch the lock.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the gauge registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Returns the histogram registered under `name`, creating it on first use.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        match m
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name:?} already registered with a different kind"),
+        }
+    }
+
+    /// Resets every registered metric to its initial state.
+    ///
+    /// Handles held by instrumented code stay valid; only the values clear.
+    pub fn reset(&self) {
+        let m = self.metrics.lock().unwrap();
+        for metric in m.values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+            }
+        }
+    }
+
+    /// Takes a consistent-enough point-in-time copy of every metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.metrics.lock().unwrap();
+        let mut snap = Snapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// Point-in-time view of one histogram. All values are nanoseconds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Estimated median (bucket upper bound).
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// Non-empty buckets as `(inclusive upper bound, count)`.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample value, 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Registry`], sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram views.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Value of a counter by name (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of a gauge by name (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Histogram view by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Human-readable multi-line dump (one metric per line).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("counter   {name} = {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("gauge     {name} = {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!(
+                "histogram {name}: count={} sum={}ns mean={:.0}ns min={}ns p50~{}ns p99~{}ns max={}ns\n",
+                h.count,
+                h.sum,
+                h.mean(),
+                h.min,
+                h.p50,
+                h.p99,
+                h.max,
+            ));
+        }
+        out
+    }
+
+    /// Renders the snapshot as a self-contained JSON object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(name), v));
+        }
+        if !self.counters.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(name), v));
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|(le, c)| format!("{{\"le\": {le}, \"count\": {c}}}"))
+                .collect();
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"p50_ns\": {}, \"p90_ns\": {}, \"p99_ns\": {}, \"buckets\": [{}]}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.p50,
+                h.p90,
+                h.p99,
+                buckets.join(", ")
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::RwLock;
+
+    /// Tests that record hold a read guard; the test that flips the global
+    /// enabled flag holds the write guard, so they never interleave.
+    fn gate() -> &'static RwLock<()> {
+        static GATE: OnceLock<RwLock<()>> = OnceLock::new();
+        GATE.get_or_init(|| RwLock::new(()))
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let _g = gate().read().unwrap();
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+        g.reset();
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // every sample lands in the bucket whose upper bound covers it
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            assert!(v <= bucket_upper(bucket_index(v)), "v={v}");
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let _g = gate().read().unwrap();
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1106);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // median sample is 3, bucket [2,3] has upper bound 3
+        assert_eq!(s.p50, 3);
+        // p99 lands in the 1000 bucket (upper bound 1023)
+        assert_eq!(s.p99, 1023);
+        assert!((s.mean() - 221.2).abs() < 1e-9);
+        let total: u64 = s.buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 5);
+        h.reset();
+        assert_eq!(h.snapshot().count, 0);
+        assert_eq!(h.snapshot().min, 0);
+    }
+
+    #[test]
+    fn span_guard_records_on_drop_and_cancel_skips() {
+        let _g = gate().read().unwrap();
+        let r = Registry::new();
+        let h = r.histogram("t.span");
+        {
+            let _g = h.span();
+        }
+        assert_eq!(h.count(), 1);
+        h.span().cancel();
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_handles() {
+        let _g = gate().read().unwrap();
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.snapshot().counter("x"), 5);
+        r.reset();
+        assert_eq!(r.snapshot().counter("x"), 0);
+        // handle still live after reset
+        a.inc();
+        assert_eq!(r.snapshot().counter("x"), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn registry_rejects_kind_mismatch() {
+        let r = Registry::new();
+        let _ = r.counter("dup");
+        let _ = r.histogram("dup");
+    }
+
+    #[test]
+    fn snapshot_renders_text_and_json() {
+        let _g = gate().read().unwrap();
+        let r = Registry::new();
+        r.counter("a.count").add(3);
+        r.gauge("b.gauge").set(-2);
+        r.histogram("c.lat_ns").record(5);
+        let snap = r.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("counter   a.count = 3"));
+        assert!(text.contains("gauge     b.gauge = -2"));
+        assert!(text.contains("histogram c.lat_ns: count=1"));
+        let json = snap.render_json();
+        assert!(json.contains("\"a.count\": 3"));
+        assert!(json.contains("\"b.gauge\": -2"));
+        assert!(json.contains("\"c.lat_ns\": {\"count\": 1"));
+        assert!(json.contains("\"buckets\": [{\"le\": 7, \"count\": 1}]"));
+    }
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let _g = gate().read().unwrap();
+        let r = Arc::new(Registry::new());
+        let c = r.counter("mt.count");
+        let h = r.histogram("mt.lat");
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        c.inc();
+                        h.record(i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.sum(), 4 * (0..1000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn disabled_gate_suppresses_recording() {
+        let _g = gate().write().unwrap();
+        let r = Registry::new();
+        let c = r.counter("gate.count");
+        let h = r.histogram("gate.lat");
+        set_enabled(false);
+        c.inc();
+        h.record(10);
+        let g = h.span();
+        drop(g);
+        set_enabled(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+}

@@ -121,6 +121,11 @@ impl GraphBuilder {
         Ok(self.register_node(name))
     }
 
+    /// Returns the node id for an already-registered `name`, if any.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.node_names.code(&name.to_owned()).map(NodeId)
+    }
+
     /// Returns the node id for `name`, registering it if needed.
     pub fn get_or_add_node(&mut self, name: &str) -> NodeId {
         match self.node_names.code(&name.to_owned()) {

@@ -15,7 +15,7 @@
 use crate::attrs::{AttributeSchema, Temporality};
 use crate::builder::GraphBuilder;
 use crate::error::GraphError;
-use crate::graph::TemporalGraph;
+use crate::graph::{NodeId, TemporalGraph};
 use crate::time::{TimeDomain, TimePoint};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -33,6 +33,7 @@ fn node_label(g: &TemporalGraph, n: crate::graph::NodeId) -> Value {
 /// # Errors
 /// Returns an error on IO failure.
 pub fn save_dir(g: &TemporalGraph, dir: &Path) -> Result<(), GraphError> {
+    let _span = tempo_instrument::global().histogram("io.save_ns").span();
     std::fs::create_dir_all(dir)?;
     let nt = g.domain().len();
     let tlabels: Vec<String> = g.domain().labels().to_vec();
@@ -168,6 +169,10 @@ pub fn save_dir(g: &TemporalGraph, dir: &Path) -> Result<(), GraphError> {
 }
 
 fn write_file(f: &Frame, path: &Path) -> Result<(), GraphError> {
+    let ins = tempo_instrument::global();
+    ins.counter("io.write.rows").add(f.nrows() as u64);
+    ins.counter("io.write.cells")
+        .add((f.nrows() * f.ncols()) as u64);
     let file = File::create(path)?;
     let mut w = BufWriter::new(file);
     write_frame(f, &mut w, DELIM)?;
@@ -177,7 +182,37 @@ fn write_file(f: &Frame, path: &Path) -> Result<(), GraphError> {
 fn read_file(path: &Path) -> Result<Frame, GraphError> {
     let file = File::open(path)
         .map_err(|e| GraphError::Format(format!("cannot open {}: {e}", path.display())))?;
-    Ok(read_frame(BufReader::new(file), DELIM)?)
+    let f = read_frame(BufReader::new(file), DELIM)?;
+    let ins = tempo_instrument::global();
+    ins.counter("io.read.rows").add(f.nrows() as u64);
+    ins.counter("io.read.cells")
+        .add((f.nrows() * f.ncols()) as u64);
+    Ok(f)
+}
+
+/// Resolves a node id that must already be declared in `nodes.tsv`.
+///
+/// Every file except `nodes.tsv` may only reference declared nodes; an
+/// unknown id is a corrupt directory (e.g. a typo'd edge endpoint), not a
+/// request to invent a phantom node with empty presence.
+fn resolve_node(b: &GraphBuilder, file: &str, id: &str) -> Result<NodeId, GraphError> {
+    b.node_id(id).ok_or_else(|| {
+        GraphError::Format(format!(
+            "{file}: unknown node id {id:?} (not declared in nodes.tsv)"
+        ))
+    })
+}
+
+/// Parses a presence cell, which must be exactly `0` or `1`.
+fn presence_bit(cell: &Value, file: &str, who: &str) -> Result<bool, GraphError> {
+    match cell.as_int() {
+        Some(0) => Ok(false),
+        Some(1) => Ok(true),
+        _ => Err(GraphError::Format(format!(
+            "{file}: presence cell for {who} must be 0 or 1, got {:?}",
+            cell_to_string(cell)
+        ))),
+    }
 }
 
 fn cell_to_string(v: &Value) -> String {
@@ -192,6 +227,7 @@ fn cell_to_string(v: &Value) -> String {
 /// # Errors
 /// Returns an error on IO failure or malformed/inconsistent files.
 pub fn load_dir(dir: &Path) -> Result<TemporalGraph, GraphError> {
+    let _span = tempo_instrument::global().histogram("io.load_ns").span();
     let time = read_file(&dir.join("time.tsv"))?;
     let labels: Vec<String> = time.iter_rows().map(|r| cell_to_string(&r[0])).collect();
     let domain = TimeDomain::new(labels.clone())?;
@@ -225,18 +261,27 @@ pub fn load_dir(dir: &Path) -> Result<TemporalGraph, GraphError> {
         )));
     }
     for row in nodes.iter_rows() {
-        let n = b.get_or_add_node(&cell_to_string(&row[0]));
+        let id = cell_to_string(&row[0]);
+        let n = b.get_or_add_node(&id);
         for (t, cell) in row[1..].iter().enumerate() {
-            if cell.as_int() == Some(1) {
+            if presence_bit(cell, "nodes.tsv", &id)? {
                 b.set_presence(n, TimePoint(t as u32))?;
             }
         }
     }
 
     let stat = read_file(&dir.join("static.tsv"))?;
+    let n_static = b.schema().static_ids().len();
+    if stat.ncols() != n_static + 1 {
+        return Err(GraphError::Format(format!(
+            "static.tsv has {} columns, expected {}",
+            stat.ncols(),
+            n_static + 1
+        )));
+    }
     let static_names: Vec<String> = stat.columns()[1..].to_vec();
     for row in stat.iter_rows() {
-        let n = b.get_or_add_node(&cell_to_string(&row[0]));
+        let n = resolve_node(&b, "static.tsv", &cell_to_string(&row[0]))?;
         for (i, name) in static_names.iter().enumerate() {
             let attr = b.schema().id(name)?;
             let cell = &row[i + 1];
@@ -265,8 +310,9 @@ pub fn load_dir(dir: &Path) -> Result<TemporalGraph, GraphError> {
                 nt + 1
             )));
         }
+        let file = format!("attr_{name}.tsv");
         for row in af.iter_rows() {
-            let n = b.get_or_add_node(&cell_to_string(&row[0]));
+            let n = resolve_node(&b, &file, &cell_to_string(&row[0]))?;
             for (t, cell) in row[1..].iter().enumerate() {
                 let value = match cell {
                     Value::Null => continue,
@@ -287,10 +333,13 @@ pub fn load_dir(dir: &Path) -> Result<TemporalGraph, GraphError> {
         )));
     }
     for row in edges.iter_rows() {
-        let u = b.get_or_add_node(&cell_to_string(&row[0]));
-        let v = b.get_or_add_node(&cell_to_string(&row[1]));
+        let su = cell_to_string(&row[0]);
+        let sv = cell_to_string(&row[1]);
+        let u = resolve_node(&b, "edges.tsv", &su)?;
+        let v = resolve_node(&b, "edges.tsv", &sv)?;
+        let who = format!("{su}->{sv}");
         for (t, cell) in row[2..].iter().enumerate() {
-            if cell.as_int() == Some(1) {
+            if presence_bit(cell, "edges.tsv", &who)? {
                 b.add_edge_at_unchecked(u, v, TimePoint(t as u32))?;
             }
         }
@@ -307,8 +356,8 @@ pub fn load_dir(dir: &Path) -> Result<TemporalGraph, GraphError> {
             )));
         }
         for row in vf.iter_rows() {
-            let u = b.get_or_add_node(&cell_to_string(&row[0]));
-            let v = b.get_or_add_node(&cell_to_string(&row[1]));
+            let u = resolve_node(&b, "edge_values.tsv", &cell_to_string(&row[0]))?;
+            let v = resolve_node(&b, "edge_values.tsv", &cell_to_string(&row[1]))?;
             for (t, cell) in row[2..].iter().enumerate() {
                 if !cell.is_null() {
                     b.set_edge_value(u, v, TimePoint(t as u32), cell.clone())?;

@@ -126,6 +126,87 @@ fn ragged_rows_rejected() {
 }
 
 #[test]
+fn unknown_node_id_in_each_file_kind_rejected() {
+    // Before the fix, an undeclared id in any of these files silently
+    // materialized a phantom node with empty presence and the load
+    // *succeeded*; it must instead fail naming the file and the id.
+    for (file, content) in [
+        ("static.tsv", "id\tgender\nu\tm\nv\tf\nghost\tm\n"),
+        ("attr_pubs.tsv", "id\tt0\tt1\nu\t2\t1\nghost\t5\t-\n"),
+        ("edges.tsv", "src\tdst\tt0\tt1\nu\tghost\t1\t0\n"),
+        ("edge_values.tsv", "src\tdst\tt0\tt1\nghost\tv\t7\t-\n"),
+    ] {
+        let dir = scratch("ghost");
+        valid_skeleton(&dir);
+        write(&dir, file, content);
+        match load_dir(&dir) {
+            Err(GraphError::Format(msg)) => {
+                assert!(msg.contains(file), "{file}: message {msg:?} names the file");
+                assert!(
+                    msg.contains("ghost"),
+                    "{file}: message {msg:?} names the id"
+                );
+            }
+            other => panic!("{file}: expected Format error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn malformed_presence_cells_rejected() {
+    // 2, -1, and junk strings used to be silently treated as "absent".
+    for (file, content) in [
+        ("nodes.tsv", "id\tt0\tt1\nu\t1\t2\nv\t1\t0\n"),
+        ("nodes.tsv", "id\tt0\tt1\nu\t1\t-1\nv\t1\t0\n"),
+        ("nodes.tsv", "id\tt0\tt1\nu\t1\tyes\nv\t1\t0\n"),
+        ("nodes.tsv", "id\tt0\tt1\nu\t1\t-\nv\t1\t0\n"),
+        ("edges.tsv", "src\tdst\tt0\tt1\nu\tv\t3\t0\n"),
+        ("edges.tsv", "src\tdst\tt0\tt1\nu\tv\tx\t0\n"),
+    ] {
+        let dir = scratch("badbit");
+        valid_skeleton(&dir);
+        write(&dir, file, content);
+        match load_dir(&dir) {
+            Err(GraphError::Format(msg)) => {
+                assert!(
+                    msg.contains("presence") && msg.contains(file),
+                    "{file}: unexpected message {msg:?}"
+                );
+            }
+            other => panic!("{file} ({content:?}): expected Format error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn static_wrong_column_count_rejected() {
+    // static.tsv lacked the column-count check the other files have.
+    for content in ["id\nu\nv\n", "id\tgender\textra\nu\tm\t1\nv\tf\t2\n"] {
+        let dir = scratch("statcols");
+        valid_skeleton(&dir);
+        write(&dir, "static.tsv", content);
+        match load_dir(&dir) {
+            Err(GraphError::Format(msg)) => {
+                assert!(msg.contains("static.tsv"), "unexpected message {msg:?}");
+            }
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+#[test]
+fn edge_values_wrong_column_count_rejected() {
+    let dir = scratch("evcols");
+    valid_skeleton(&dir);
+    write(&dir, "edge_values.tsv", "src\tdst\tt0\nu\tv\t7\n");
+    assert!(matches!(load_dir(&dir), Err(GraphError::Format(_))));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn save_then_corrupt_then_reload() {
     // round-trip a real fixture, then corrupt one presence bit so an edge
     // dangles and confirm validation catches it

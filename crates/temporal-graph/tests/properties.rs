@@ -1,7 +1,22 @@
 //! Property-based tests of the time algebra and graph construction.
 
 use proptest::prelude::*;
+use tempo_columnar::Value;
+use tempo_graph::io::{load_dir, save_dir};
 use tempo_graph::{AttributeSchema, GraphBuilder, Temporality, TimeDomain, TimePoint, TimeSet};
+
+/// A scratch directory unique to this process and invocation.
+fn roundtrip_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tempo_graph_prop_rt_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
 
 fn timeset_pair(n: usize) -> impl Strategy<Value = (TimeSet, TimeSet)> {
     (
@@ -95,5 +110,93 @@ proptest! {
             }
         }
         prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn save_load_roundtrip_with_values_and_labels(
+        presence in proptest::collection::vec((0usize..4, 0usize..5), 0..14),
+        edges in proptest::collection::vec((0usize..4, 0usize..4, 0usize..5, 1i64..50), 0..14),
+        roles in proptest::collection::vec((0usize..4, 0usize..5, 0usize..3), 0..14),
+    ) {
+        // Random graphs with categorical static attributes, categorical
+        // time-varying labels, and integer edge values must survive
+        // save_dir → load_dir bit-for-bit (modulo category re-interning).
+        let mut schema = AttributeSchema::new();
+        schema.declare("team", Temporality::Static).unwrap();
+        schema.declare("role", Temporality::TimeVarying).unwrap();
+        let mut b = GraphBuilder::new(TimeDomain::indexed(5), schema);
+        let team = b.schema().id("team").unwrap();
+        let role = b.schema().id("role").unwrap();
+        let nodes: Vec<_> = (0..4).map(|i| b.add_node(&format!("n{i}")).unwrap()).collect();
+        for (i, &n) in nodes.iter().enumerate() {
+            let v = b.intern_category(team, ["red", "blue"][i % 2]);
+            b.set_static(n, team, v).unwrap();
+        }
+        for &(n, t) in &presence {
+            b.set_presence(nodes[n], TimePoint(t as u32)).unwrap();
+        }
+        for &(u, v, t, w) in &edges {
+            if u == v {
+                continue;
+            }
+            // implies edge + endpoint presence at t
+            b.set_edge_value(nodes[u], nodes[v], TimePoint(t as u32), Value::Int(w)).unwrap();
+        }
+        for &(n, t, r) in &roles {
+            let v = b.intern_category(role, ["dev", "ops", "qa"][r]);
+            // implies node presence at t
+            b.set_time_varying(nodes[n], role, TimePoint(t as u32), v).unwrap();
+        }
+        let g = b.build().unwrap();
+
+        let dir = roundtrip_dir();
+        save_dir(&g, &dir).unwrap();
+        let h = load_dir(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        prop_assert_eq!(h.n_nodes(), g.n_nodes());
+        prop_assert_eq!(h.n_edges(), g.n_edges());
+        prop_assert_eq!(h.domain().labels(), g.domain().labels());
+        prop_assert!(h.validate().is_ok());
+        let (hteam, hrole) = (h.schema().id("team").unwrap(), h.schema().id("role").unwrap());
+        for n in g.node_ids() {
+            let hn = h.node_id(g.node_name(n)).expect("node survives");
+            prop_assert_eq!(
+                h.node_timestamp(hn).iter().collect::<Vec<_>>(),
+                g.node_timestamp(n).iter().collect::<Vec<_>>(),
+                "presence of {}", g.node_name(n)
+            );
+            for t in g.domain().iter() {
+                // categorical values compare by rendered label (codes are
+                // re-interned on load)
+                prop_assert_eq!(
+                    h.schema().def(hteam).render(&h.attr_value(hn, hteam, t)),
+                    g.schema().def(team).render(&g.attr_value(n, team, t))
+                );
+                prop_assert_eq!(
+                    h.schema().def(hrole).render(&h.attr_value(hn, hrole, t)),
+                    g.schema().def(role).render(&g.attr_value(n, role, t))
+                );
+            }
+        }
+        for e in g.edge_ids() {
+            let (u, v) = g.edge_endpoints(e);
+            let hu = h.node_id(g.node_name(u)).unwrap();
+            let hv = h.node_id(g.node_name(v)).unwrap();
+            let he = h.edge_between(hu, hv).expect("edge survives");
+            prop_assert_eq!(
+                h.edge_timestamp(he).iter().collect::<Vec<_>>(),
+                g.edge_timestamp(e).iter().collect::<Vec<_>>()
+            );
+            if let (Some(gv), Some(hv_)) = (g.edge_values_matrix(), h.edge_values_matrix()) {
+                for t in 0..g.domain().len() {
+                    prop_assert_eq!(
+                        hv_.get(he.index(), t),
+                        gv.get(e.index(), t),
+                        "edge value ({}, {}) at t{}", g.node_name(u), g.node_name(v), t
+                    );
+                }
+            }
+        }
     }
 }
