@@ -1,12 +1,13 @@
 //! Exploration pruning study (§3, implicit in the paper): evaluations and
 //! wall-clock time of the monotonicity-pruned strategies versus naive
 //! enumeration of every interval pair, across all twelve Table-1 cases —
-//! plus the ablation of the zero-materialization evaluation kernel against
-//! the materializing reference path, written to `BENCH_explore_kernel.json`.
+//! plus the three-way ablation of the evaluation paths (chain-incremental
+//! cursor vs per-pair kernel vs materializing oracle) written to
+//! `BENCH_explore_kernel.json`.
 
 use graphtempo::explore::{
-    explore, explore_materializing, explore_naive, explore_parallel, suggest_k, ExploreConfig,
-    ExtendSide, Selector, Semantics,
+    explore, explore_materializing, explore_naive, explore_pairwise, explore_parallel, suggest_k,
+    ExploreConfig, ExtendSide, Selector, Semantics,
 };
 use graphtempo::ops::Event;
 use tempo_bench::datasets::{attrs, dblp, scale};
@@ -77,72 +78,91 @@ fn pruning_study(g: &TemporalGraph, cases: &[ExploreConfig]) {
     }
 }
 
-/// Ablates the zero-materialization kernel against the materializing
-/// reference evaluator with pruning behavior held fixed (identical pair
-/// enumeration, identical `evaluations` counts), and returns the report.
+/// Ablates the three evaluation paths with pruning behavior held fixed
+/// (identical pair enumeration, identical `evaluations` counts): the
+/// chain-incremental cursor (`explore`), the per-pair kernel
+/// (`explore_pairwise`), and the materializing oracle
+/// (`explore_materializing`). Returns the report.
 fn kernel_ablation(g: &TemporalGraph, cases: &[ExploreConfig]) -> Json {
     const REPS: usize = 3;
     println!(
-        "\n{:<12} {:<6} {:<13} {:>4} {:>8} {:>10} {:>10} {:>9} {:>9} {:>8}",
+        "\n{:<12} {:<6} {:<13} {:>4} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "event",
         "extend",
         "semantics",
         "k",
         "evals",
+        "chain(s)",
         "kernel(s)",
         "mater.(s)",
-        "kern(µs)",
-        "mat(µs)",
-        "speedup"
+        "ch/kern",
+        "ch/mat"
     );
     let mut entries = Vec::new();
-    let mut log_speedups = Vec::new();
+    let mut log_vs_pairwise = Vec::new();
+    let mut log_vs_materializing = Vec::new();
     for cfg in cases {
         let (event, extend, sem) = case_name(cfg);
-        let (fast, fast_t) = timed_min(REPS, || explore(g, cfg).expect("kernel explore"));
+        let (chained, chain_t) = timed_min(REPS, || explore(g, cfg).expect("chain explore"));
+        let (pairwise, pair_t) =
+            timed_min(REPS, || explore_pairwise(g, cfg).expect("pairwise explore"));
         let (slow, slow_t) = timed_min(REPS, || {
             explore_materializing(g, cfg).expect("materializing explore")
         });
-        assert_eq!(fast.pairs, slow.pairs, "kernel must match materializing");
+        assert_eq!(chained.pairs, pairwise.pairs, "cursor must match kernel");
+        assert_eq!(chained.pairs, slow.pairs, "cursor must match materializing");
         assert_eq!(
-            fast.evaluations, slow.evaluations,
-            "both evaluators share the pruning strategies, so the number of \
+            chained.evaluations, pairwise.evaluations,
+            "all evaluators share the pruning strategies, so the number of \
              pair evaluations must be identical"
         );
-        let evals = fast.evaluations.max(1) as f64;
-        let kernel_us = secs(fast_t) * 1e6 / evals;
+        assert_eq!(chained.evaluations, slow.evaluations);
+        let evals = chained.evaluations.max(1) as f64;
+        let chain_us = secs(chain_t) * 1e6 / evals;
+        let kernel_us = secs(pair_t) * 1e6 / evals;
         let mater_us = secs(slow_t) * 1e6 / evals;
-        let speedup = secs(slow_t) / secs(fast_t).max(f64::EPSILON);
-        log_speedups.push(speedup.ln());
+        let vs_pairwise = secs(pair_t) / secs(chain_t).max(f64::EPSILON);
+        let vs_materializing = secs(slow_t) / secs(chain_t).max(f64::EPSILON);
+        log_vs_pairwise.push(vs_pairwise.ln());
+        log_vs_materializing.push(vs_materializing.ln());
         println!(
-            "{:<12} {:<6} {:<13} {:>4} {:>8} {:>10.4} {:>10.4} {:>9.2} {:>9.2} {:>7.2}x",
+            "{:<12} {:<6} {:<13} {:>4} {:>8} {:>10.4} {:>10.4} {:>10.4} {:>7.2}x {:>7.2}x",
             event,
             extend,
             sem,
             cfg.k,
-            fast.evaluations,
-            secs(fast_t),
+            chained.evaluations,
+            secs(chain_t),
+            secs(pair_t),
             secs(slow_t),
-            kernel_us,
-            mater_us,
-            speedup
+            vs_pairwise,
+            vs_materializing
         );
         entries.push(Json::Obj(vec![
             ("event".into(), Json::str(&event)),
             ("extend".into(), Json::str(&extend)),
             ("semantics".into(), Json::str(sem)),
             ("k".into(), Json::Int(cfg.k)),
-            ("evaluations".into(), Json::Int(fast.evaluations as u64)),
-            ("pairs".into(), Json::Int(fast.pairs.len() as u64)),
-            ("kernel_s".into(), Json::Num(secs(fast_t))),
+            ("evaluations".into(), Json::Int(chained.evaluations as u64)),
+            ("pairs".into(), Json::Int(chained.pairs.len() as u64)),
+            ("chain_s".into(), Json::Num(secs(chain_t))),
+            ("pairwise_s".into(), Json::Num(secs(pair_t))),
             ("materializing_s".into(), Json::Num(secs(slow_t))),
-            ("kernel_us_per_eval".into(), Json::Num(kernel_us)),
+            ("chain_us_per_eval".into(), Json::Num(chain_us)),
+            ("pairwise_us_per_eval".into(), Json::Num(kernel_us)),
             ("materializing_us_per_eval".into(), Json::Num(mater_us)),
-            ("speedup".into(), Json::Num(speedup)),
+            ("speedup_chain_vs_pairwise".into(), Json::Num(vs_pairwise)),
+            (
+                "speedup_chain_vs_materializing".into(),
+                Json::Num(vs_materializing),
+            ),
         ]));
     }
-    let geomean = (log_speedups.iter().sum::<f64>() / log_speedups.len().max(1) as f64).exp();
-    println!("\ngeomean kernel speedup over materializing path: {geomean:.2}x");
+    let geomean = |logs: &[f64]| (logs.iter().sum::<f64>() / logs.len().max(1) as f64).exp();
+    let gm_pairwise = geomean(&log_vs_pairwise);
+    let gm_materializing = geomean(&log_vs_materializing);
+    println!("\ngeomean chain-incremental speedup over per-pair kernel: {gm_pairwise:.2}x");
+    println!("geomean chain-incremental speedup over materializing path: {gm_materializing:.2}x");
     Json::Obj(vec![
         ("experiment".into(), Json::str("explore_kernel_ablation")),
         ("dataset".into(), Json::str("dblp_synthetic")),
@@ -151,7 +171,11 @@ fn kernel_ablation(g: &TemporalGraph, cases: &[ExploreConfig]) -> Json {
         ("timepoints".into(), Json::Int(g.domain().len() as u64)),
         ("nodes".into(), Json::Int(g.n_nodes() as u64)),
         ("edges".into(), Json::Int(g.n_edges() as u64)),
-        ("geomean_speedup".into(), Json::Num(geomean)),
+        ("geomean_chain_vs_pairwise".into(), Json::Num(gm_pairwise)),
+        (
+            "geomean_chain_vs_materializing".into(),
+            Json::Num(gm_materializing),
+        ),
         ("cases".into(), Json::Arr(entries)),
     ])
 }

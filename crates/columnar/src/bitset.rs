@@ -187,6 +187,65 @@ impl BitVec {
         self.contains_all(mask)
     }
 
+    /// Clears every bit, keeping the width (reusable scratch buffers).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Overwrites `self` with a copy of `other`'s bits (no reallocation).
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn copy_from(&mut self, other: &BitVec) {
+        self.check_width(other);
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Ternary AND: writes `self & other` into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn and_into(&self, other: &BitVec, out: &mut BitVec) {
+        self.check_width(other);
+        self.check_width(out);
+        for (o, (a, b)) in out
+            .words
+            .iter_mut()
+            .zip(self.words.iter().zip(&other.words))
+        {
+            *o = a & b;
+        }
+    }
+
+    /// Ternary AND-NOT: writes `self & !other` into `out` without
+    /// allocating.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn and_not_into(&self, other: &BitVec, out: &mut BitVec) {
+        self.check_width(other);
+        self.check_width(out);
+        for (o, (a, b)) in out
+            .words
+            .iter_mut()
+            .zip(self.words.iter().zip(&other.words))
+        {
+            *o = a & !b;
+        }
+    }
+
+    /// Fused OR-of-AND: `self |= a & b`, one pass over the packed words.
+    ///
+    /// # Panics
+    /// Panics on width mismatch.
+    pub fn or_and_assign(&mut self, a: &BitVec, b: &BitVec) {
+        self.check_width(a);
+        self.check_width(b);
+        for (o, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            *o |= x & y;
+        }
+    }
+
     /// In-place bitwise OR.
     ///
     /// # Panics
@@ -557,6 +616,25 @@ impl BitMatrix {
             })
     }
 
+    /// Builds the column-major companion of this matrix: one [`BitVec`]
+    /// over the rows per column (for presence matrices, "which entities
+    /// exist at time point `c`" as a single packed vector).
+    ///
+    /// Cost is O(set bits); the result is immutable and intended to be
+    /// built once and cached (see `TemporalGraph::node_presence_columns`).
+    pub fn transposed(&self) -> TransposedBitMatrix {
+        let mut cols = vec![BitVec::zeros(self.nrows); self.ncols];
+        for r in 0..self.nrows {
+            for c in self.iter_row_ones(r) {
+                cols[c].set(r, true);
+            }
+        }
+        TransposedBitMatrix {
+            source_rows: self.nrows,
+            cols,
+        }
+    }
+
     /// Per-row popcounts of `row & mask` for every row, in one pass over the
     /// packed storage (the bulk form of
     /// [`row_count_masked`](Self::row_count_masked)).
@@ -578,6 +656,43 @@ impl BitMatrix {
         // so the result always has one entry per row.
         out.resize(self.nrows, 0);
         out
+    }
+}
+
+/// Column-major view of a [`BitMatrix`]: one packed [`BitVec`] over the
+/// source *rows* per source *column*.
+///
+/// Where a presence [`BitMatrix`] answers "at which time points does entity
+/// `r` exist?" row by row, the transposed form answers "which entities
+/// exist at time point `c`?" as one whole vector — the layout the
+/// chain-incremental exploration cursor folds with `acc |= col[t]` /
+/// `acc &= col[t]` in O(rows/64) words per extension step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransposedBitMatrix {
+    source_rows: usize,
+    cols: Vec<BitVec>,
+}
+
+impl TransposedBitMatrix {
+    /// Number of columns (source-matrix columns, e.g. time points).
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of rows of the source matrix (= width of every column vector).
+    #[inline]
+    pub fn source_rows(&self) -> usize {
+        self.source_rows
+    }
+
+    /// The bitset of source rows set in column `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` is out of range.
+    #[inline]
+    pub fn col(&self, c: usize) -> &BitVec {
+        &self.cols[c]
     }
 }
 
@@ -798,6 +913,74 @@ mod tests {
         for r in 0..m.nrows() {
             assert_eq!(counts[r] as usize, m.row_count_masked(r, &mask));
         }
+    }
+
+    #[test]
+    fn ternary_ops_match_assign_forms() {
+        let a = BitVec::from_indices(130, [0, 5, 64, 100, 129]);
+        let b = BitVec::from_indices(130, [5, 64, 128]);
+        let mut out = BitVec::ones(130);
+        a.and_into(&b, &mut out);
+        assert_eq!(out, a.and(&b));
+        a.and_not_into(&b, &mut out);
+        let mut expect = a.clone();
+        expect.and_not_assign(&b);
+        assert_eq!(out, expect);
+        // fused |= a & b
+        let mut acc = BitVec::from_indices(130, [1]);
+        acc.or_and_assign(&a, &b);
+        assert_eq!(acc.iter_ones().collect::<Vec<_>>(), vec![1, 5, 64]);
+        // copy_from + clear_all reuse the buffer
+        let mut buf = BitVec::zeros(130);
+        buf.copy_from(&a);
+        assert_eq!(buf, a);
+        buf.clear_all();
+        assert!(buf.is_zero());
+        assert_eq!(buf.len(), 130);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ternary_width_mismatch_panics() {
+        let a = BitVec::zeros(10);
+        let b = BitVec::zeros(10);
+        let mut out = BitVec::zeros(11);
+        a.and_into(&b, &mut out);
+    }
+
+    #[test]
+    fn transposed_round_trips() {
+        // 3 columns over 70 rows exercises multi-word column vectors
+        let mut m = BitMatrix::new(3);
+        for r in 0..70 {
+            m.push_row(&BitVec::from_indices(
+                3,
+                (0..3).filter(|c| (r + c) % (c + 2) == 0),
+            ));
+        }
+        let t = m.transposed();
+        assert_eq!(t.n_cols(), 3);
+        assert_eq!(t.source_rows(), 70);
+        for r in 0..m.nrows() {
+            for c in 0..m.ncols() {
+                assert_eq!(t.col(c).get(r), m.get(r, c), "({r},{c})");
+            }
+        }
+        // column popcounts agree with the row-major col_count
+        for c in 0..m.ncols() {
+            assert_eq!(t.col(c).count_ones(), m.col_count(c));
+        }
+    }
+
+    #[test]
+    fn transposed_empty_and_rowless() {
+        let t = BitMatrix::new(4).transposed();
+        assert_eq!(t.n_cols(), 4);
+        assert_eq!(t.source_rows(), 0);
+        assert!(t.col(3).is_empty());
+        let t = BitMatrix::zeros(5, 0).transposed();
+        assert_eq!(t.n_cols(), 0);
+        assert_eq!(t.source_rows(), 5);
     }
 
     #[test]

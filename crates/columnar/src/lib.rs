@@ -43,7 +43,7 @@ mod interner;
 mod matrix;
 mod value;
 
-pub use bitset::{BitMatrix, BitVec};
+pub use bitset::{BitMatrix, BitVec, TransposedBitMatrix};
 pub use csv::{read_frame, write_frame};
 pub use error::ColumnarError;
 pub use frame::Frame;

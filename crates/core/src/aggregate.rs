@@ -820,6 +820,8 @@ impl GroupTable {
                 }
             }
             (None, _) => {
+                // Sorted scratch: binary-search insert keeps per-entity
+                // dedup O(k log k) in the scope size instead of O(k²).
                 let mut seen: Vec<u32> = Vec::new();
                 for n in mask.keep_nodes().iter_ones() {
                     seen.clear();
@@ -828,8 +830,8 @@ impl GroupTable {
                         match mode {
                             AggMode::All => node_acc[gid as usize] += 1,
                             AggMode::Distinct => {
-                                if !seen.contains(&gid) {
-                                    seen.push(gid);
+                                if let Err(pos) = seen.binary_search(&gid) {
+                                    seen.insert(pos, gid);
                                     node_acc[gid as usize] += 1;
                                 }
                             }
@@ -865,8 +867,8 @@ impl GroupTable {
                         match mode {
                             AggMode::All => *edge_acc.entry(pair).or_insert(0) += 1,
                             AggMode::Distinct => {
-                                if !seen.contains(&pair) {
-                                    seen.push(pair);
+                                if let Err(pos) = seen.binary_search(&pair) {
+                                    seen.insert(pos, pair);
                                     *edge_acc.entry(pair).or_insert(0) += 1;
                                 }
                             }
@@ -916,13 +918,14 @@ impl GroupTable {
             }
             (CountTarget::AllNodes, None) => {
                 let mut total = 0u64;
+                // Sorted scratch, as in aggregate_masked.
                 let mut seen: Vec<u32> = Vec::new();
                 for n in mask.keep_nodes().iter_ones() {
                     seen.clear();
                     for t in g.node_presence_matrix().iter_row_ones_and(n, scope) {
                         let gid = self.time_gid(n, t);
-                        if !seen.contains(&gid) {
-                            seen.push(gid);
+                        if let Err(pos) = seen.binary_search(&gid) {
+                            seen.insert(pos, gid);
                         }
                     }
                     total += seen.len() as u64;
@@ -955,8 +958,8 @@ impl GroupTable {
                     seen.clear();
                     for t in g.edge_presence_matrix().iter_row_ones_and(e, scope) {
                         let pair = (self.time_gid(u.index(), t), self.time_gid(v.index(), t));
-                        if !seen.contains(&pair) {
-                            seen.push(pair);
+                        if let Err(pos) = seen.binary_search(&pair) {
+                            seen.insert(pos, pair);
                         }
                     }
                     total += seen.len() as u64;

@@ -1,0 +1,419 @@
+//! Chain-incremental pair evaluation over the transposed presence index.
+//!
+//! The per-pair kernel re-derives both sides' memberships from scratch for
+//! every interval pair: each evaluation walks every node and edge row and
+//! tests it against 𝒯old and 𝒯new (`O(rows × interval-words)`). But
+//! exploration never evaluates arbitrary pairs — it walks *chains*. Within
+//! the chain of reference `i`, one side is the fixed point `i` (or `i+1`)
+//! and the other grows by exactly one time point per step. Membership under
+//! union semantics therefore evolves as `acc |= column[t]`; under
+//! intersection as `acc &= column[t]` — a whole-vector OR/AND against one
+//! column of the transposed presence index
+//! ([`TemporalGraph::node_presence_columns`]), i.e. `O(entity-words)` per
+//! step independent of interval length.
+//!
+//! [`ChainCursor`] holds those accumulators plus a reusable
+//! [`EventMask`], and emits each step's mask with whole-vector AND/ANDNOT
+//! (including the Definition-2.5 incident-node fix-up, recomputed only over
+//! the kept-edge set bits). For static group tables it also resolves the
+//! count to a precomputed target bitmask, so a full evaluation is a
+//! popcount — no per-entity scan at all. Results are bit-identical to the
+//! per-pair kernel and the materializing oracle (property-tested in
+//! `tests/chain_cursor.rs`).
+
+use super::engine::{ChainEvaluator, IntervalPair};
+use super::kernel::ExploreKernel;
+use super::{ExtendSide, Semantics};
+use crate::aggregate::CountTarget;
+use crate::ops::{Event, EventMask};
+use tempo_columnar::{BitVec, TransposedBitMatrix};
+use tempo_graph::{EdgeId, GraphError, TemporalGraph, TimePoint};
+
+/// How the cursor turns a finished [`EventMask`] into `result(G)`.
+///
+/// With a static group table every entity keeps one group id for the whole
+/// domain, so the distinct count over any scope collapses to a popcount of
+/// the kept mask (optionally intersected with a precomputed target mask).
+/// Time-varying tables fall back to [`GroupTable::count_distinct`]
+/// (`Table`), which scans kept entities.
+///
+/// [`GroupTable::count_distinct`]: crate::aggregate::GroupTable::count_distinct
+enum FastCount {
+    /// Selector tuple occurs nowhere in the source graph — always 0.
+    Zero,
+    /// Static table + all-nodes selector: popcount of kept nodes.
+    PopNodes,
+    /// Static table + all-edges selector: popcount of kept edges.
+    PopEdges,
+    /// Static table + one node tuple: popcount of kept ∧ target mask.
+    NodesMatch(BitVec),
+    /// Static table + one edge tuple pair: popcount of kept ∧ target mask.
+    EdgesMatch(BitVec),
+    /// Time-varying table: defer to the general distinct scan.
+    Table,
+}
+
+impl FastCount {
+    fn resolve(kernel: &ExploreKernel<'_>) -> FastCount {
+        let g = kernel.g;
+        match (&kernel.target, kernel.table.is_static()) {
+            // A tuple absent from the source graph can never appear in an
+            // event graph of it (same shortcut as count_distinct).
+            (CountTarget::Node(None), _) | (CountTarget::Edge(None), _) => FastCount::Zero,
+            (_, false) => FastCount::Table,
+            (CountTarget::AllNodes, true) => FastCount::PopNodes,
+            (CountTarget::AllEdges, true) => FastCount::PopEdges,
+            (CountTarget::Node(Some(gid)), true) => {
+                let mut m = BitVec::zeros(g.n_nodes());
+                for n in 0..g.n_nodes() {
+                    if kernel.table.gid_at(n, 0) == Some(*gid) {
+                        m.set(n, true);
+                    }
+                }
+                FastCount::NodesMatch(m)
+            }
+            (CountTarget::Edge(Some((gs, gd))), true) => {
+                let mut m = BitVec::zeros(g.n_edges());
+                for e in 0..g.n_edges() {
+                    let (u, v) = g.edge_endpoints(EdgeId(e as u32));
+                    if kernel.table.gid_at(u.index(), 0) == Some(*gs)
+                        && kernel.table.gid_at(v.index(), 0) == Some(*gd)
+                    {
+                        m.set(e, true);
+                    }
+                }
+                FastCount::EdgesMatch(m)
+            }
+        }
+    }
+}
+
+/// Incremental evaluator for the pairs of one reference chain at a time.
+///
+/// Built once per exploration run (or per worker thread — cursors over the
+/// same shared [`ExploreKernel`] are independent) and driven forward through
+/// `(i, j)` chain coordinates by [`ChainCursor::evaluate_chain_pair`]. The
+/// cursor records into the kernel's evaluation instruments, so
+/// `explore.evaluations` / `eval_ns` / `mask_ns` / `count_ns` mean the same
+/// thing whichever evaluator runs.
+pub struct ChainCursor<'k, 'g> {
+    kernel: &'k ExploreKernel<'g>,
+    node_cols: &'g TransposedBitMatrix,
+    edge_cols: &'g TransposedBitMatrix,
+    /// Domain length.
+    n: usize,
+    fast: FastCount,
+    /// Reference index of the chain currently loaded, if any.
+    current_ref: Option<usize>,
+    /// Steps taken from the base pair (chain coordinate `j`).
+    step: usize,
+    /// Time point of the fixed reference side of the loaded chain.
+    ref_t: usize,
+    /// Extended-side membership accumulators (`|=` under union, `&=` under
+    /// intersection, one transposed column per step).
+    ext_nodes: BitVec,
+    ext_edges: BitVec,
+    /// Reusable output mask, rewritten in place per evaluation.
+    mask: EventMask,
+    /// Scratch for the Definition-2.5 incident-node fix-up.
+    incident: BitVec,
+    ins_chains: std::sync::Arc<tempo_instrument::Counter>,
+    ins_steps: std::sync::Arc<tempo_instrument::Counter>,
+    ins_step_ns: std::sync::Arc<tempo_instrument::Histogram>,
+}
+
+impl<'k, 'g> ChainCursor<'k, 'g> {
+    /// Builds a cursor over a shared kernel: borrows (building on first use)
+    /// the graph's transposed presence indexes and resolves the fast count
+    /// path for the kernel's target.
+    pub fn new(kernel: &'k ExploreKernel<'g>) -> Self {
+        let ins = tempo_instrument::global();
+        ins.counter("explore.cursor.builds").inc();
+        let g = kernel.g;
+        ChainCursor {
+            kernel,
+            node_cols: g.node_presence_columns(),
+            edge_cols: g.edge_presence_columns(),
+            n: g.domain().len(),
+            fast: FastCount::resolve(kernel),
+            current_ref: None,
+            step: 0,
+            ref_t: 0,
+            ext_nodes: BitVec::zeros(g.n_nodes()),
+            ext_edges: BitVec::zeros(g.n_edges()),
+            mask: EventMask::cleared(g),
+            incident: BitVec::zeros(g.n_nodes()),
+            ins_chains: ins.counter("explore.cursor.chains"),
+            ins_steps: ins.counter("explore.cursor.steps"),
+            ins_step_ns: ins.histogram("explore.cursor.step_ns"),
+        }
+    }
+
+    /// Loads the chain of reference `i` at its base pair `({i}, {i+1})`.
+    fn start_chain(&mut self, i: usize) {
+        assert!(i + 1 < self.n, "reference {i} out of domain {}", self.n);
+        self.ins_chains.inc();
+        self.current_ref = Some(i);
+        self.step = 0;
+        // The extended side starts as the single base point; the other side
+        // is the fixed reference. A one-point interval is one column.
+        let (ext_t0, ref_t) = match self.kernel.cfg.extend {
+            ExtendSide::New => (i + 1, i),
+            ExtendSide::Old => (i, i + 1),
+        };
+        self.ref_t = ref_t;
+        self.ext_nodes.copy_from(self.node_cols.col(ext_t0));
+        self.ext_edges.copy_from(self.edge_cols.col(ext_t0));
+        // Base scope per event: stability spans both sides, growth lives in
+        // 𝒯new, shrinkage in 𝒯old.
+        let (_, _, scope) = self.mask.parts_mut();
+        scope.clear();
+        match self.kernel.cfg.event {
+            Event::Stability => {
+                scope.insert(TimePoint(i as u32));
+                scope.insert(TimePoint((i + 1) as u32));
+            }
+            Event::Growth => scope.insert(TimePoint((i + 1) as u32)),
+            Event::Shrinkage => scope.insert(TimePoint(i as u32)),
+        }
+    }
+
+    /// Extends the loaded chain by one time point: one whole-vector OR/AND
+    /// against the added point's transposed columns.
+    fn advance(&mut self) {
+        let i = self.current_ref.expect("advance requires a loaded chain");
+        let _span = self.ins_step_ns.span();
+        self.ins_steps.inc();
+        self.step += 1;
+        let t_added = match self.kernel.cfg.extend {
+            ExtendSide::New => i + 1 + self.step,
+            ExtendSide::Old => i
+                .checked_sub(self.step)
+                .expect("old side extends at most to the domain start"),
+        };
+        assert!(
+            t_added < self.n,
+            "new side extends at most to the domain end"
+        );
+        let (node_col, edge_col) = (self.node_cols.col(t_added), self.edge_cols.col(t_added));
+        match self.kernel.cfg.semantics {
+            Semantics::Union => {
+                self.ext_nodes.or_assign(node_col);
+                self.ext_edges.or_assign(edge_col);
+            }
+            Semantics::Intersection => {
+                self.ext_nodes.and_assign(node_col);
+                self.ext_edges.and_assign(edge_col);
+            }
+        }
+        // The scope follows the side(s) the event draws its timestamps
+        // from, so it only grows when that side is the extended one.
+        let scope_tracks_ext = match self.kernel.cfg.event {
+            Event::Stability => true,
+            Event::Growth => self.kernel.cfg.extend == ExtendSide::New,
+            Event::Shrinkage => self.kernel.cfg.extend == ExtendSide::Old,
+        };
+        if scope_tracks_ext {
+            let (_, _, scope) = self.mask.parts_mut();
+            scope.insert(TimePoint(t_added as u32));
+        }
+    }
+
+    /// Rewrites the mask for the current pair and counts the target:
+    /// whole-vector AND/ANDNOT for membership, set-bit iteration only for
+    /// the kept edges' endpoints (Definition 2.5), then the fast count.
+    fn evaluate_current(&mut self) -> u64 {
+        let _eval_span = self.kernel.ins_eval_ns.span();
+        self.kernel.ins_evals.inc();
+        {
+            let _mask_span = self.kernel.ins_mask_ns.span();
+            let ref_nodes = self.node_cols.col(self.ref_t);
+            let ref_edges = self.edge_cols.col(self.ref_t);
+            let (old_n, new_n, old_e, new_e) = match self.kernel.cfg.extend {
+                ExtendSide::New => (ref_nodes, &self.ext_nodes, ref_edges, &self.ext_edges),
+                ExtendSide::Old => (&self.ext_nodes, ref_nodes, &self.ext_edges, ref_edges),
+            };
+            let (keep_nodes, keep_edges, _) = self.mask.parts_mut();
+            match self.kernel.cfg.event {
+                Event::Stability => {
+                    old_n.and_into(new_n, keep_nodes);
+                    old_e.and_into(new_e, keep_edges);
+                }
+                Event::Growth => difference_into(
+                    self.kernel.g,
+                    new_n,
+                    old_n,
+                    new_e,
+                    old_e,
+                    keep_nodes,
+                    keep_edges,
+                    &mut self.incident,
+                ),
+                Event::Shrinkage => difference_into(
+                    self.kernel.g,
+                    old_n,
+                    new_n,
+                    old_e,
+                    new_e,
+                    keep_nodes,
+                    keep_edges,
+                    &mut self.incident,
+                ),
+            }
+        }
+        let _count_span = self.kernel.ins_count_ns.span();
+        match &self.fast {
+            FastCount::Zero => 0,
+            FastCount::PopNodes => self.mask.keep_nodes().count_ones() as u64,
+            FastCount::PopEdges => self.mask.keep_edges().count_ones() as u64,
+            FastCount::NodesMatch(m) => self.mask.keep_nodes().count_ones_and(m) as u64,
+            FastCount::EdgesMatch(m) => self.mask.keep_edges().count_ones_and(m) as u64,
+            FastCount::Table => {
+                self.kernel
+                    .table
+                    .count_distinct(self.kernel.g, &self.mask, &self.kernel.target)
+            }
+        }
+    }
+
+    /// Evaluates chain pair `(i, j)`: pair `j` of reference `i`'s chain
+    /// (`j = 0` is the base pair `({i}, {i+1})`, each further step extends
+    /// the configured side by one point).
+    ///
+    /// Loads the chain on a reference change and advances incrementally —
+    /// evaluating a chain's pairs in ascending `j` (the order every
+    /// exploration strategy uses) costs one column OR/AND per step. Jumping
+    /// backward reloads the chain from its base.
+    ///
+    /// # Panics
+    /// Panics if `(i, j)` is outside the domain's chain table.
+    pub fn evaluate_chain_pair(&mut self, i: usize, j: usize) -> u64 {
+        if self.current_ref != Some(i) || j < self.step {
+            self.start_chain(i);
+        }
+        while self.step < j {
+            self.advance();
+        }
+        self.evaluate_current()
+    }
+
+    /// The mask of the most recent evaluation (event membership + scope).
+    pub fn last_mask(&self) -> &EventMask {
+        &self.mask
+    }
+}
+
+impl ChainEvaluator for ChainCursor<'_, '_> {
+    fn evaluate(&mut self, i: usize, j: usize, _pair: &IntervalPair) -> Result<u64, GraphError> {
+        Ok(self.evaluate_chain_pair(i, j))
+    }
+}
+
+/// Difference-event masks (Definition 2.5), in place: kept edges are member
+/// of the keep side and not of the drop side; kept nodes likewise, except a
+/// node incident to a kept edge is kept regardless of the drop test.
+#[allow(clippy::too_many_arguments)]
+fn difference_into(
+    g: &TemporalGraph,
+    keep_n: &BitVec,
+    drop_n: &BitVec,
+    keep_e: &BitVec,
+    drop_e: &BitVec,
+    out_n: &mut BitVec,
+    out_e: &mut BitVec,
+    incident: &mut BitVec,
+) {
+    keep_e.and_not_into(drop_e, out_e);
+    incident.clear_all();
+    for e in out_e.iter_ones() {
+        let (u, v) = g.edge_endpoints(EdgeId(e as u32));
+        incident.set(u.index(), true);
+        incident.set(v.index(), true);
+    }
+    keep_n.and_not_into(drop_n, out_n);
+    // Definition 2.5 fix-up: endpoints of kept edges stay even when present
+    // on the drop side, as long as they pass the keep-side test.
+    out_n.or_and_assign(incident, keep_n);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::engine::chain;
+    use super::*;
+    use crate::explore::{ExploreConfig, Selector};
+    use tempo_graph::fixtures::fig1;
+
+    /// Every chain coordinate of every strategy combination agrees with the
+    /// per-pair kernel on the fig. 1 fixture (the broad randomized version
+    /// lives in `tests/chain_cursor.rs`).
+    #[test]
+    fn cursor_matches_kernel_on_fig1() {
+        let g = fig1();
+        let gender = g.schema().id("gender").unwrap();
+        let f = g.schema().category(gender, "f").unwrap();
+        let selectors = [
+            Selector::AllNodes,
+            Selector::AllEdges,
+            Selector::NodeTuple(vec![f.clone()]),
+            Selector::edge_1attr(f.clone(), f.clone()),
+        ];
+        let n = g.domain().len();
+        for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
+            for extend in [ExtendSide::Old, ExtendSide::New] {
+                for semantics in [Semantics::Union, Semantics::Intersection] {
+                    for selector in &selectors {
+                        let cfg = ExploreConfig {
+                            event,
+                            extend,
+                            semantics,
+                            k: 1,
+                            attrs: vec![gender],
+                            selector: selector.clone(),
+                        };
+                        let kernel = ExploreKernel::new(&g, &cfg);
+                        let mut cursor = ChainCursor::new(&kernel);
+                        for i in 0..n - 1 {
+                            for (j, pair) in chain(n, i, extend).iter().enumerate() {
+                                assert_eq!(
+                                    cursor.evaluate_chain_pair(i, j),
+                                    kernel.evaluate(&pair.told, &pair.tnew).unwrap(),
+                                    "{event:?}/{extend:?}/{semantics:?}/{selector:?} i={i} j={j}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Jumping straight to the deepest pair (the intersection-increasing
+    /// strategy) and jumping backward (chain reload) both stay correct.
+    #[test]
+    fn cursor_random_access_reloads() {
+        let g = fig1();
+        let gender = g.schema().id("gender").unwrap();
+        let cfg = ExploreConfig {
+            event: Event::Stability,
+            extend: ExtendSide::New,
+            semantics: Semantics::Intersection,
+            k: 1,
+            attrs: vec![gender],
+            selector: Selector::AllEdges,
+        };
+        let n = g.domain().len();
+        let kernel = ExploreKernel::new(&g, &cfg);
+        let mut cursor = ChainCursor::new(&kernel);
+        let pairs = chain(n, 0, cfg.extend);
+        let deep = pairs.len() - 1;
+        let expect = |p: &IntervalPair| kernel.evaluate(&p.told, &p.tnew).unwrap();
+        // jump straight to the deepest pair, then back to the base pair
+        assert_eq!(cursor.evaluate_chain_pair(0, deep), expect(&pairs[deep]));
+        assert_eq!(cursor.evaluate_chain_pair(0, 0), expect(&pairs[0]));
+        // and the last mask's scope matches the reloaded pair
+        assert_eq!(
+            cursor.last_mask().scope(),
+            &pairs[0].told.union(&pairs[0].tnew)
+        );
+    }
+}

@@ -1,9 +1,32 @@
 //! The exploration strategies: U-Explore, I-Explore, and the two
 //! monotonicity shortcuts (§3.2–§3.4).
 
+use super::cursor::ChainCursor;
 use super::kernel::{evaluate_pair_materialized, ExploreKernel};
 use super::{direction, ExploreConfig, ExtendSide};
+use std::sync::{Arc, OnceLock};
 use tempo_graph::{GraphError, TemporalGraph, TimeSet};
+
+/// One pair evaluation, addressed both by chain coordinates (`i` =
+/// reference index, `j` = steps from the base pair) and by the explicit
+/// interval pair. The chain-incremental cursor consumes the coordinates;
+/// the per-pair baselines consume the intervals. The strategies call this
+/// exactly once per counted evaluation, so pruning behavior and evaluation
+/// counts are evaluator-independent.
+pub(super) trait ChainEvaluator {
+    /// Evaluates `result(G)` for chain pair `(i, j)`.
+    fn evaluate(&mut self, i: usize, j: usize, pair: &IntervalPair) -> Result<u64, GraphError>;
+}
+
+/// Adapts a plain `(told, tnew)` closure — the per-pair kernel or the
+/// materializing oracle — to the chain-coordinate interface.
+pub(super) struct PairEvaluator<F>(pub(super) F);
+
+impl<F: FnMut(&TimeSet, &TimeSet) -> Result<u64, GraphError>> ChainEvaluator for PairEvaluator<F> {
+    fn evaluate(&mut self, _i: usize, _j: usize, pair: &IntervalPair) -> Result<u64, GraphError> {
+        (self.0)(&pair.told, &pair.tnew)
+    }
+}
 
 /// One explored pair of intervals. For [`ExtendSide::Old`] the reference
 /// point is `tnew`; for [`ExtendSide::New`] it is `told`.
@@ -94,13 +117,35 @@ pub(super) fn chain(n: usize, i: usize, extend: ExtendSide) -> Vec<IntervalPair>
 pub fn explore(g: &TemporalGraph, cfg: &ExploreConfig) -> Result<ExploreOutcome, GraphError> {
     let n = check_domain(g)?;
     let kernel = ExploreKernel::new(g, cfg);
-    explore_sequential(&|told, tnew| kernel.evaluate(told, tnew), cfg, n)
+    explore_sequential(&mut ChainCursor::new(&kernel), cfg, n)
+}
+
+/// [`explore`] evaluating every pair through the per-pair kernel
+/// ([`ExploreKernel::evaluate`]) instead of the chain-incremental cursor:
+/// each pair re-derives both sides' memberships from scratch. Identical
+/// outcome (property-tested); exists so benchmarks can ablate the cursor's
+/// speedup with pruning behavior held fixed.
+///
+/// # Errors
+/// Returns an error if the graph has fewer than two time points or an
+/// operator fails.
+pub fn explore_pairwise(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+) -> Result<ExploreOutcome, GraphError> {
+    let n = check_domain(g)?;
+    let kernel = ExploreKernel::new(g, cfg);
+    explore_sequential(
+        &mut PairEvaluator(|told: &TimeSet, tnew: &TimeSet| kernel.evaluate(told, tnew)),
+        cfg,
+        n,
+    )
 }
 
 /// [`explore`] evaluating every pair through the materializing reference
-/// path ([`evaluate_pair_materialized`]) instead of the kernel. Identical
-/// outcome (property-tested); exists so benchmarks can ablate the kernel's
-/// speedup with pruning behavior held fixed.
+/// path ([`evaluate_pair_materialized`]). Identical outcome
+/// (property-tested); exists so benchmarks can ablate the zero-
+/// materialization speedup with pruning behavior held fixed.
 ///
 /// # Errors
 /// Returns an error if the graph has fewer than two time points or an
@@ -111,7 +156,9 @@ pub fn explore_materializing(
 ) -> Result<ExploreOutcome, GraphError> {
     let n = check_domain(g)?;
     explore_sequential(
-        &|told: &TimeSet, tnew: &TimeSet| evaluate_pair_materialized(g, cfg, told, tnew),
+        &mut PairEvaluator(|told: &TimeSet, tnew: &TimeSet| {
+            evaluate_pair_materialized(g, cfg, told, tnew)
+        }),
         cfg,
         n,
     )
@@ -128,7 +175,7 @@ fn check_domain(g: &TemporalGraph) -> Result<usize, GraphError> {
 }
 
 fn explore_sequential(
-    eval: &dyn Fn(&TimeSet, &TimeSet) -> Result<u64, GraphError>,
+    eval: &mut dyn ChainEvaluator,
     cfg: &ExploreConfig,
     n: usize,
 ) -> Result<ExploreOutcome, GraphError> {
@@ -165,23 +212,29 @@ pub fn explore_parallel(
     }
     // One kernel for the whole run (the group table is interned once and
     // shared by reference); each reference point i is one independent
-    // sub-problem running the sequential strategy on its chain.
+    // sub-problem running the sequential strategy on its chain. The
+    // transposed presence indexes are forced here so workers share the
+    // cached build instead of racing to construct it.
     let kernel = ExploreKernel::new(g, cfg);
     let kernel = &kernel;
+    g.node_presence_columns();
+    g.edge_presence_columns();
+    type RefSlot<'a> = (usize, &'a mut Option<Result<ExploreOutcome, GraphError>>);
     let mut slots: Vec<Option<Result<ExploreOutcome, GraphError>>> = vec![None; n - 1];
-    let mut refs: Vec<(usize, &mut Option<Result<ExploreOutcome, GraphError>>)> =
-        slots.iter_mut().enumerate().collect();
-    let chunk = (n - 1).div_ceil(threads);
+    // Chain length is linear in the reference index (longest chains sit at
+    // one end), so contiguous batches would give one worker nearly all the
+    // work. Deal references round-robin instead; the slots restore
+    // reference order afterwards.
+    let mut buckets: Vec<Vec<RefSlot<'_>>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        buckets[i % threads].push((i, slot));
+    }
     crossbeam::thread::scope(|scope| {
-        for batch in refs.chunks_mut(chunk) {
+        for bucket in buckets {
             scope.spawn(move |_| {
-                for (i, slot) in batch.iter_mut() {
-                    **slot = Some(explore_reference(
-                        &|told: &TimeSet, tnew: &TimeSet| kernel.evaluate(told, tnew),
-                        cfg,
-                        n,
-                        *i,
-                    ));
+                let mut cursor = ChainCursor::new(kernel);
+                for (i, slot) in bucket {
+                    *slot = Some(explore_reference(&mut cursor, cfg, n, i));
                 }
             });
         }
@@ -198,31 +251,53 @@ pub fn explore_parallel(
     Ok(ExploreOutcome { pairs, evaluations })
 }
 
+/// Pruned-pair counters, resolved once per process. Parallel runs hit this
+/// from every worker for every chain, so the name-keyed registry lookup
+/// (and its `format!` key) is hoisted out of the per-chain path. The
+/// registry resets metrics in place — the `Arc` handles stay wired to the
+/// live registry across `Registry::reset`.
+struct PrunedCounters {
+    total: Arc<tempo_instrument::Counter>,
+    union_increasing: Arc<tempo_instrument::Counter>,
+    union_decreasing: Arc<tempo_instrument::Counter>,
+    intersection_decreasing: Arc<tempo_instrument::Counter>,
+    intersection_increasing: Arc<tempo_instrument::Counter>,
+}
+
+fn pruned_counters() -> &'static PrunedCounters {
+    static CELL: OnceLock<PrunedCounters> = OnceLock::new();
+    CELL.get_or_init(|| {
+        let ins = tempo_instrument::global();
+        PrunedCounters {
+            total: ins.counter("explore.pruned"),
+            union_increasing: ins.counter("explore.pruned.union_increasing"),
+            union_decreasing: ins.counter("explore.pruned.union_decreasing"),
+            intersection_decreasing: ins.counter("explore.pruned.intersection_decreasing"),
+            intersection_increasing: ins.counter("explore.pruned.intersection_increasing"),
+        }
+    })
+}
+
 /// Runs the configured strategy on the single chain of reference `i`,
 /// counting one evaluation per `eval` call (the pruning metric is therefore
-/// identical whichever evaluator — kernel or materializing — is plugged in).
+/// identical whichever evaluator — cursor, kernel or materializing — is
+/// plugged in).
 fn explore_reference(
-    eval: &dyn Fn(&TimeSet, &TimeSet) -> Result<u64, GraphError>,
+    eval: &mut dyn ChainEvaluator,
     cfg: &ExploreConfig,
     n: usize,
     i: usize,
 ) -> Result<ExploreOutcome, GraphError> {
     use super::{Direction, Semantics};
     let dir = direction(cfg.event, cfg.extend, cfg.semantics);
-    let strategy = match (cfg.semantics, dir) {
-        (Semantics::Union, Direction::Increasing) => "union_increasing",
-        (Semantics::Union, Direction::Decreasing) => "union_decreasing",
-        (Semantics::Intersection, Direction::Decreasing) => "intersection_decreasing",
-        (Semantics::Intersection, Direction::Increasing) => "intersection_increasing",
-    };
     let chain_pairs = chain(n, i, cfg.extend);
     let chain_len = chain_pairs.len();
     let mut pairs = Vec::new();
     let mut evaluations = 0;
     match (cfg.semantics, dir) {
         (Semantics::Union, Direction::Increasing) => {
-            for pair in chain_pairs {
-                let r = eval(&pair.told, &pair.tnew)?;
+            for (j, pair) in chain_pairs.into_iter().enumerate() {
+                let r = eval.evaluate(i, j, &pair)?;
                 evaluations += 1;
                 if r >= cfg.k {
                     pairs.push((pair, r));
@@ -232,7 +307,7 @@ fn explore_reference(
         }
         (Semantics::Union, Direction::Decreasing) => {
             let pair = chain_pairs.into_iter().next().expect("non-empty chain");
-            let r = eval(&pair.told, &pair.tnew)?;
+            let r = eval.evaluate(i, 0, &pair)?;
             evaluations += 1;
             if r >= cfg.k {
                 pairs.push((pair, r));
@@ -240,8 +315,8 @@ fn explore_reference(
         }
         (Semantics::Intersection, Direction::Decreasing) => {
             let mut last_good = None;
-            for pair in chain_pairs {
-                let r = eval(&pair.told, &pair.tnew)?;
+            for (j, pair) in chain_pairs.into_iter().enumerate() {
+                let r = eval.evaluate(i, j, &pair)?;
                 evaluations += 1;
                 if r >= cfg.k {
                     last_good = Some((pair, r));
@@ -256,21 +331,24 @@ fn explore_reference(
                 .into_iter()
                 .next_back()
                 .expect("non-empty chain");
-            let r = eval(&pair.told, &pair.tnew)?;
+            let r = eval.evaluate(i, chain_len - 1, &pair)?;
             evaluations += 1;
             if r >= cfg.k {
                 pairs.push((pair, r));
             }
         }
     }
-    // Pairs skipped thanks to the monotonicity shortcut of this strategy
-    // row. Reference chains are few (one per time point), so the registry
-    // lookup here is off the per-pair hot path.
+    // Pairs skipped thanks to the monotonicity shortcut of this strategy row.
     let pruned = (chain_len - evaluations) as u64;
-    let ins = tempo_instrument::global();
-    ins.counter("explore.pruned").add(pruned);
-    ins.counter(&format!("explore.pruned.{strategy}"))
-        .add(pruned);
+    let pc = pruned_counters();
+    pc.total.add(pruned);
+    match (cfg.semantics, dir) {
+        (Semantics::Union, Direction::Increasing) => &pc.union_increasing,
+        (Semantics::Union, Direction::Decreasing) => &pc.union_decreasing,
+        (Semantics::Intersection, Direction::Decreasing) => &pc.intersection_decreasing,
+        (Semantics::Intersection, Direction::Increasing) => &pc.intersection_increasing,
+    }
+    .add(pruned);
     Ok(ExploreOutcome { pairs, evaluations })
 }
 
@@ -421,7 +499,7 @@ mod tests {
     }
 
     #[test]
-    fn materializing_variant_matches_kernel_explore() {
+    fn baseline_variants_match_cursor_explore() {
         let g = fig1();
         for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
             for extend in [ExtendSide::Old, ExtendSide::New] {
@@ -429,12 +507,16 @@ mod tests {
                     for k in [1, 2] {
                         let c = cfg(event, extend, semantics, k);
                         let fast = explore(&g, &c).unwrap();
-                        let slow = explore_materializing(&g, &c).unwrap();
-                        assert_eq!(
-                            fast.pairs, slow.pairs,
-                            "{event:?}/{extend:?}/{semantics:?}/{k}"
-                        );
-                        assert_eq!(fast.evaluations, slow.evaluations);
+                        for (name, slow) in [
+                            ("pairwise", explore_pairwise(&g, &c).unwrap()),
+                            ("materializing", explore_materializing(&g, &c).unwrap()),
+                        ] {
+                            assert_eq!(
+                                fast.pairs, slow.pairs,
+                                "{name}: {event:?}/{extend:?}/{semantics:?}/{k}"
+                            );
+                            assert_eq!(fast.evaluations, slow.evaluations, "{name}");
+                        }
                     }
                 }
             }

@@ -54,18 +54,20 @@ pub fn evaluate_pair_materialized(
 /// exploration run and shared by reference across all interval pairs and
 /// worker threads.
 pub struct ExploreKernel<'g> {
-    g: &'g TemporalGraph,
-    cfg: &'g ExploreConfig,
-    table: GroupTable,
-    target: CountTarget,
+    pub(super) g: &'g TemporalGraph,
+    pub(super) cfg: &'g ExploreConfig,
+    pub(super) table: GroupTable,
+    pub(super) target: CountTarget,
     old_test: SideTest,
     new_test: SideTest,
     /// Instrumentation handles, resolved once so per-pair recording never
-    /// touches the registry lock (the kernel is shared across threads).
-    ins_evals: std::sync::Arc<tempo_instrument::Counter>,
-    ins_eval_ns: std::sync::Arc<tempo_instrument::Histogram>,
-    ins_mask_ns: std::sync::Arc<tempo_instrument::Histogram>,
-    ins_count_ns: std::sync::Arc<tempo_instrument::Histogram>,
+    /// touches the registry lock (the kernel is shared across threads, and
+    /// the chain cursor records into the same handles so the evaluation
+    /// metrics are path-independent).
+    pub(super) ins_evals: std::sync::Arc<tempo_instrument::Counter>,
+    pub(super) ins_eval_ns: std::sync::Arc<tempo_instrument::Histogram>,
+    pub(super) ins_mask_ns: std::sync::Arc<tempo_instrument::Histogram>,
+    pub(super) ins_count_ns: std::sync::Arc<tempo_instrument::Histogram>,
 }
 
 impl<'g> ExploreKernel<'g> {

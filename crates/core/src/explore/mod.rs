@@ -20,13 +20,18 @@
 //! | shrinkage | old | ∩ | decreasing | I-Explore |
 //! | shrinkage | new | ∩ | increasing | longest-interval check |
 
+mod cursor;
 mod engine;
 mod kernel;
 mod naive;
 mod solve;
 mod threshold;
 
-pub use engine::{explore, explore_materializing, explore_parallel, ExploreOutcome, IntervalPair};
+pub use cursor::ChainCursor;
+pub use engine::{
+    explore, explore_materializing, explore_pairwise, explore_parallel, ExploreOutcome,
+    IntervalPair,
+};
 pub use kernel::{evaluate_pair_materialized, ExploreKernel};
 pub use naive::explore_naive;
 pub use solve::{solve_problem, EventReport, ProblemReport};

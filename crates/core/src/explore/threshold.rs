@@ -5,6 +5,7 @@
 //! weight when the exploration operator is monotonically increasing (then
 //! `k` is tuned upward), the maximum when it is decreasing (tuned downward).
 
+use super::cursor::ChainCursor;
 use super::kernel::ExploreKernel;
 use super::{direction, Direction, ExploreConfig, Selector};
 use crate::aggregate::AggMode;
@@ -39,12 +40,12 @@ pub fn initial_threshold(
         ));
     }
     // One kernel (and therefore one interned group table) is shared across
-    // all consecutive pairs of the scan.
+    // all consecutive pairs of the scan; the consecutive pair (𝒯ᵢ, 𝒯ᵢ₊₁)
+    // is chain pair (i, 0), so the scan rides the chain-incremental cursor.
     let kernel = ExploreKernel::new(g, cfg);
+    let mut cursor = ChainCursor::new(&kernel);
     let mut best: Option<u64> = None;
     for i in 0..n - 1 {
-        let told = TimeSet::point(n, TimePoint(i as u32));
-        let tnew = TimeSet::point(n, TimePoint((i + 1) as u32));
         let r = match &cfg.selector {
             // For the per-entity selectors the consecutive-pair result IS
             // the entity weight; for the All selectors, take the stat over
@@ -52,13 +53,15 @@ pub fn initial_threshold(
             // §3.5 ("the minimum or maximum weight of the given type of
             // entity").
             Selector::NodeTuple(_) | Selector::EdgeTuple(..) => {
-                let r = kernel.evaluate(&told, &tnew)?;
+                let r = cursor.evaluate_chain_pair(i, 0);
                 if r == 0 {
                     continue;
                 }
                 r
             }
             all => {
+                let told = TimeSet::point(n, TimePoint(i as u32));
+                let tnew = TimeSet::point(n, TimePoint((i + 1) as u32));
                 let mask = event_mask(g, cfg.event, &told, &tnew, SideTest::Any, SideTest::Any)?;
                 let agg = kernel
                     .group_table()

@@ -104,6 +104,21 @@ impl EventMask {
     pub fn edge_rows(&self) -> Vec<usize> {
         self.keep_edges.iter_ones().collect()
     }
+
+    /// Allocates an all-clear mask shaped for `g` (crate-internal: the
+    /// chain cursor owns one mask and rewrites it in place per step).
+    pub(crate) fn cleared(g: &TemporalGraph) -> EventMask {
+        EventMask {
+            keep_nodes: BitVec::zeros(g.n_nodes()),
+            keep_edges: BitVec::zeros(g.n_edges()),
+            scope: TimeSet::empty(g.domain().len()),
+        }
+    }
+
+    /// Mutable access to the three components for in-place rewriting.
+    pub(crate) fn parts_mut(&mut self) -> (&mut BitVec, &mut BitVec, &mut TimeSet) {
+        (&mut self.keep_nodes, &mut self.keep_edges, &mut self.scope)
+    }
 }
 
 /// Tests one presence-matrix row against a side interval without copying

@@ -1,0 +1,322 @@
+//! Property-based equivalence of the chain-incremental cursor with the
+//! per-pair kernel and the materializing oracle: every chain coordinate of
+//! every Table-1 strategy combination must evaluate to the same count on
+//! random evolving graphs, and full exploration runs must agree pair-for-
+//! pair (with identical evaluation counts) across all three paths.
+
+use graphtempo::explore::{
+    evaluate_pair_materialized, explore, explore_materializing, explore_pairwise, explore_parallel,
+    ChainCursor, ExploreConfig, ExploreKernel, ExtendSide, Selector, Semantics,
+};
+use graphtempo::ops::Event;
+use proptest::prelude::*;
+use tempo_columnar::Value;
+use tempo_datagen::RandomGraphConfig;
+use tempo_graph::{AttrId, TemporalGraph, TimePoint, TimeSet};
+
+/// Strategy: a random evolving graph (same shape as `tests/properties.rs`).
+fn graph_strategy() -> impl Strategy<Value = TemporalGraph> {
+    (
+        10usize..40,  // pool
+        3usize..7,    // timepoints
+        5usize..15,   // active per tp
+        5usize..40,   // edges per tp
+        0u8..=10,     // node persistence (tenths)
+        0u8..=10,     // edge persistence (tenths)
+        1usize..4,    // kinds
+        1i64..5,      // levels
+        any::<u64>(), // seed
+    )
+        .prop_map(|(pool, tps, active, edges, np, ep, kinds, levels, seed)| {
+            RandomGraphConfig {
+                pool,
+                timepoints: tps,
+                active_per_tp: active.min(pool),
+                edges_per_tp: edges,
+                node_persistence: f64::from(np) / 10.0,
+                edge_persistence: f64::from(ep) / 10.0,
+                kinds,
+                levels,
+                seed,
+            }
+            .generate()
+            .expect("random generator produces valid graphs")
+        })
+}
+
+fn kind_attr(g: &TemporalGraph) -> AttrId {
+    g.schema().id("kind").expect("random graphs have `kind`")
+}
+
+fn level_attr(g: &TemporalGraph) -> AttrId {
+    g.schema().id("level").expect("random graphs have `level`")
+}
+
+const EVENTS: [Event; 3] = [Event::Stability, Event::Growth, Event::Shrinkage];
+const EXTENDS: [ExtendSide; 2] = [ExtendSide::Old, ExtendSide::New];
+const SEMANTICS: [Semantics; 2] = [Semantics::Union, Semantics::Intersection];
+
+/// The interval pair at chain coordinate `(i, j)` — mirrors the engine's
+/// chain table so the test derives pairs independently of the cursor.
+fn chain_pair(n: usize, i: usize, j: usize, extend: ExtendSide) -> (TimeSet, TimeSet) {
+    match extend {
+        ExtendSide::New => (
+            TimeSet::point(n, TimePoint(i as u32)),
+            TimeSet::range(n, i + 1, i + 1 + j),
+        ),
+        ExtendSide::Old => (
+            TimeSet::range(n, i - j, i),
+            TimeSet::point(n, TimePoint((i + 1) as u32)),
+        ),
+    }
+}
+
+/// Number of pairs in reference `i`'s chain.
+fn chain_len(n: usize, i: usize, extend: ExtendSide) -> usize {
+    match extend {
+        ExtendSide::New => n - 1 - i,
+        ExtendSide::Old => i + 1,
+    }
+}
+
+/// Drives one cursor through every chain coordinate and checks each count
+/// against the per-pair kernel and the materializing oracle.
+fn assert_cursor_agrees(g: &TemporalGraph, cfg: &ExploreConfig) -> Result<(), TestCaseError> {
+    let n = g.domain().len();
+    let kernel = ExploreKernel::new(g, cfg);
+    let mut cursor = ChainCursor::new(&kernel);
+    for i in 0..n - 1 {
+        for j in 0..chain_len(n, i, cfg.extend) {
+            let (told, tnew) = chain_pair(n, i, j, cfg.extend);
+            let by_cursor = cursor.evaluate_chain_pair(i, j);
+            let by_kernel = kernel.evaluate(&told, &tnew).unwrap();
+            let by_oracle = evaluate_pair_materialized(g, cfg, &told, &tnew).unwrap();
+            prop_assert_eq!(
+                by_cursor,
+                by_kernel,
+                "cursor vs kernel: {:?}/{:?}/{:?} selector={:?} i={} j={}",
+                cfg.event,
+                cfg.extend,
+                cfg.semantics,
+                cfg.selector,
+                i,
+                j
+            );
+            prop_assert_eq!(by_kernel, by_oracle, "kernel vs oracle at i={} j={}", i, j);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every chain coordinate evaluates identically through the cursor, the
+    /// per-pair kernel, and the materializing oracle — across all events,
+    /// extend sides, semantics, both group-table layouts (static `kind`
+    /// exercises the popcount fast counts, time-varying `level` the general
+    /// distinct scan), known and unknown selector tuples.
+    #[test]
+    fn cursor_matches_kernel_and_oracle(g in graph_strategy()) {
+        let known = vec![Value::Cat(0)];
+        let unknown = vec![Value::Cat(u32::MAX)];
+        let selectors = [
+            Selector::AllNodes,
+            Selector::AllEdges,
+            Selector::NodeTuple(known.clone()),
+            Selector::EdgeTuple(known.clone(), known),
+            Selector::NodeTuple(unknown),
+        ];
+        for attr in [kind_attr(&g), level_attr(&g)] {
+            for event in EVENTS {
+                for extend in EXTENDS {
+                    for semantics in SEMANTICS {
+                        for selector in &selectors {
+                            let cfg = ExploreConfig {
+                                event,
+                                extend,
+                                semantics,
+                                k: 1,
+                                attrs: vec![attr],
+                                selector: selector.clone(),
+                            };
+                            assert_cursor_agrees(&g, &cfg)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Full exploration runs agree across the chain-incremental path, the
+    /// per-pair kernel baseline, the materializing oracle, and the strided
+    /// parallel variant — identical pairs AND identical evaluation counts.
+    /// Mixed static/time-varying attributes exercise the time-indexed
+    /// group-table layout.
+    #[test]
+    fn explore_paths_agree(g in graph_strategy(), k in 1u64..30) {
+        let attrs = vec![kind_attr(&g), level_attr(&g)];
+        for event in EVENTS {
+            for extend in EXTENDS {
+                for semantics in SEMANTICS {
+                    let cfg = ExploreConfig {
+                        event,
+                        extend,
+                        semantics,
+                        k,
+                        attrs: attrs.clone(),
+                        selector: Selector::AllEdges,
+                    };
+                    let chained = explore(&g, &cfg).unwrap();
+                    let pairwise = explore_pairwise(&g, &cfg).unwrap();
+                    let oracle = explore_materializing(&g, &cfg).unwrap();
+                    prop_assert_eq!(
+                        &chained.pairs, &pairwise.pairs,
+                        "k={} case={:?}/{:?}/{:?}", k, event, extend, semantics
+                    );
+                    prop_assert_eq!(chained.evaluations, pairwise.evaluations);
+                    prop_assert_eq!(&chained.pairs, &oracle.pairs);
+                    prop_assert_eq!(chained.evaluations, oracle.evaluations);
+                    for threads in [2, 4] {
+                        let par = explore_parallel(&g, &cfg, threads).unwrap();
+                        prop_assert_eq!(&par.pairs, &chained.pairs, "threads={}", threads);
+                        prop_assert_eq!(par.evaluations, chained.evaluations);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Two-timepoint graphs have length-1 chains: the base pair is also the
+    /// deepest pair, so every strategy degenerates to a single evaluation
+    /// that all paths must agree on.
+    #[test]
+    fn length_one_chains_agree(seed in any::<u64>()) {
+        let g = RandomGraphConfig {
+            pool: 15,
+            timepoints: 2,
+            active_per_tp: 8,
+            edges_per_tp: 12,
+            node_persistence: 0.5,
+            edge_persistence: 0.5,
+            kinds: 2,
+            levels: 2,
+            seed,
+        }
+        .generate()
+        .expect("two-timepoint graph");
+        for event in EVENTS {
+            for extend in EXTENDS {
+                for semantics in SEMANTICS {
+                    let cfg = ExploreConfig {
+                        event,
+                        extend,
+                        semantics,
+                        k: 1,
+                        attrs: vec![kind_attr(&g)],
+                        selector: Selector::AllEdges,
+                    };
+                    assert_cursor_agrees(&g, &cfg)?;
+                    let chained = explore(&g, &cfg).unwrap();
+                    let oracle = explore_materializing(&g, &cfg).unwrap();
+                    prop_assert_eq!(&chained.pairs, &oracle.pairs);
+                    prop_assert_eq!(chained.evaluations, 1, "one chain of one pair");
+                }
+            }
+        }
+    }
+}
+
+/// A graph whose later time points are empty produces empty event masks:
+/// stability across (t0, t1) keeps nothing, growth and shrinkage likewise
+/// on at least one side. The cursor must agree with the oracle on zeros.
+#[test]
+fn empty_masks_agree() {
+    use tempo_graph::{AttributeSchema, GraphBuilder, Temporality, TimeDomain};
+
+    let domain = TimeDomain::new(vec!["t0", "t1", "t2"]).unwrap();
+    let mut schema = AttributeSchema::new();
+    let kind = schema.declare("kind", Temporality::Static).unwrap();
+    let mut b = GraphBuilder::new(domain, schema);
+    let a = b.add_node("a").unwrap();
+    let c = b.add_node("c").unwrap();
+    let v = b.intern_category(kind, "k0");
+    b.set_static(a, kind, v.clone()).unwrap();
+    b.set_static(c, kind, v).unwrap();
+    // all presence at t0 only — t1 and t2 are empty time points
+    b.set_presence(a, TimePoint(0)).unwrap();
+    b.set_presence(c, TimePoint(0)).unwrap();
+    b.add_edge_at(a, c, TimePoint(0)).unwrap();
+    let g = b.build().unwrap();
+
+    for event in EVENTS {
+        for extend in EXTENDS {
+            for semantics in SEMANTICS {
+                for selector in [Selector::AllNodes, Selector::AllEdges] {
+                    let cfg = ExploreConfig {
+                        event,
+                        extend,
+                        semantics,
+                        k: 1,
+                        attrs: vec![kind],
+                        selector,
+                    };
+                    assert_cursor_agrees(&g, &cfg).unwrap();
+                }
+            }
+        }
+    }
+    // and shrinkage from the populated point is the only non-empty event
+    let cfg = ExploreConfig {
+        event: Event::Shrinkage,
+        extend: ExtendSide::New,
+        semantics: Semantics::Union,
+        k: 1,
+        attrs: vec![kind],
+        selector: Selector::AllNodes,
+    };
+    let kernel = ExploreKernel::new(&g, &cfg);
+    let mut cursor = ChainCursor::new(&kernel);
+    assert_eq!(
+        cursor.evaluate_chain_pair(0, 0),
+        2,
+        "a and c vanish after t0"
+    );
+    assert!(cursor.last_mask().keep_edges().count_ones() > 0);
+    assert_eq!(
+        cursor.evaluate_chain_pair(1, 0),
+        0,
+        "t1 and t2 are both empty"
+    );
+    assert!(cursor.last_mask().keep_nodes().is_zero());
+}
+
+/// A single-timepoint domain has no chain at all: every exploration entry
+/// point rejects it before a cursor is ever built.
+#[test]
+fn single_timepoint_domain_errors() {
+    use tempo_graph::{AttributeSchema, GraphBuilder, Temporality, TimeDomain};
+
+    let domain = TimeDomain::new(vec!["t0"]).unwrap();
+    let mut schema = AttributeSchema::new();
+    let kind = schema.declare("kind", Temporality::Static).unwrap();
+    let mut b = GraphBuilder::new(domain, schema);
+    let a = b.add_node("a").unwrap();
+    let v = b.intern_category(kind, "k0");
+    b.set_static(a, kind, v).unwrap();
+    b.set_presence(a, TimePoint(0)).unwrap();
+    let g = b.build().unwrap();
+
+    let cfg = ExploreConfig {
+        event: Event::Stability,
+        extend: ExtendSide::New,
+        semantics: Semantics::Union,
+        k: 1,
+        attrs: vec![kind],
+        selector: Selector::AllNodes,
+    };
+    assert!(explore(&g, &cfg).is_err());
+    assert!(explore_pairwise(&g, &cfg).is_err());
+    assert!(explore_materializing(&g, &cfg).is_err());
+    assert!(explore_parallel(&g, &cfg, 4).is_err());
+}

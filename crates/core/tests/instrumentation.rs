@@ -71,8 +71,24 @@ fn registry_matches_reported_outcomes() {
     // one kernel (and therefore one group table) per explore() call
     assert_eq!(hist_delta("explore.kernel_build_ns"), runs);
     assert_eq!(delta("aggregate.group_tables_built"), runs);
-    // count_distinct runs once per evaluation (plus any internal extras)
-    assert!(delta("aggregate.count_distinct.calls") >= expected_evals);
+    // sequential exploration builds one chain cursor per run, loads one
+    // chain per reference point, and (under the increasing strategies used
+    // here, which walk each chain in ascending order) takes one incremental
+    // step per evaluation beyond a chain's base pair
+    let chains = runs * (g.domain().len() as u64 - 1);
+    assert_eq!(delta("explore.cursor.builds"), runs);
+    assert_eq!(delta("explore.cursor.chains"), chains);
+    assert_eq!(delta("explore.cursor.steps"), expected_evals - chains);
+    assert_eq!(
+        hist_delta("explore.cursor.step_ns"),
+        expected_evals - chains
+    );
+    // the transposed presence indexes are built once (nodes + edges) and
+    // cached on the graph across runs
+    assert_eq!(delta("graph.transpose_builds"), 2);
+    // random graphs have static attributes, so the cursor resolves the
+    // count to a popcount: the general distinct scan is never entered
+    assert_eq!(delta("aggregate.count_distinct.calls"), 0);
     // pruning is recorded per strategy row; totals only need to be sane
     assert!(after.counter("explore.pruned.union_increasing") <= after.counter("explore.pruned"));
 

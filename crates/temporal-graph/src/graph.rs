@@ -15,7 +15,8 @@ use crate::attrs::{AttrId, AttributeSchema, Temporality};
 use crate::error::GraphError;
 use crate::time::{TimeDomain, TimePoint, TimeSet};
 use std::collections::HashMap;
-use tempo_columnar::{BitMatrix, Interner, Value, ValueMatrix};
+use std::sync::OnceLock;
+use tempo_columnar::{BitMatrix, Interner, TransposedBitMatrix, Value, ValueMatrix};
 
 /// Dense node identifier (row in the node arrays).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -58,6 +59,10 @@ pub struct TemporalGraph {
     pub(crate) static_table: ValueMatrix,
     pub(crate) tv_tables: Vec<ValueMatrix>,
     pub(crate) edge_values: Option<ValueMatrix>,
+    /// Lazily built column-major (time-major) presence indexes, shared
+    /// across threads. A clone of the graph carries the cached value along.
+    pub(crate) node_cols: OnceLock<TransposedBitMatrix>,
+    pub(crate) edge_cols: OnceLock<TransposedBitMatrix>,
 }
 
 impl TemporalGraph {
@@ -185,6 +190,8 @@ impl TemporalGraph {
             static_table,
             tv_tables,
             edge_values,
+            node_cols: OnceLock::new(),
+            edge_cols: OnceLock::new(),
         };
         g.validate()?;
         Ok(g)
@@ -414,6 +421,29 @@ impl TemporalGraph {
         &self.edge_presence
     }
 
+    /// Column-major (time-major) view of the node presence matrix: one
+    /// bitset over node rows per time point. Built lazily on first use,
+    /// cached for the lifetime of the graph, and shared across threads —
+    /// the index backing chain-incremental exploration.
+    pub fn node_presence_columns(&self) -> &TransposedBitMatrix {
+        self.node_cols
+            .get_or_init(|| Self::build_transposed(&self.node_presence))
+    }
+
+    /// Column-major (time-major) view of the edge presence matrix; see
+    /// [`node_presence_columns`](Self::node_presence_columns).
+    pub fn edge_presence_columns(&self) -> &TransposedBitMatrix {
+        self.edge_cols
+            .get_or_init(|| Self::build_transposed(&self.edge_presence))
+    }
+
+    fn build_transposed(m: &BitMatrix) -> TransposedBitMatrix {
+        let ins = tempo_instrument::global();
+        let _span = ins.histogram("graph.transpose_build_ns").span();
+        ins.counter("graph.transpose_builds").inc();
+        m.transposed()
+    }
+
     /// Raw static attribute table (the paper's array **S**).
     pub fn static_table(&self) -> &ValueMatrix {
         &self.static_table
@@ -471,6 +501,29 @@ mod tests {
     /// {t0, t1, t2} with static gender and time-varying #publications.
     pub(crate) fn fig1_graph() -> TemporalGraph {
         crate::fixtures::fig1()
+    }
+
+    #[test]
+    fn transposed_presence_columns_match_matrices() {
+        let g = fig1_graph();
+        let nc = g.node_presence_columns();
+        assert_eq!(nc.n_cols(), g.domain().len());
+        assert_eq!(nc.source_rows(), g.n_nodes());
+        for t in 0..g.domain().len() {
+            for r in 0..g.n_nodes() {
+                assert_eq!(nc.col(t).get(r), g.node_presence_matrix().get(r, t));
+            }
+            assert_eq!(nc.col(t).count_ones(), g.nodes_at(TimePoint(t as u32)));
+        }
+        let ec = g.edge_presence_columns();
+        for t in 0..g.domain().len() {
+            assert_eq!(ec.col(t).count_ones(), g.edges_at(TimePoint(t as u32)));
+        }
+        // the index is cached: repeated calls return the same allocation
+        assert!(std::ptr::eq(nc, g.node_presence_columns()));
+        // a clone carries the cache along without rebuilding
+        let g2 = g.clone();
+        assert_eq!(g2.node_presence_columns(), nc);
     }
 
     #[test]

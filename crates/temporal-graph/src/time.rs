@@ -247,6 +247,20 @@ impl TimeSet {
         TimeSet { bits }
     }
 
+    /// Adds a point to the set in place (the exploration cursor grows its
+    /// scope by one point per extension step).
+    ///
+    /// # Panics
+    /// Panics if the point is outside the domain.
+    pub fn insert(&mut self, t: TimePoint) {
+        self.bits.set(t.index(), true);
+    }
+
+    /// Removes every point, keeping the domain size.
+    pub fn clear(&mut self) {
+        self.bits.clear_all();
+    }
+
     /// The underlying bit vector (width = domain size).
     pub fn bits(&self) -> &BitVec {
         &self.bits
@@ -451,6 +465,17 @@ mod tests {
         assert_eq!(e.intervals(), vec![]);
         assert!(require_non_empty(&e, "𝒯₁").is_err());
         assert!(require_non_empty(&TimeSet::point(4, TimePoint(0)), "𝒯₁").is_ok());
+    }
+
+    #[test]
+    fn insert_and_clear_mutate_in_place() {
+        let mut s = TimeSet::empty(5);
+        s.insert(TimePoint(1));
+        s.insert(TimePoint(3));
+        assert_eq!(s.iter().map(|t| t.0).collect::<Vec<_>>(), vec![1, 3]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.domain_len(), 5);
     }
 
     #[test]
