@@ -36,6 +36,7 @@ impl std::fmt::Debug for BitVec {
 
 impl BitVec {
     /// Creates an all-zero vector of `nbits` bits.
+    #[must_use]
     pub fn zeros(nbits: usize) -> Self {
         BitVec {
             nbits,
@@ -44,12 +45,14 @@ impl BitVec {
     }
 
     /// Creates an all-one vector of `nbits` bits.
+    #[must_use]
     pub fn ones(nbits: usize) -> Self {
         let mut v = BitVec {
             nbits,
             words: vec![u64::MAX; words_for(nbits)],
         };
         v.clear_tail();
+        v.debug_validate();
         v
     }
 
@@ -57,6 +60,7 @@ impl BitVec {
     ///
     /// # Panics
     /// Panics if any position is out of range.
+    #[must_use]
     pub fn from_indices<I: IntoIterator<Item = usize>>(nbits: usize, idx: I) -> Self {
         let mut v = Self::zeros(nbits);
         for i in idx {
@@ -66,6 +70,7 @@ impl BitVec {
     }
 
     /// Builds a vector from a slice of boolean flags.
+    #[must_use]
     pub fn from_bools(bits: &[bool]) -> Self {
         let mut v = Self::zeros(bits.len());
         for (i, &b) in bits.iter().enumerate() {
@@ -84,6 +89,45 @@ impl BitVec {
                 *last &= (1u64 << tail) - 1;
             }
         }
+    }
+
+    /// Validates the structural invariants every word-level kernel relies
+    /// on: the backing store holds exactly `words_for(nbits)` words, and no
+    /// bit beyond `nbits` is set in the final partial word. A dirty tail
+    /// silently corrupts every popcount-based operator (`count_ones_and`,
+    /// `masked_popcounts`, …), so this is checked by `debug_assert!` at
+    /// each mutation seam and compiled out of release builds.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.words.len() != words_for(self.nbits) {
+            return Err(format!(
+                "BitVec backing store holds {} words, want {} for {} bits",
+                self.words.len(),
+                words_for(self.nbits),
+                self.nbits
+            ));
+        }
+        let tail = self.nbits % WORD_BITS;
+        if tail != 0 {
+            if let Some(&last) = self.words.last() {
+                let dirty = last & !((1u64 << tail) - 1);
+                if dirty != 0 {
+                    return Err(format!(
+                        "BitVec tail is dirty: bits beyond {} set in final word ({dirty:#x})",
+                        self.nbits
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build contract check; a no-op in release builds.
+    #[inline]
+    fn debug_validate(&self) {
+        debug_assert_eq!(self.check_invariants(), Ok(()));
     }
 
     /// Number of bits in the vector.
@@ -199,6 +243,8 @@ impl BitVec {
     pub fn copy_from(&mut self, other: &BitVec) {
         self.check_width(other);
         self.words.copy_from_slice(&other.words);
+        self.clear_tail();
+        self.debug_validate();
     }
 
     /// Ternary AND: writes `self & other` into `out` without allocating.
@@ -232,6 +278,8 @@ impl BitVec {
         {
             *o = a & !b;
         }
+        out.clear_tail();
+        out.debug_validate();
     }
 
     /// Fused OR-of-AND: `self |= a & b`, one pass over the packed words.
@@ -244,6 +292,8 @@ impl BitVec {
         for (o, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
             *o |= x & y;
         }
+        self.clear_tail();
+        self.debug_validate();
     }
 
     /// In-place bitwise OR.
@@ -277,9 +327,12 @@ impl BitVec {
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= !b;
         }
+        self.clear_tail();
+        self.debug_validate();
     }
 
     /// Returns `self & mask` as a new vector.
+    #[must_use]
     pub fn and(&self, mask: &BitVec) -> BitVec {
         let mut out = self.clone();
         out.and_assign(mask);
@@ -287,6 +340,7 @@ impl BitVec {
     }
 
     /// Returns `self | mask` as a new vector.
+    #[must_use]
     pub fn or(&self, mask: &BitVec) -> BitVec {
         let mut out = self.clone();
         out.or_assign(mask);
@@ -362,6 +416,7 @@ impl std::fmt::Debug for BitMatrix {
 
 impl BitMatrix {
     /// Creates an empty matrix with `ncols` columns and no rows.
+    #[must_use]
     pub fn new(ncols: usize) -> Self {
         BitMatrix {
             ncols,
@@ -372,6 +427,7 @@ impl BitMatrix {
     }
 
     /// Creates an all-zero matrix with `nrows` rows.
+    #[must_use]
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
         let wpr = words_for(ncols);
         BitMatrix {
@@ -409,7 +465,58 @@ impl BitMatrix {
         assert_eq!(row.len(), self.ncols, "row width mismatch");
         self.data.extend_from_slice(&row.words);
         self.nrows += 1;
+        self.debug_validate();
         self.nrows - 1
+    }
+
+    /// Validates the structural invariants of the packed storage: the row
+    /// stride matches the column count, the data length matches
+    /// `nrows * words_per_row`, and every row's final partial word is free
+    /// of bits beyond `ncols` (a dirty row tail corrupts
+    /// [`masked_popcounts`](Self::masked_popcounts) and every other
+    /// word-level row operator).
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.words_per_row != words_for(self.ncols) {
+            return Err(format!(
+                "BitMatrix stride is {} words, want {} for {} columns",
+                self.words_per_row,
+                words_for(self.ncols),
+                self.ncols
+            ));
+        }
+        if self.data.len() != self.nrows * self.words_per_row {
+            return Err(format!(
+                "BitMatrix stores {} words, want {} ({} rows x {} words)",
+                self.data.len(),
+                self.nrows * self.words_per_row,
+                self.nrows,
+                self.words_per_row
+            ));
+        }
+        let tail = self.ncols % WORD_BITS;
+        if tail != 0 && self.words_per_row > 0 {
+            let keep = (1u64 << tail) - 1;
+            for r in 0..self.nrows {
+                let last = self.data[(r + 1) * self.words_per_row - 1];
+                if last & !keep != 0 {
+                    return Err(format!(
+                        "BitMatrix row {r} tail is dirty: bits beyond {} set ({:#x})",
+                        self.ncols,
+                        last & !keep
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Debug-build contract check; a no-op in release builds.
+    #[inline]
+    fn debug_validate(&self) {
+        debug_assert_eq!(self.check_invariants(), Ok(()));
     }
 
     #[inline]
@@ -451,6 +558,7 @@ impl BitMatrix {
     }
 
     /// Copies row `r` out as a [`BitVec`].
+    #[must_use]
     pub fn row(&self, r: usize) -> BitVec {
         BitVec {
             nbits: self.ncols,
@@ -489,6 +597,7 @@ impl BitMatrix {
     }
 
     /// Returns row `r` restricted to `mask` (bits outside `mask` cleared).
+    #[must_use]
     pub fn row_masked(&self, r: usize, mask: &BitVec) -> BitVec {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
         BitVec {
@@ -519,6 +628,7 @@ impl BitMatrix {
 
     /// Builds a new matrix keeping only the listed columns, in the given
     /// order (the paper's "restrict the arrays to the columns of 𝒯").
+    #[must_use]
     pub fn restrict_columns(&self, cols: &[usize]) -> BitMatrix {
         for &c in cols {
             assert!(c < self.ncols, "column {c} out of range {}", self.ncols);
@@ -532,6 +642,7 @@ impl BitMatrix {
                 }
             }
         }
+        out.debug_validate();
         out
     }
 
@@ -541,6 +652,7 @@ impl BitMatrix {
     ///
     /// # Panics
     /// Panics if `new_ncols < ncols`.
+    #[must_use]
     pub fn widen(&self, new_ncols: usize) -> BitMatrix {
         assert!(
             new_ncols >= self.ncols,
@@ -553,10 +665,12 @@ impl BitMatrix {
                 out.set(r, c, true);
             }
         }
+        out.debug_validate();
         out
     }
 
     /// Builds a new matrix keeping only the listed rows, in the given order.
+    #[must_use]
     pub fn select_rows(&self, rows: &[usize]) -> BitMatrix {
         let mut out = BitMatrix::new(self.ncols);
         out.data.reserve(rows.len() * self.words_per_row);
@@ -565,6 +679,7 @@ impl BitMatrix {
             out.data.extend_from_slice(self.row_words(r));
             out.nrows += 1;
         }
+        out.debug_validate();
         out
     }
 
@@ -622,6 +737,7 @@ impl BitMatrix {
     ///
     /// Cost is O(set bits); the result is immutable and intended to be
     /// built once and cached (see `TemporalGraph::node_presence_columns`).
+    #[must_use]
     pub fn transposed(&self) -> TransposedBitMatrix {
         let mut cols = vec![BitVec::zeros(self.nrows); self.ncols];
         for r in 0..self.nrows {
@@ -629,10 +745,26 @@ impl BitMatrix {
                 cols[c].set(r, true);
             }
         }
-        TransposedBitMatrix {
+        let t = TransposedBitMatrix {
             source_rows: self.nrows,
             cols,
+        };
+        debug_assert_eq!(t.check_invariants(), Ok(()));
+        // Round-trip sampling: corner and center cells must agree with the
+        // row-major source (full verification would double the build cost).
+        #[cfg(debug_assertions)]
+        if self.nrows > 0 && self.ncols > 0 {
+            for r in [0, self.nrows / 2, self.nrows - 1] {
+                for c in [0, self.ncols / 2, self.ncols - 1] {
+                    debug_assert_eq!(
+                        self.get(r, c),
+                        t.cols[c].get(r),
+                        "transpose round-trip mismatch at ({r}, {c})"
+                    );
+                }
+            }
         }
+        t
     }
 
     /// Per-row popcounts of `row & mask` for every row, in one pass over the
@@ -693,6 +825,27 @@ impl TransposedBitMatrix {
     #[inline]
     pub fn col(&self, c: usize) -> &BitVec {
         &self.cols[c]
+    }
+
+    /// Validates the structural invariants: every column vector spans
+    /// exactly `source_rows` bits and satisfies [`BitVec::check_invariants`]
+    /// (the cursor's whole-column OR/AND folds assume uniform clean widths).
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (c, col) in self.cols.iter().enumerate() {
+            if col.len() != self.source_rows {
+                return Err(format!(
+                    "TransposedBitMatrix column {c} spans {} bits, want {}",
+                    col.len(),
+                    self.source_rows
+                ));
+            }
+            col.check_invariants()
+                .map_err(|e| format!("TransposedBitMatrix column {c}: {e}"))?;
+        }
+        Ok(())
     }
 }
 
@@ -850,7 +1003,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cannot shrink")]
     fn matrix_widen_shrink_panics() {
-        BitMatrix::new(3).widen(2);
+        let _ = BitMatrix::new(3).widen(2);
     }
 
     #[test]
@@ -910,8 +1063,8 @@ mod tests {
         let mask = BitVec::from_indices(70, [1, 65, 69]);
         let counts = m.masked_popcounts(&mask);
         assert_eq!(counts, vec![2, 1, 0]);
-        for r in 0..m.nrows() {
-            assert_eq!(counts[r] as usize, m.row_count_masked(r, &mask));
+        for (r, &count) in counts.iter().enumerate() {
+            assert_eq!(count as usize, m.row_count_masked(r, &mask));
         }
     }
 

@@ -32,7 +32,8 @@ impl<T: Eq + Hash + Clone> Interner<T> {
         if let Some(&c) = self.to_code.get(&label) {
             return c;
         }
-        let code = u32::try_from(self.items.len()).expect("interner overflow");
+        let code = u32::try_from(self.items.len())
+            .expect("invariant: fewer than u32::MAX distinct labels (documented capacity)");
         self.items.push(label.clone());
         self.to_code.insert(label, code);
         code

@@ -150,19 +150,21 @@ impl ValueMatrix {
     /// Column names are taken from `col_names`.
     ///
     /// # Panics
-    /// Panics if label or column-name counts do not match the shape.
+    /// Panics if label or column-name counts do not match the shape, or if
+    /// `col_names` contains duplicates or a column named `id`.
     pub fn to_frame(&self, row_labels: &[Value], col_names: &[String]) -> Frame {
         assert_eq!(row_labels.len(), self.nrows, "row label count mismatch");
         assert_eq!(col_names.len(), self.ncols, "column name count mismatch");
         let mut cols: Vec<String> = vec!["id".to_owned()];
         cols.extend(col_names.iter().cloned());
-        let mut f = Frame::new(cols).expect("column names must be distinct");
+        let mut f = Frame::new(cols)
+            .expect("invariant: caller passes distinct column names (documented precondition)");
         for (r, label) in row_labels.iter().enumerate() {
             let mut row = Vec::with_capacity(self.ncols + 1);
             row.push(label.clone());
             row.extend(self.row(r).iter().cloned());
             f.push_row(row)
-                .expect("arity is consistent by construction");
+                .expect("invariant: arity is consistent by construction");
         }
         f
     }

@@ -121,6 +121,75 @@ proptest! {
         prop_assert_eq!(long.nrows(), non_null);
     }
 
+    /// Every `BitVec` operation preserves `check_invariants`: tail-word
+    /// hygiene must hold by construction, not by luck — a dirty tail would
+    /// silently corrupt every popcount-based kernel downstream.
+    #[test]
+    fn bitvec_ops_preserve_invariants((a, b) in bitvec_pair(200)) {
+        prop_assert_eq!(a.check_invariants(), Ok(()));
+        prop_assert_eq!(b.check_invariants(), Ok(()));
+        let n = a.len();
+        prop_assert_eq!(BitVec::zeros(n).check_invariants(), Ok(()));
+        prop_assert_eq!(BitVec::ones(n).check_invariants(), Ok(()));
+        prop_assert_eq!(a.and(&b).check_invariants(), Ok(()));
+        prop_assert_eq!(a.or(&b).check_invariants(), Ok(()));
+
+        let mut c = a.clone();
+        c.and_assign(&b);
+        prop_assert_eq!(c.check_invariants(), Ok(()));
+        c.or_assign(&b);
+        prop_assert_eq!(c.check_invariants(), Ok(()));
+        c.and_not_assign(&b);
+        prop_assert_eq!(c.check_invariants(), Ok(()));
+        c.or_and_assign(&a, &b);
+        prop_assert_eq!(c.check_invariants(), Ok(()));
+        c.copy_from(&b);
+        prop_assert_eq!(c.check_invariants(), Ok(()));
+
+        let mut out = BitVec::ones(n);
+        a.and_into(&b, &mut out);
+        prop_assert_eq!(out.check_invariants(), Ok(()));
+        a.and_not_into(&b, &mut out);
+        prop_assert_eq!(out.check_invariants(), Ok(()));
+
+        c.clear_all();
+        prop_assert_eq!(c.check_invariants(), Ok(()));
+        if n > 0 {
+            c.set(n - 1, true);
+            prop_assert_eq!(c.check_invariants(), Ok(()));
+        }
+    }
+
+    /// Every `BitMatrix` construction/reshaping op yields a matrix whose
+    /// structural invariants hold, and the transposed companion agrees
+    /// cell-for-cell with its source.
+    #[test]
+    fn bitmatrix_ops_preserve_invariants(
+        rows in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 70), 1..12),
+        keep in proptest::collection::vec(0usize..70, 1..8),
+    ) {
+        let mut m = BitMatrix::new(70);
+        prop_assert_eq!(m.check_invariants(), Ok(()));
+        for r in &rows {
+            m.push_row(&BitVec::from_bools(r));
+            prop_assert_eq!(m.check_invariants(), Ok(()));
+        }
+        m.push_empty_row();
+        prop_assert_eq!(m.check_invariants(), Ok(()));
+
+        prop_assert_eq!(m.restrict_columns(&keep).check_invariants(), Ok(()));
+        prop_assert_eq!(m.widen(133).check_invariants(), Ok(()));
+        prop_assert_eq!(m.select_rows(&[0, rows.len()]).check_invariants(), Ok(()));
+
+        let t = m.transposed();
+        prop_assert_eq!(t.check_invariants(), Ok(()));
+        for r in 0..m.nrows() {
+            for c in 0..m.ncols() {
+                prop_assert_eq!(m.get(r, c), t.col(c).get(r));
+            }
+        }
+    }
+
     #[test]
     fn tsv_roundtrip(
         rows in proptest::collection::vec((any::<i64>(), proptest::option::of(0i64..50)), 0..30),

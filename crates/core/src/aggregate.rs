@@ -216,13 +216,15 @@ fn resolve_attrs(g: &TemporalGraph, attrs: &[AttrId]) -> Vec<Resolved> {
     attrs
         .iter()
         .map(|&a| match g.schema().def(a).temporality() {
-            Temporality::Static => {
-                Resolved::Static(g.schema().static_slot(a).expect("slot for static attr"))
-            }
+            Temporality::Static => Resolved::Static(
+                g.schema()
+                    .static_slot(a)
+                    .expect("invariant: static attrs have a static slot"),
+            ),
             Temporality::TimeVarying => Resolved::TimeVarying(
                 g.schema()
                     .time_varying_slot(a)
-                    .expect("slot for time-varying attr"),
+                    .expect("invariant: time-varying attrs have a time-varying slot"),
             ),
         })
         .collect()
@@ -289,7 +291,10 @@ pub fn aggregate_filtered(
         .schema()
         .time_varying_ids()
         .iter()
-        .map(|&a| g.tv_table(a).expect("time-varying table exists"))
+        .map(|&a| {
+            g.tv_table(a)
+                .expect("invariant: every time-varying id has a table")
+        })
         .collect();
 
     let passes = |n: usize, t: usize| -> bool {
@@ -467,7 +472,9 @@ pub fn aggregate_via_frames(
     let mut unpivoted_frames: HashMap<usize, Frame> = HashMap::new();
     for (i, &a) in attrs.iter().enumerate() {
         if g.schema().time_varying_slot(a).is_some() {
-            let tbl = g.tv_table(a).expect("time-varying table");
+            let tbl = g
+                .tv_table(a)
+                .expect("invariant: a time-varying slot implies a table");
             let row_labels: Vec<Value> = (0..g.n_nodes() as i64).map(Value::Int).collect();
             let col_names: Vec<String> = (0..nt).map(|t| t.to_string()).collect();
             let wide = tbl.to_frame(&row_labels, &col_names);
@@ -658,7 +665,8 @@ fn intern_tuple(
     if let Some(&gid) = index.get(&tuple) {
         return gid;
     }
-    let gid = u32::try_from(tuples.len()).expect("more than u32::MAX distinct tuples");
+    let gid = u32::try_from(tuples.len())
+        .expect("invariant: fewer than u32::MAX distinct tuples (gid is u32)");
     tuples.push(tuple.clone());
     index.insert(tuple, gid);
     gid
@@ -669,6 +677,7 @@ impl GroupTable {
     ///
     /// # Panics
     /// Panics if any id is not from `g`'s schema.
+    #[must_use]
     pub fn build(g: &TemporalGraph, attrs: &[AttrId]) -> GroupTable {
         let ins = tempo_instrument::global();
         let _span = ins.histogram("aggregate.group_table_build_ns").span();
@@ -701,7 +710,10 @@ impl GroupTable {
                 .schema()
                 .time_varying_ids()
                 .iter()
-                .map(|&a| g.tv_table(a).expect("time-varying table exists"))
+                .map(|&a| {
+                    g.tv_table(a)
+                        .expect("invariant: every time-varying id has a table")
+                })
                 .collect();
             let mut gids = vec![NO_GROUP; g.n_nodes() * nt];
             for n in 0..g.n_nodes() {
@@ -729,7 +741,7 @@ impl GroupTable {
         ins.counter("aggregate.group_tables_built").inc();
         ins.counter("aggregate.groups_interned")
             .add(tuples.len() as u64);
-        GroupTable {
+        let table = GroupTable {
             attr_names,
             tuples,
             index,
@@ -739,7 +751,58 @@ impl GroupTable {
             ins_calls: ins.counter("aggregate.count_distinct.calls"),
             ins_unknown_target: ins.counter("aggregate.count_distinct.unknown_target"),
             ins_bitmask_fast: ins.counter("aggregate.count_distinct.bitmask_fast"),
+        };
+        debug_assert_eq!(table.check_invariants(), Ok(()));
+        table
+    }
+
+    /// Validates the interning bijection: `tuples[gid]` and the reverse
+    /// `index` map must agree in both directions, and every stored gid
+    /// (static or time-varying) must be `NO_GROUP` or a valid tuple index.
+    /// Checked via `debug_assert!` at the end of [`build`](Self::build);
+    /// compiled out of release builds.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.index.len() != self.tuples.len() {
+            return Err(format!(
+                "interning index holds {} tuples, dense table holds {}",
+                self.index.len(),
+                self.tuples.len()
+            ));
         }
+        for (gid, tuple) in self.tuples.iter().enumerate() {
+            match self.index.get(tuple) {
+                Some(&g) if g as usize == gid => {}
+                Some(&g) => {
+                    return Err(format!(
+                        "tuple {tuple:?} stored at gid {gid} but indexed as {g}"
+                    ));
+                }
+                None => {
+                    return Err(format!("tuple {tuple:?} at gid {gid} missing from index"));
+                }
+            }
+        }
+        let n_groups = self.tuples.len() as u32;
+        let check_gids = |gids: &[u32], what: &str| -> Result<(), String> {
+            for (i, &g) in gids.iter().enumerate() {
+                if g != NO_GROUP && g >= n_groups {
+                    return Err(format!(
+                        "{what} slot {i} holds gid {g}, but only {n_groups} groups exist"
+                    ));
+                }
+            }
+            Ok(())
+        };
+        if let Some(gids) = &self.static_gids {
+            check_gids(gids, "static")?;
+        }
+        if let Some(gids) = &self.time_gids {
+            check_gids(gids, "time-varying")?;
+        }
+        Ok(())
     }
 
     /// Names of the aggregation attributes, in tuple order.
@@ -781,7 +844,11 @@ impl GroupTable {
 
     #[inline]
     fn time_gid(&self, n: usize, t: usize) -> u32 {
-        let gid = self.time_gids.as_ref().expect("time-varying gids")[n * self.nt + t];
+        let gid = self
+            .time_gids
+            .as_ref()
+            .expect("invariant: time_gids built for schemas with time-varying attrs")
+            [n * self.nt + t];
         debug_assert_ne!(gid, NO_GROUP, "present entity must have a group id");
         gid
     }
@@ -802,6 +869,9 @@ impl GroupTable {
         mode: AggMode,
     ) -> AggregateGraph {
         let scope = mask.scope().bits();
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        debug_assert_eq!(scope.check_invariants(), Ok(()));
+        debug_assert_eq!(mask.keep_nodes().check_invariants(), Ok(()));
         let mut node_acc = vec![0u64; self.tuples.len()];
         match (&self.static_gids, mode) {
             (Some(gids), AggMode::Distinct) => {

@@ -164,6 +164,8 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
         self.ref_t = ref_t;
         self.ext_nodes.copy_from(self.node_cols.col(ext_t0));
         self.ext_edges.copy_from(self.edge_cols.col(ext_t0));
+        debug_assert_eq!(self.ext_nodes.check_invariants(), Ok(()));
+        debug_assert_eq!(self.ext_edges.check_invariants(), Ok(()));
         // Base scope per event: stability spans both sides, growth lives in
         // 𝒯new, shrinkage in 𝒯old.
         let (_, _, scope) = self.mask.parts_mut();
@@ -181,7 +183,9 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
     /// Extends the loaded chain by one time point: one whole-vector OR/AND
     /// against the added point's transposed columns.
     fn advance(&mut self) {
-        let i = self.current_ref.expect("advance requires a loaded chain");
+        let i = self
+            .current_ref
+            .expect("invariant: start_chain loads a reference before advance");
         let _span = self.ins_step_ns.span();
         self.ins_steps.inc();
         self.step += 1;
@@ -189,7 +193,7 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
             ExtendSide::New => i + 1 + self.step,
             ExtendSide::Old => i
                 .checked_sub(self.step)
-                .expect("old side extends at most to the domain start"),
+                .expect("invariant: chain length caps steps so the old side never passes t0"),
         };
         assert!(
             t_added < self.n,
@@ -206,6 +210,8 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
                 self.ext_edges.and_assign(edge_col);
             }
         }
+        debug_assert_eq!(self.ext_nodes.check_invariants(), Ok(()));
+        debug_assert_eq!(self.ext_edges.check_invariants(), Ok(()));
         // The scope follows the side(s) the event draws its timestamps
         // from, so it only grows when that side is the extended one.
         let scope_tracks_ext = match self.kernel.cfg.event {
@@ -334,6 +340,8 @@ fn difference_into(
     // Definition 2.5 fix-up: endpoints of kept edges stay even when present
     // on the drop side, as long as they pass the keep-side test.
     out_n.or_and_assign(incident, keep_n);
+    debug_assert_eq!(out_n.check_invariants(), Ok(()));
+    debug_assert_eq!(out_e.check_invariants(), Ok(()));
 }
 
 #[cfg(test)]

@@ -239,12 +239,12 @@ pub fn explore_parallel(
             });
         }
     })
-    .expect("exploration worker panicked");
+    .expect("invariant: exploration workers propagate errors instead of panicking");
 
     let mut pairs = Vec::new();
     let mut evaluations = 0;
     for slot in slots {
-        let outcome = slot.expect("every reference explored")?;
+        let outcome = slot.expect("invariant: the scoped loop fills every reference slot")?;
         evaluations += outcome.evaluations;
         pairs.extend(outcome.pairs);
     }
@@ -306,7 +306,10 @@ fn explore_reference(
             }
         }
         (Semantics::Union, Direction::Decreasing) => {
-            let pair = chain_pairs.into_iter().next().expect("non-empty chain");
+            let pair = chain_pairs
+                .into_iter()
+                .next()
+                .expect("invariant: chain_len >= 1, so chain_pairs is non-empty");
             let r = eval.evaluate(i, 0, &pair)?;
             evaluations += 1;
             if r >= cfg.k {
@@ -330,7 +333,7 @@ fn explore_reference(
             let pair = chain_pairs
                 .into_iter()
                 .next_back()
-                .expect("non-empty chain");
+                .expect("invariant: chain_len >= 1, so chain_pairs is non-empty");
             let r = eval.evaluate(i, chain_len - 1, &pair)?;
             evaluations += 1;
             if r >= cfg.k {

@@ -121,6 +121,8 @@ impl<'g> ExploreKernel<'g> {
                 self.new_test,
             )?
         };
+        debug_assert_eq!(mask.keep_nodes().check_invariants(), Ok(()));
+        debug_assert_eq!(mask.keep_edges().check_invariants(), Ok(()));
         let _s = self.ins_count_ns.span();
         Ok(self.table.count_distinct(self.g, &mask, &self.target))
     }

@@ -137,12 +137,12 @@ impl TimepointStore {
                 });
             }
         })
-        .expect("aggregation worker panicked");
+        .expect("invariant: aggregation workers propagate errors instead of panicking");
         TimepointStore {
             attrs: attrs.to_vec(),
             per_tp: per_tp
                 .into_iter()
-                .map(|a| a.expect("every time point aggregated"))
+                .map(|a| a.expect("invariant: the scoped loop fills every time-point slot"))
                 .collect(),
         }
     }
@@ -212,7 +212,9 @@ impl TimepointStore {
             )));
         }
         let mut iter = scope.iter();
-        let first = iter.next().expect("scope checked non-empty");
+        let first = iter
+            .next()
+            .expect("invariant: scope emptiness is rejected above");
         let mut acc = self.per_tp[first.index()].clone();
         for t in iter {
             acc.merge_add(&self.per_tp[t.index()]);

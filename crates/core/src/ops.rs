@@ -265,7 +265,9 @@ fn materialize_subgraph(
     let schema = g.schema().clone();
     let mut tv_tables = Vec::new();
     for &attr in &schema.time_varying_ids() {
-        let src = g.tv_table(attr).expect("id is time-varying");
+        let src = g
+            .tv_table(attr)
+            .expect("invariant: id came from time_varying_ids, so a table exists");
         let mut tbl = ValueMatrix::new(nt);
         for (new_r, &r) in keep_nodes.iter().enumerate() {
             tbl.push_null_row();

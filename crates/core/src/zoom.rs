@@ -228,7 +228,9 @@ pub fn zoom_out(
     let schema = g.schema().clone();
     let mut tv_tables = Vec::new();
     for &attr in &schema.time_varying_ids() {
-        let src = g.tv_table(attr).expect("time-varying id");
+        let src = g
+            .tv_table(attr)
+            .expect("invariant: id came from time_varying_ids, so a table exists");
         let mut tbl = ValueMatrix::new(coarse_n);
         for (new_i, &old) in keep_nodes.iter().enumerate() {
             tbl.push_null_row();

@@ -38,6 +38,8 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+pub mod names;
 use std::time::Instant;
 
 /// Global on/off switch for all recording.
@@ -332,6 +334,15 @@ pub struct Registry {
     metrics: Mutex<BTreeMap<String, Metric>>,
 }
 
+/// Locks the metric map, recovering from poisoning: the map is only ever
+/// mutated by infallible insertions, so a panic while the lock was held
+/// cannot have left it inconsistent.
+fn lock_registry(
+    m: &Mutex<BTreeMap<String, Metric>>,
+) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 impl Registry {
     /// Creates an empty registry.
     pub fn new() -> Self {
@@ -343,7 +354,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = lock_registry(&self.metrics);
         match m
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
@@ -358,7 +369,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = lock_registry(&self.metrics);
         match m
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
@@ -373,7 +384,7 @@ impl Registry {
     /// # Panics
     /// Panics if `name` is already registered as a different metric kind.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        let mut m = self.metrics.lock().unwrap();
+        let mut m = lock_registry(&self.metrics);
         match m
             .entry(name.to_owned())
             .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
@@ -387,7 +398,7 @@ impl Registry {
     ///
     /// Handles held by instrumented code stay valid; only the values clear.
     pub fn reset(&self) {
-        let m = self.metrics.lock().unwrap();
+        let m = lock_registry(&self.metrics);
         for metric in m.values() {
             match metric {
                 Metric::Counter(c) => c.reset(),
@@ -399,7 +410,7 @@ impl Registry {
 
     /// Takes a consistent-enough point-in-time copy of every metric.
     pub fn snapshot(&self) -> Snapshot {
-        let m = self.metrics.lock().unwrap();
+        let m = lock_registry(&self.metrics);
         let mut snap = Snapshot::default();
         for (name, metric) in m.iter() {
             match metric {

@@ -1,0 +1,68 @@
+//! Central registry of metric names.
+//!
+//! Every counter/gauge/histogram name recorded anywhere in the workspace
+//! must appear in [`ALL`]; `tempo-lint`'s `metric-registry` rule checks
+//! each `.counter("…")` / `.gauge("…")` / `.histogram("…")` literal against
+//! this file, so an emitter and `report::metrics_json` cannot silently
+//! drift apart. Keep the list sorted — a unit test enforces it.
+
+/// All metric names the workspace may record, sorted.
+pub const ALL: &[&str] = &[
+    "aggregate.count_distinct.bitmask_fast",
+    "aggregate.count_distinct.calls",
+    "aggregate.count_distinct.unknown_target",
+    "aggregate.group_table_build_ns",
+    "aggregate.group_tables_built",
+    "aggregate.groups_interned",
+    "explore.count_ns",
+    "explore.cursor.builds",
+    "explore.cursor.chains",
+    "explore.cursor.step_ns",
+    "explore.cursor.steps",
+    "explore.eval_ns",
+    "explore.evaluations",
+    "explore.kernel_build_ns",
+    "explore.mask_ns",
+    "explore.pruned",
+    "explore.pruned.intersection_decreasing",
+    "explore.pruned.intersection_increasing",
+    "explore.pruned.union_decreasing",
+    "explore.pruned.union_increasing",
+    "graph.transpose_build_ns",
+    "graph.transpose_builds",
+    "io.load_ns",
+    "io.read.cells",
+    "io.read.rows",
+    "io.save_ns",
+    "io.write.cells",
+    "io.write.rows",
+    "materialize.cache.entries",
+    "materialize.cache.hits",
+    "materialize.cache.misses",
+    "materialize.points_appended",
+    "materialize.store_build_ns",
+];
+
+/// Whether `name` is a registered metric name.
+#[must_use]
+pub fn is_registered(name: &str) -> bool {
+    ALL.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_and_unique() {
+        for w in ALL.windows(2) {
+            assert!(w[0] < w[1], "names out of order: {:?} >= {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(is_registered("explore.evaluations"));
+        assert!(!is_registered("explore.typo"));
+    }
+}

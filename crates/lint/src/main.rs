@@ -1,0 +1,142 @@
+//! CLI for `tempo-lint`.
+//!
+//! Usage: `cargo run -p tempo-lint [-- [--allowlist FILE] [--registry FILE] [PATHS...]]`
+//!
+//! With no `PATHS`, lints the whole workspace (crate `src/` trees, scoped
+//! per rule). With explicit `PATHS` (files or directories), every rule is
+//! applied to every file — this mode drives the self-test fixtures.
+//!
+//! Exit status: 0 clean, 1 violations found, 2 usage/IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tempo_lint::{parse_allowlist, run, Scope};
+
+fn main() -> ExitCode {
+    let root: PathBuf = match std::env::var("TEMPO_LINT_ROOT") {
+        Ok(v) => PathBuf::from(v),
+        // crates/lint -> crates -> workspace root
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from(".")),
+    };
+
+    let mut allowlist_path = root.join("crates/lint/allowlist.txt");
+    let mut registry_path = root.join("crates/instrument/src/names.rs");
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--allowlist" => match args.next() {
+                Some(v) => allowlist_path = PathBuf::from(v),
+                None => return usage("--allowlist needs a file argument"),
+            },
+            "--registry" => match args.next() {
+                Some(v) => registry_path = PathBuf::from(v),
+                None => return usage("--registry needs a file argument"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: tempo-lint [--allowlist FILE] [--registry FILE] [PATHS...]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                return usage(&format!("unknown flag {other:?}"));
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+
+    let explicit = !paths.is_empty();
+    let scope = Scope { explicit };
+    let roots: Vec<PathBuf> = if explicit {
+        paths
+    } else {
+        let mut roots = vec![root.join("src")];
+        match std::fs::read_dir(root.join("crates")) {
+            Ok(rd) => {
+                for entry in rd.flatten() {
+                    let src = entry.path().join("src");
+                    if src.is_dir() {
+                        roots.push(src);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "tempo-lint: cannot list {}: {e}",
+                    root.join("crates").display()
+                );
+                return ExitCode::from(2);
+            }
+        }
+        roots
+    };
+
+    let registry = match tempo_lint::load_registry(&registry_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("tempo-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // The allowlist only applies to workspace mode; explicit fixture paths
+    // are judged raw so seeded violations always surface.
+    let allow = if explicit {
+        Vec::new()
+    } else {
+        match std::fs::read_to_string(&allowlist_path) {
+            Ok(text) => match parse_allowlist(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("tempo-lint: {e}");
+                    return ExitCode::from(2);
+                }
+            },
+            Err(_) => Vec::new(), // missing allowlist = empty budget everywhere
+        }
+    };
+
+    match run(&root, &roots, scope, &registry, &allow) {
+        Ok(outcome) => {
+            for d in &outcome.diagnostics {
+                println!("{d}");
+            }
+            for entry in &outcome.stale {
+                eprintln!(
+                    "tempo-lint: warning: stale allowlist entry `{} {} {}` — \
+                     fewer violations remain, tighten the budget",
+                    entry.rule, entry.path, entry.count
+                );
+            }
+            if outcome.is_clean() {
+                let suppressed: usize = outcome.suppressed.iter().map(|(_, _, n)| n).sum();
+                eprintln!(
+                    "tempo-lint: {} files clean ({} allowlisted sites)",
+                    outcome.files_scanned, suppressed
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "tempo-lint: {} violation(s) in {} files scanned",
+                    outcome.diagnostics.len(),
+                    outcome.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("tempo-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tempo-lint: {msg}");
+    eprintln!("usage: tempo-lint [--allowlist FILE] [--registry FILE] [PATHS...]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,8 @@
+//! Seeded `no-instant` violation: direct wall-clock read.
+
+use std::time::Instant;
+
+pub fn times_itself() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

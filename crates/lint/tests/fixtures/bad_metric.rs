@@ -1,0 +1,6 @@
+//! Seeded `metric-registry` violation: a name not in the central registry.
+
+pub fn records_a_typo() {
+    let ins = tempo_instrument::global();
+    ins.counter("explore.evaluatoins").inc();
+}

@@ -1,0 +1,15 @@
+//! Seeded `must-use` violation: pub fn returning a kernel type without
+//! `#[must_use]`.
+
+pub struct BitVec;
+
+impl BitVec {
+    pub fn complement(&self) -> BitVec {
+        BitVec
+    }
+
+    #[must_use]
+    pub fn annotated(&self) -> Self {
+        BitVec
+    }
+}

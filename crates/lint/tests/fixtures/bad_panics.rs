@@ -1,0 +1,20 @@
+//! Seeded `no-panic` violations: unwrap, undocumented expect, panic!.
+
+pub fn takes_the_shortcut(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn vague_expect(x: Option<u32>) -> u32 {
+    x.expect("should not happen")
+}
+
+pub fn gives_up(flag: bool) {
+    if flag {
+        panic!("boom");
+    }
+}
+
+pub fn documented_ok(x: Option<u32>) -> u32 {
+    // This one is fine and must NOT be flagged.
+    x.expect("invariant: caller checked is_some above")
+}

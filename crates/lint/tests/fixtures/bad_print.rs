@@ -1,0 +1,8 @@
+//! Seeded `no-print` violations in library-style code.
+
+pub fn chatty(n: usize) {
+    println!("processed {n} rows");
+    if n == 0 {
+        eprintln!("warning: empty input");
+    }
+}

@@ -1,0 +1,37 @@
+//! A file every rule accepts: typed errors, registered metric names,
+//! documented invariants, annotated returns.
+
+pub struct BitVec;
+
+impl BitVec {
+    #[must_use]
+    pub fn complement(&self) -> BitVec {
+        BitVec
+    }
+}
+
+pub fn lookup(x: Option<u32>) -> Result<u32, String> {
+    x.ok_or_else(|| "missing".to_owned())
+}
+
+pub fn documented(x: Option<u32>) -> u32 {
+    x.expect("invariant: validated by lookup above")
+}
+
+pub fn records() {
+    let ins = tempo_instrument::global();
+    ins.counter("explore.evaluations").inc();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        // even panic! is fine here
+        if v.is_none() {
+            panic!("unreachable");
+        }
+    }
+}

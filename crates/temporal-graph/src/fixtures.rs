@@ -22,14 +22,15 @@ use tempo_columnar::Value;
 /// * collaborations: at `t0` — `(u1,u2)`, `(u3,u2)`, `(u4,u2)`;
 ///   at `t1` — `(u1,u2)`, `(u4,u2)`; at `t2` — `(u5,u2)`, `(u4,u2)`.
 pub fn fig1() -> TemporalGraph {
-    let domain = TimeDomain::new(vec!["t0", "t1", "t2"]).expect("static labels are valid");
+    let domain = TimeDomain::new(vec!["t0", "t1", "t2"])
+        .expect("invariant: fixture labels are distinct and non-empty");
     let mut schema = AttributeSchema::new();
     let gender = schema
         .declare("gender", Temporality::Static)
-        .expect("fresh schema");
+        .expect("invariant: fresh schema has no name collisions");
     let pubs = schema
         .declare("publications", Temporality::TimeVarying)
-        .expect("fresh schema");
+        .expect("invariant: fresh schema has no name collisions");
 
     let mut b = GraphBuilder::new(domain, schema);
     let genders = [
@@ -40,9 +41,12 @@ pub fn fig1() -> TemporalGraph {
         ("u5", "m"),
     ];
     for (name, gv) in genders {
-        let n = b.add_node(name).expect("names are distinct");
+        let n = b
+            .add_node(name)
+            .expect("invariant: fixture node names are distinct");
         let v = b.intern_category(gender, gv);
-        b.set_static(n, gender, v).expect("gender is static");
+        b.set_static(n, gender, v)
+            .expect("invariant: gender is declared static above");
     }
 
     // Table 2 publications values (None = node absent).
@@ -58,7 +62,7 @@ pub fn fig1() -> TemporalGraph {
         for (t, v) in values.iter().enumerate() {
             if let Some(p) = v {
                 b.set_time_varying(n, pubs, TimePoint(t as u32), Value::Int(*p))
-                    .expect("time point in domain");
+                    .expect("invariant: fixture time points lie in the 3-point domain");
             }
         }
     }
@@ -76,10 +80,11 @@ pub fn fig1() -> TemporalGraph {
         let u = b.get_or_add_node(u);
         let v = b.get_or_add_node(v);
         b.add_edge_at(u, v, TimePoint(t))
-            .expect("nodes and times valid");
+            .expect("invariant: fixture nodes exist and times lie in the domain");
     }
 
-    b.build().expect("fixture satisfies all invariants")
+    b.build()
+        .expect("invariant: the Fig. 1 literal data is well-formed")
 }
 
 #[cfg(test)]

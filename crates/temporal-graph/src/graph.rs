@@ -198,6 +198,9 @@ impl TemporalGraph {
     }
 
     /// Verifies the semantic invariants of Definition 2.1:
+    /// * the presence bit matrices are structurally sound (row stride and
+    ///   per-row tail hygiene per [`BitMatrix::check_invariants`]) and
+    ///   shaped `nodes × |domain|` / `edges × |domain|`;
     /// * an edge exists at `t` only if both endpoints exist at `t`;
     /// * a time-varying attribute has a value at `t` only if the node exists
     ///   at `t`.
@@ -205,6 +208,29 @@ impl TemporalGraph {
     /// # Errors
     /// Returns the first violation found.
     pub fn validate(&self) -> Result<(), GraphError> {
+        self.node_presence
+            .check_invariants()
+            .map_err(|e| GraphError::Format(format!("node presence matrix: {e}")))?;
+        self.edge_presence
+            .check_invariants()
+            .map_err(|e| GraphError::Format(format!("edge presence matrix: {e}")))?;
+        let nt = self.domain.len();
+        if self.node_presence.nrows() != self.n_nodes() || self.node_presence.ncols() != nt {
+            return Err(GraphError::Format(format!(
+                "node presence shape {}x{} does not match {} nodes x {nt} time points",
+                self.node_presence.nrows(),
+                self.node_presence.ncols(),
+                self.n_nodes()
+            )));
+        }
+        if self.edge_presence.nrows() != self.n_edges() || self.edge_presence.ncols() != nt {
+            return Err(GraphError::Format(format!(
+                "edge presence shape {}x{} does not match {} edges x {nt} time points",
+                self.edge_presence.nrows(),
+                self.edge_presence.ncols(),
+                self.n_edges()
+            )));
+        }
         for (ei, &(u, v)) in self.edges.iter().enumerate() {
             for t in self.edge_presence.iter_row_ones(ei) {
                 if !self.node_presence.get(u.index(), t) || !self.node_presence.get(v.index(), t) {
@@ -272,7 +298,9 @@ impl TemporalGraph {
     /// # Panics
     /// Panics if the id is out of range.
     pub fn node_name(&self, n: NodeId) -> &str {
-        self.node_names.resolve(n.0).expect("node id out of range")
+        self.node_names
+            .resolve(n.0)
+            .expect("invariant: node id is in range (documented precondition)")
     }
 
     /// Looks up a node by label.
@@ -350,7 +378,7 @@ impl TemporalGraph {
                     let slot = self
                         .schema
                         .static_slot(attr)
-                        .expect("static slot exists for static attribute");
+                        .expect("invariant: static slot exists for a static attribute");
                     self.static_table.get(n.index(), slot).clone()
                 } else {
                     Value::Null
@@ -360,7 +388,7 @@ impl TemporalGraph {
                 let slot = self
                     .schema
                     .time_varying_slot(attr)
-                    .expect("time-varying slot exists for time-varying attribute");
+                    .expect("invariant: time-varying slot exists for a time-varying attribute");
                 self.tv_tables[slot].get(n.index(), t.index()).clone()
             }
         }

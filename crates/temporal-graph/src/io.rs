@@ -106,7 +106,9 @@ pub fn save_dir(g: &TemporalGraph, dir: &Path) -> Result<(), GraphError> {
         let mut row = Vec::with_capacity(static_ids.len() + 1);
         row.push(node_label(g, n));
         for &a in &static_ids {
-            let v = g.static_value(n, a).expect("static id listed as static");
+            let v = g
+                .static_value(n, a)
+                .expect("invariant: id came from static_ids, so the attribute is static");
             row.push(match v {
                 Value::Null => Value::Null,
                 Value::Cat(c) => Value::Str(
@@ -144,7 +146,9 @@ pub fn save_dir(g: &TemporalGraph, dir: &Path) -> Result<(), GraphError> {
     // attr_<name>.tsv
     for &a in &g.schema().time_varying_ids() {
         let def = g.schema().def(a);
-        let tbl = g.tv_table(a).expect("time-varying id has a table");
+        let tbl = g
+            .tv_table(a)
+            .expect("invariant: id came from time_varying_ids, so a table exists");
         let mut acols = vec!["id".to_owned()];
         acols.extend(tlabels.iter().cloned());
         let mut af = Frame::new(acols)?;
