@@ -5,7 +5,7 @@
 //! (default 0.1; `GRAPHTEMPO_SCALE=1.0` reproduces the paper's dataset
 //! sizes from Tables 3 and 4).
 
-use tempo_datagen::{DblpConfig, MovieLensConfig};
+use tempo_datagen::{DblpConfig, LargeConfig, MovieLensConfig};
 use tempo_graph::{AttrId, TemporalGraph};
 
 /// The experiment scale factor (`GRAPHTEMPO_SCALE`, default 0.1).
@@ -28,6 +28,15 @@ pub fn movielens() -> TemporalGraph {
     MovieLensConfig::scaled(scale())
         .generate()
         .expect("MovieLens generator produces a valid graph")
+}
+
+/// Generates the million-node `large` preset at the experiment scale with
+/// the given per-timepoint presence density (1M-node pool at scale 1.0).
+pub fn large(density: f64) -> TemporalGraph {
+    LargeConfig::scaled(scale())
+        .with_density(density)
+        .generate()
+        .expect("large generator produces a valid graph")
 }
 
 /// Resolves attribute names to ids, panicking on unknown names (experiment

@@ -6,12 +6,331 @@
 //! row per entity, which is exactly the paper's labeled arrays **V** and
 //! **E** (the labels themselves live with the caller).
 
+use crate::sparse::{PresenceColumn, SparseMode};
+
 /// Number of bits per storage word.
 const WORD_BITS: usize = 64;
 
 #[inline]
 fn words_for(bits: usize) -> usize {
     bits.div_ceil(WORD_BITS)
+}
+
+/// Unrolled word-parallel kernels shared by [`BitVec`] and [`BitMatrix`].
+///
+/// Every hot ternary primitive routes through these loops, which process
+/// [`CHUNK`](kernels::CHUNK) words per iteration as straight-line code. The
+/// compiler turns each chunk body into wide vector loads/stores (256-bit on
+/// x86-64, 128-bit on aarch64) — no `unsafe`, no explicit SIMD types, no
+/// target-feature dispatch. The scalar tail covers the final `len % CHUNK`
+/// words, so callers never need padded storage.
+pub(crate) mod kernels {
+    /// Words per unrolled iteration.
+    pub(crate) const CHUNK: usize = 4;
+
+    /// `out[i] = a[i] & b[i]`.
+    #[inline]
+    pub(crate) fn and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+        debug_assert!(a.len() == b.len() && b.len() == out.len());
+        let mut oc = out.chunks_exact_mut(CHUNK);
+        let mut ac = a.chunks_exact(CHUNK);
+        let mut bc = b.chunks_exact(CHUNK);
+        for ((o, x), y) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+            o[0] = x[0] & y[0];
+            o[1] = x[1] & y[1];
+            o[2] = x[2] & y[2];
+            o[3] = x[3] & y[3];
+        }
+        for ((o, x), y) in oc
+            .into_remainder()
+            .iter_mut()
+            .zip(ac.remainder())
+            .zip(bc.remainder())
+        {
+            *o = x & y;
+        }
+    }
+
+    /// `out[i] = a[i] & !b[i]`.
+    #[inline]
+    pub(crate) fn and_not_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+        debug_assert!(a.len() == b.len() && b.len() == out.len());
+        let mut oc = out.chunks_exact_mut(CHUNK);
+        let mut ac = a.chunks_exact(CHUNK);
+        let mut bc = b.chunks_exact(CHUNK);
+        for ((o, x), y) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+            o[0] = x[0] & !y[0];
+            o[1] = x[1] & !y[1];
+            o[2] = x[2] & !y[2];
+            o[3] = x[3] & !y[3];
+        }
+        for ((o, x), y) in oc
+            .into_remainder()
+            .iter_mut()
+            .zip(ac.remainder())
+            .zip(bc.remainder())
+        {
+            *o = x & !y;
+        }
+    }
+
+    /// `out[i] |= a[i] & b[i]`.
+    #[inline]
+    pub(crate) fn or_and_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+        debug_assert!(a.len() == b.len() && b.len() == out.len());
+        let mut oc = out.chunks_exact_mut(CHUNK);
+        let mut ac = a.chunks_exact(CHUNK);
+        let mut bc = b.chunks_exact(CHUNK);
+        for ((o, x), y) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+            o[0] |= x[0] & y[0];
+            o[1] |= x[1] & y[1];
+            o[2] |= x[2] & y[2];
+            o[3] |= x[3] & y[3];
+        }
+        for ((o, x), y) in oc
+            .into_remainder()
+            .iter_mut()
+            .zip(ac.remainder())
+            .zip(bc.remainder())
+        {
+            *o |= x & y;
+        }
+    }
+
+    /// `out[i] |= a[i]`.
+    #[inline]
+    pub(crate) fn or_assign(a: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(a.len(), out.len());
+        let mut oc = out.chunks_exact_mut(CHUNK);
+        let mut ac = a.chunks_exact(CHUNK);
+        for (o, x) in (&mut oc).zip(&mut ac) {
+            o[0] |= x[0];
+            o[1] |= x[1];
+            o[2] |= x[2];
+            o[3] |= x[3];
+        }
+        for (o, x) in oc.into_remainder().iter_mut().zip(ac.remainder()) {
+            *o |= x;
+        }
+    }
+
+    /// `out[i] &= a[i]`.
+    #[inline]
+    pub(crate) fn and_assign(a: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(a.len(), out.len());
+        let mut oc = out.chunks_exact_mut(CHUNK);
+        let mut ac = a.chunks_exact(CHUNK);
+        for (o, x) in (&mut oc).zip(&mut ac) {
+            o[0] &= x[0];
+            o[1] &= x[1];
+            o[2] &= x[2];
+            o[3] &= x[3];
+        }
+        for (o, x) in oc.into_remainder().iter_mut().zip(ac.remainder()) {
+            *o &= x;
+        }
+    }
+
+    /// `out[i] &= !a[i]`.
+    #[inline]
+    pub(crate) fn and_not_assign(a: &[u64], out: &mut [u64]) {
+        debug_assert_eq!(a.len(), out.len());
+        let mut oc = out.chunks_exact_mut(CHUNK);
+        let mut ac = a.chunks_exact(CHUNK);
+        for (o, x) in (&mut oc).zip(&mut ac) {
+            o[0] &= !x[0];
+            o[1] &= !x[1];
+            o[2] &= !x[2];
+            o[3] &= !x[3];
+        }
+        for (o, x) in oc.into_remainder().iter_mut().zip(ac.remainder()) {
+            *o &= !x;
+        }
+    }
+
+    /// `Σ popcount(a[i] & b[i])`, with four independent accumulators so the
+    /// per-lane popcounts pipeline instead of serializing on one sum.
+    #[inline]
+    pub(crate) fn count_ones_and(a: &[u64], b: &[u64]) -> usize {
+        debug_assert_eq!(a.len(), b.len());
+        let mut ac = a.chunks_exact(CHUNK);
+        let mut bc = b.chunks_exact(CHUNK);
+        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+        for (x, y) in (&mut ac).zip(&mut bc) {
+            c0 += u64::from((x[0] & y[0]).count_ones());
+            c1 += u64::from((x[1] & y[1]).count_ones());
+            c2 += u64::from((x[2] & y[2]).count_ones());
+            c3 += u64::from((x[3] & y[3]).count_ones());
+        }
+        let mut rest = 0u64;
+        for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+            rest += u64::from((x & y).count_ones());
+        }
+        (c0 + c1 + c2 + c3 + rest) as usize
+    }
+
+    /// `Σ popcount(a[i])`, four-lane accumulation as in
+    /// [`count_ones_and`].
+    #[inline]
+    pub(crate) fn count_ones(a: &[u64]) -> usize {
+        let mut ac = a.chunks_exact(CHUNK);
+        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+        for x in &mut ac {
+            c0 += u64::from(x[0].count_ones());
+            c1 += u64::from(x[1].count_ones());
+            c2 += u64::from(x[2].count_ones());
+            c3 += u64::from(x[3].count_ones());
+        }
+        let mut rest = 0u64;
+        for x in ac.remainder() {
+            rest += u64::from(x.count_ones());
+        }
+        (c0 + c1 + c2 + c3 + rest) as usize
+    }
+
+    /// True if any `a[i] & b[i] != 0`, testing a whole chunk per branch.
+    #[inline]
+    pub(crate) fn intersects(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let mut ac = a.chunks_exact(CHUNK);
+        let mut bc = b.chunks_exact(CHUNK);
+        for (x, y) in (&mut ac).zip(&mut bc) {
+            if ((x[0] & y[0]) | (x[1] & y[1]) | (x[2] & y[2]) | (x[3] & y[3])) != 0 {
+                return true;
+            }
+        }
+        ac.remainder()
+            .iter()
+            .zip(bc.remainder())
+            .any(|(x, y)| x & y != 0)
+    }
+
+    /// `Σ popcount(a[i] & b[i] & c[i])`, four-lane accumulation as in
+    /// [`count_ones_and`].
+    #[inline]
+    pub(crate) fn count_ones_and3(a: &[u64], b: &[u64], c: &[u64]) -> usize {
+        debug_assert!(a.len() == b.len() && b.len() == c.len());
+        let mut ac = a.chunks_exact(CHUNK);
+        let mut bc = b.chunks_exact(CHUNK);
+        let mut cc = c.chunks_exact(CHUNK);
+        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+        for ((x, y), z) in (&mut ac).zip(&mut bc).zip(&mut cc) {
+            c0 += u64::from((x[0] & y[0] & z[0]).count_ones());
+            c1 += u64::from((x[1] & y[1] & z[1]).count_ones());
+            c2 += u64::from((x[2] & y[2] & z[2]).count_ones());
+            c3 += u64::from((x[3] & y[3] & z[3]).count_ones());
+        }
+        let mut rest = 0u64;
+        for ((x, y), z) in ac
+            .remainder()
+            .iter()
+            .zip(bc.remainder())
+            .zip(cc.remainder())
+        {
+            rest += u64::from((x & y & z).count_ones());
+        }
+        (c0 + c1 + c2 + c3 + rest) as usize
+    }
+
+    /// `Σ popcount(k[i] & (!d[i] | r[i]))` — the fused Definition-2.5 node
+    /// count (kept = member of the keep side, not of the drop side unless
+    /// rescued by an incident kept edge) with no mask materialized. Tail
+    /// hygiene: `!d` sets bits past the logical width in the final word,
+    /// but `k`'s clean tail masks them back off.
+    #[inline]
+    pub(crate) fn count_difference(k: &[u64], d: &[u64], r: &[u64]) -> usize {
+        debug_assert!(k.len() == d.len() && d.len() == r.len());
+        let mut kc = k.chunks_exact(CHUNK);
+        let mut dc = d.chunks_exact(CHUNK);
+        let mut rc = r.chunks_exact(CHUNK);
+        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+        for ((x, y), z) in (&mut kc).zip(&mut dc).zip(&mut rc) {
+            c0 += u64::from((x[0] & (!y[0] | z[0])).count_ones());
+            c1 += u64::from((x[1] & (!y[1] | z[1])).count_ones());
+            c2 += u64::from((x[2] & (!y[2] | z[2])).count_ones());
+            c3 += u64::from((x[3] & (!y[3] | z[3])).count_ones());
+        }
+        let mut rest = 0u64;
+        for ((x, y), z) in kc
+            .remainder()
+            .iter()
+            .zip(dc.remainder())
+            .zip(rc.remainder())
+        {
+            rest += u64::from((x & (!y | z)).count_ones());
+        }
+        (c0 + c1 + c2 + c3 + rest) as usize
+    }
+
+    /// [`count_difference`] restricted to a selector mask:
+    /// `Σ popcount(k[i] & (!d[i] | r[i]) & s[i])`.
+    #[inline]
+    pub(crate) fn count_difference_sel(k: &[u64], d: &[u64], r: &[u64], s: &[u64]) -> usize {
+        debug_assert!(k.len() == d.len() && d.len() == r.len() && r.len() == s.len());
+        let mut kc = k.chunks_exact(CHUNK);
+        let mut dc = d.chunks_exact(CHUNK);
+        let mut rc = r.chunks_exact(CHUNK);
+        let mut sc = s.chunks_exact(CHUNK);
+        let (mut c0, mut c1, mut c2, mut c3) = (0u64, 0u64, 0u64, 0u64);
+        for (((x, y), z), w) in (&mut kc).zip(&mut dc).zip(&mut rc).zip(&mut sc) {
+            c0 += u64::from((x[0] & (!y[0] | z[0]) & w[0]).count_ones());
+            c1 += u64::from((x[1] & (!y[1] | z[1]) & w[1]).count_ones());
+            c2 += u64::from((x[2] & (!y[2] | z[2]) & w[2]).count_ones());
+            c3 += u64::from((x[3] & (!y[3] | z[3]) & w[3]).count_ones());
+        }
+        let mut rest = 0u64;
+        for (((x, y), z), w) in kc
+            .remainder()
+            .iter()
+            .zip(dc.remainder())
+            .zip(rc.remainder())
+            .zip(sc.remainder())
+        {
+            rest += u64::from((x & (!y | z) & w).count_ones());
+        }
+        (c0 + c1 + c2 + c3 + rest) as usize
+    }
+
+    /// True if `a[i] & b[i] == b[i]` for every word (`a ⊇ b`), testing a
+    /// whole chunk per branch.
+    #[inline]
+    pub(crate) fn contains_all(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len());
+        let mut ac = a.chunks_exact(CHUNK);
+        let mut bc = b.chunks_exact(CHUNK);
+        for (x, y) in (&mut ac).zip(&mut bc) {
+            if ((!x[0] & y[0]) | (!x[1] & y[1]) | (!x[2] & y[2]) | (!x[3] & y[3])) != 0 {
+                return false;
+            }
+        }
+        ac.remainder()
+            .iter()
+            .zip(bc.remainder())
+            .all(|(x, y)| x & y == *y)
+    }
+}
+
+/// Transposes a 64×64 bit tile in place: output word `j` holds, at bit `i`,
+/// the input's word `i` bit `j` (LSB-first column numbering throughout).
+///
+/// Classic mask-and-shift block transpose (Hacker's Delight §7-3, adapted
+/// to LSB-first indexing): six passes of 32/16/8/4/2/1-bit block swaps,
+/// each pass word-parallel over the tile.
+fn transpose64(a: &mut [u64; WORD_BITS]) {
+    let mut j: u32 = 32;
+    let mut m: u64 = 0x0000_0000_FFFF_FFFF;
+    while j != 0 {
+        let jj = j as usize;
+        let mut k = 0usize;
+        while k < WORD_BITS {
+            let t = ((a[k] >> j) ^ a[k + jj]) & m;
+            a[k + jj] ^= t;
+            a[k] ^= t << j;
+            k = (k + jj + 1) & !jj;
+        }
+        j >>= 1;
+        m ^= m << j;
+    }
 }
 
 /// A fixed-width packed bit vector.
@@ -78,6 +397,33 @@ impl BitVec {
                 v.set(i, true);
             }
         }
+        v
+    }
+
+    /// Crate-internal view of the packed words, for the sparse-column
+    /// kernels in [`crate::sparse`].
+    #[inline]
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Crate-internal mutable view of the packed words. Callers must keep
+    /// the tail clean (only set bits below `len()`).
+    #[inline]
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Crate-internal constructor from pre-packed words (the blocked
+    /// transpose builds column words directly).
+    ///
+    /// # Panics
+    /// Debug builds panic if the store violates [`check_invariants`]
+    /// (wrong word count or dirty tail).
+    #[inline]
+    pub(crate) fn from_raw_words(nbits: usize, words: Vec<u64>) -> Self {
+        let v = BitVec { nbits, words };
+        v.debug_validate();
         v
     }
 
@@ -170,7 +516,7 @@ impl BitVec {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count_ones(&self.words)
     }
 
     /// True if no bit is set.
@@ -184,7 +530,7 @@ impl BitVec {
     /// Panics on width mismatch.
     pub fn intersects(&self, mask: &BitVec) -> bool {
         self.check_width(mask);
-        self.words.iter().zip(&mask.words).any(|(a, b)| a & b != 0)
+        kernels::intersects(&self.words, &mask.words)
     }
 
     /// True if every bit of `mask` is also set in `self`.
@@ -193,7 +539,7 @@ impl BitVec {
     /// Panics on width mismatch.
     pub fn contains_all(&self, mask: &BitVec) -> bool {
         self.check_width(mask);
-        self.words.iter().zip(&mask.words).all(|(a, b)| a & b == *b)
+        kernels::contains_all(&self.words, &mask.words)
     }
 
     /// Count of bits set in both `self` and `mask`.
@@ -202,11 +548,7 @@ impl BitVec {
     /// Panics on width mismatch.
     pub fn count_ones_masked(&self, mask: &BitVec) -> usize {
         self.check_width(mask);
-        self.words
-            .iter()
-            .zip(&mask.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernels::count_ones_and(&self.words, &mask.words)
     }
 
     /// Count of bits set in both `self` and `mask` (kernel-facing name for
@@ -254,13 +596,7 @@ impl BitVec {
     pub fn and_into(&self, other: &BitVec, out: &mut BitVec) {
         self.check_width(other);
         self.check_width(out);
-        for (o, (a, b)) in out
-            .words
-            .iter_mut()
-            .zip(self.words.iter().zip(&other.words))
-        {
-            *o = a & b;
-        }
+        kernels::and_into(&self.words, &other.words, &mut out.words);
     }
 
     /// Ternary AND-NOT: writes `self & !other` into `out` without
@@ -271,13 +607,7 @@ impl BitVec {
     pub fn and_not_into(&self, other: &BitVec, out: &mut BitVec) {
         self.check_width(other);
         self.check_width(out);
-        for (o, (a, b)) in out
-            .words
-            .iter_mut()
-            .zip(self.words.iter().zip(&other.words))
-        {
-            *o = a & !b;
-        }
+        kernels::and_not_into(&self.words, &other.words, &mut out.words);
         out.clear_tail();
         out.debug_validate();
     }
@@ -289,9 +619,7 @@ impl BitVec {
     pub fn or_and_assign(&mut self, a: &BitVec, b: &BitVec) {
         self.check_width(a);
         self.check_width(b);
-        for (o, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
-            *o |= x & y;
-        }
+        kernels::or_and_into(&a.words, &b.words, &mut self.words);
         self.clear_tail();
         self.debug_validate();
     }
@@ -302,9 +630,7 @@ impl BitVec {
     /// Panics on width mismatch.
     pub fn or_assign(&mut self, other: &BitVec) {
         self.check_width(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        kernels::or_assign(&other.words, &mut self.words);
     }
 
     /// In-place bitwise AND.
@@ -313,9 +639,7 @@ impl BitVec {
     /// Panics on width mismatch.
     pub fn and_assign(&mut self, other: &BitVec) {
         self.check_width(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        kernels::and_assign(&other.words, &mut self.words);
     }
 
     /// In-place bitwise AND-NOT (`self &= !other`).
@@ -324,9 +648,7 @@ impl BitVec {
     /// Panics on width mismatch.
     pub fn and_not_assign(&mut self, other: &BitVec) {
         self.check_width(other);
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a &= !b;
-        }
+        kernels::and_not_assign(&other.words, &mut self.words);
         self.clear_tail();
         self.debug_validate();
     }
@@ -570,30 +892,20 @@ impl BitMatrix {
     /// "any `V[v, t] = 1` for `t ∈ 𝒯`" test used by the union operator).
     pub fn row_any(&self, r: usize, mask: &BitVec) -> bool {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
-        self.row_words(r)
-            .iter()
-            .zip(&mask.words)
-            .any(|(a, b)| a & b != 0)
+        kernels::intersects(self.row_words(r), &mask.words)
     }
 
     /// True if row `r` has every bit of `mask` set (the projection test
     /// "`𝒯 ⊆ τ(u)`").
     pub fn row_all(&self, r: usize, mask: &BitVec) -> bool {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
-        self.row_words(r)
-            .iter()
-            .zip(&mask.words)
-            .all(|(a, b)| a & b == *b)
+        kernels::contains_all(self.row_words(r), &mask.words)
     }
 
     /// Count of set bits in row `r` restricted to `mask`.
     pub fn row_count_masked(&self, r: usize, mask: &BitVec) -> usize {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
-        self.row_words(r)
-            .iter()
-            .zip(&mask.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernels::count_ones_and(self.row_words(r), &mask.words)
     }
 
     /// Returns row `r` restricted to `mask` (bits outside `mask` cleared).
@@ -714,37 +1026,98 @@ impl BitMatrix {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
         let words = self.row_words(r);
         words
-            .iter()
-            .zip(&mask.words)
+            .chunks(kernels::CHUNK)
+            .zip(mask.words.chunks(kernels::CHUNK))
             .enumerate()
-            .flat_map(|(wi, (&a, &b))| {
-                let mut w = a & b;
-                std::iter::from_fn(move || {
-                    if w == 0 {
-                        None
-                    } else {
-                        let bit = w.trailing_zeros() as usize;
-                        w &= w - 1;
-                        Some(wi * WORD_BITS + bit)
-                    }
+            .flat_map(|(ci, (aw, bw))| {
+                // AND the whole chunk up front so the bit scan works off a
+                // register-resident block instead of two memory streams.
+                let mut block = [0u64; kernels::CHUNK];
+                for (o, (a, b)) in block.iter_mut().zip(aw.iter().zip(bw)) {
+                    *o = a & b;
+                }
+                let n = aw.len();
+                let base = ci * kernels::CHUNK;
+                (0..n).flat_map(move |wi| {
+                    let mut w = block[wi];
+                    std::iter::from_fn(move || {
+                        if w == 0 {
+                            None
+                        } else {
+                            let bit = w.trailing_zeros() as usize;
+                            w &= w - 1;
+                            Some((base + wi) * WORD_BITS + bit)
+                        }
+                    })
                 })
             })
     }
 
-    /// Builds the column-major companion of this matrix: one [`BitVec`]
-    /// over the rows per column (for presence matrices, "which entities
-    /// exist at time point `c`" as a single packed vector).
+    /// Builds the column-major companion of this matrix: one presence
+    /// column over the rows per source column (for presence matrices,
+    /// "which entities exist at time point `c`" as a single packed vector).
     ///
-    /// Cost is O(set bits); the result is immutable and intended to be
-    /// built once and cached (see `TemporalGraph::node_presence_columns`).
+    /// Equivalent to [`transposed_with`](Self::transposed_with) with
+    /// [`SparseMode::Auto`]: each column independently picks the dense or
+    /// sparse representation by its own density.
     #[must_use]
     pub fn transposed(&self) -> TransposedBitMatrix {
-        let mut cols = vec![BitVec::zeros(self.nrows); self.ncols];
-        for r in 0..self.nrows {
-            for c in self.iter_row_ones(r) {
-                cols[c].set(r, true);
+        self.transposed_with(SparseMode::Auto)
+    }
+
+    /// Builds the column-major companion with an explicit representation
+    /// policy for the resulting columns.
+    ///
+    /// The transpose itself is cache-blocked: the matrix is walked in
+    /// 64×64-bit tiles (64 consecutive rows × one word of columns), each
+    /// tile is flipped in registers by [`transpose64`], and the flipped
+    /// words are scattered into per-column stores. One pass touches each
+    /// source word exactly once, all-zero tiles short-circuit, and the
+    /// write stream per tile stays within 64 columns — unlike the naive
+    /// per-set-bit scatter, whose writes stride the full column array.
+    /// The result is immutable and intended to be built once and cached
+    /// (see `TemporalGraph::node_presence_columns`).
+    #[must_use]
+    pub fn transposed_with(&self, mode: SparseMode) -> TransposedBitMatrix {
+        let col_words = words_for(self.nrows);
+        let mut col_data: Vec<Vec<u64>> = vec![vec![0u64; col_words]; self.ncols];
+        let mut tile = [0u64; WORD_BITS];
+        // `rb` indexes word `rb` *inside* each per-column vector, not
+        // `col_data` itself, so there is nothing to iterate directly.
+        #[allow(clippy::needless_range_loop)]
+        for rb in 0..col_words {
+            let r0 = rb * WORD_BITS;
+            let rows = (self.nrows - r0).min(WORD_BITS);
+            for wb in 0..self.words_per_row {
+                // Gather: word `wb` of 64 consecutive rows.
+                let mut nonzero = 0u64;
+                for (i, t) in tile.iter_mut().take(rows).enumerate() {
+                    let w = self.data[(r0 + i) * self.words_per_row + wb];
+                    *t = w;
+                    nonzero |= w;
+                }
+                // Entries past `rows` may hold stale words from the
+                // previous tile; they must not leak into these columns.
+                for t in tile.iter_mut().skip(rows) {
+                    *t = 0;
+                }
+                if nonzero == 0 {
+                    continue;
+                }
+                transpose64(&mut tile);
+                let c0 = wb * WORD_BITS;
+                let cols_here = (self.ncols - c0).min(WORD_BITS);
+                for (j, &t) in tile.iter().take(cols_here).enumerate() {
+                    if t != 0 {
+                        col_data[c0 + j][rb] = t;
+                    }
+                }
             }
         }
+        let cols: Vec<PresenceColumn> = col_data
+            .into_iter()
+            .map(|words| PresenceColumn::from_raw_words(self.nrows, words, mode))
+            .collect();
         let t = TransposedBitMatrix {
             source_rows: self.nrows,
             cols,
@@ -774,35 +1147,43 @@ impl BitMatrix {
     /// # Panics
     /// Panics if the mask width differs from `ncols`.
     pub fn masked_popcounts(&self, mask: &BitVec) -> Vec<u32> {
-        assert_eq!(mask.len(), self.ncols, "mask width mismatch");
         let mut out = Vec::with_capacity(self.nrows);
+        self.masked_popcounts_into(mask, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`masked_popcounts`](Self::masked_popcounts):
+    /// clears `out` and fills it with one count per row, reusing its
+    /// capacity (evaluation loops call this once per candidate mask).
+    ///
+    /// # Panics
+    /// Panics if the mask width differs from `ncols`.
+    pub fn masked_popcounts_into(&self, mask: &BitVec, out: &mut Vec<u32>) {
+        assert_eq!(mask.len(), self.ncols, "mask width mismatch");
+        out.clear();
+        out.reserve(self.nrows);
         for chunk in self.data.chunks_exact(self.words_per_row.max(1)) {
-            let count: u32 = chunk
-                .iter()
-                .zip(&mask.words)
-                .map(|(a, b)| (a & b).count_ones())
-                .sum();
-            out.push(count);
+            out.push(kernels::count_ones_and(chunk, &mask.words) as u32);
         }
         // chunks_exact over empty rows-with-zero-width yields nothing; pad
         // so the result always has one entry per row.
         out.resize(self.nrows, 0);
-        out
     }
 }
 
-/// Column-major view of a [`BitMatrix`]: one packed [`BitVec`] over the
-/// source *rows* per source *column*.
+/// Column-major view of a [`BitMatrix`]: one packed [`PresenceColumn`] over
+/// the source *rows* per source *column*.
 ///
 /// Where a presence [`BitMatrix`] answers "at which time points does entity
 /// `r` exist?" row by row, the transposed form answers "which entities
 /// exist at time point `c`?" as one whole vector — the layout the
 /// chain-incremental exploration cursor folds with `acc |= col[t]` /
-/// `acc &= col[t]` in O(rows/64) words per extension step.
+/// `acc &= col[t]` in O(rows/64) words per extension step (or O(nnz) when
+/// the column chose the sparse representation).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TransposedBitMatrix {
     source_rows: usize,
-    cols: Vec<BitVec>,
+    cols: Vec<PresenceColumn>,
 }
 
 impl TransposedBitMatrix {
@@ -818,18 +1199,31 @@ impl TransposedBitMatrix {
         self.source_rows
     }
 
-    /// The bitset of source rows set in column `c`.
+    /// The presence column of source rows set in column `c`.
     ///
     /// # Panics
     /// Panics if `c` is out of range.
     #[inline]
-    pub fn col(&self, c: usize) -> &BitVec {
+    pub fn col(&self, c: usize) -> &PresenceColumn {
         &self.cols[c]
     }
 
-    /// Validates the structural invariants: every column vector spans
-    /// exactly `source_rows` bits and satisfies [`BitVec::check_invariants`]
-    /// (the cursor's whole-column OR/AND folds assume uniform clean widths).
+    /// Number of columns stored in the sparse sorted-ID representation.
+    #[must_use]
+    pub fn n_sparse_cols(&self) -> usize {
+        self.cols.iter().filter(|c| c.is_sparse()).count()
+    }
+
+    /// Number of columns stored in the dense packed-word representation.
+    #[must_use]
+    pub fn n_dense_cols(&self) -> usize {
+        self.cols.len() - self.n_sparse_cols()
+    }
+
+    /// Validates the structural invariants: every column spans exactly
+    /// `source_rows` bits and satisfies
+    /// [`PresenceColumn::check_invariants`] (the cursor's whole-column
+    /// OR/AND folds assume uniform clean widths).
     ///
     /// # Errors
     /// Returns a description of the first violated invariant.
@@ -1148,5 +1542,107 @@ mod tests {
     #[should_panic(expected = "mask width mismatch")]
     fn matrix_masked_popcounts_width_mismatch_panics() {
         BitMatrix::zeros(2, 8).masked_popcounts(&BitVec::zeros(9));
+    }
+
+    #[test]
+    fn masked_popcounts_into_reuses_buffer() {
+        let mut m = BitMatrix::new(70);
+        m.push_row(&BitVec::from_indices(70, [0, 1, 65]));
+        m.push_row(&BitVec::from_indices(70, [2, 69]));
+        m.push_empty_row();
+        let mask = BitVec::from_indices(70, [1, 65, 69]);
+        let mut buf = vec![7u32; 99]; // stale contents must be discarded
+        m.masked_popcounts_into(&mask, &mut buf);
+        assert_eq!(buf, m.masked_popcounts(&mask));
+        assert_eq!(buf, vec![2, 1, 0]);
+        // zero-width matrices still get one entry per row
+        let mut zw = BitMatrix::new(0);
+        zw.push_empty_row();
+        zw.push_empty_row();
+        zw.masked_popcounts_into(&BitVec::zeros(0), &mut buf);
+        assert_eq!(buf, vec![0, 0]);
+    }
+
+    #[test]
+    fn transpose64_matches_naive() {
+        // deterministic pseudo-random tile (splitmix64)
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut tile = [0u64; 64];
+        for t in &mut tile {
+            *t = next();
+        }
+        let orig = tile;
+        transpose64(&mut tile);
+        for (i, &row) in orig.iter().enumerate() {
+            for (j, &col) in tile.iter().enumerate() {
+                assert_eq!(
+                    (row >> j) & 1,
+                    (col >> i) & 1,
+                    "bit ({i},{j}) lost in transpose"
+                );
+            }
+        }
+        // involution: transposing twice restores the tile
+        transpose64(&mut tile);
+        assert_eq!(tile, orig);
+    }
+
+    #[test]
+    fn blocked_transpose_matches_cells_at_boundaries() {
+        // word-boundary row counts exercise the partial final tile; the
+        // 130-column case exercises multi-tile column blocks
+        for nrows in [1, 63, 64, 65, 130] {
+            for ncols in [1, 63, 64, 65, 130] {
+                let mut m = BitMatrix::zeros(nrows, ncols);
+                for r in 0..nrows {
+                    for c in 0..ncols {
+                        if (r * 31 + c * 17) % 5 == 0 {
+                            m.set(r, c, true);
+                        }
+                    }
+                }
+                for mode in [
+                    SparseMode::Auto,
+                    SparseMode::ForceDense,
+                    SparseMode::ForceSparse,
+                ] {
+                    let t = m.transposed_with(mode);
+                    assert_eq!(t.check_invariants(), Ok(()));
+                    for r in 0..nrows {
+                        for c in 0..ncols {
+                            assert_eq!(
+                                t.col(c).get(r),
+                                m.get(r, c),
+                                "({r},{c}) {nrows}x{ncols} {mode:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_transpose_stale_tile_rows_do_not_leak() {
+        // 65 rows: the second row-block holds 1 live row; a dense first
+        // block must not bleed into rows 64.. of any column.
+        let mut m = BitMatrix::zeros(65, 3);
+        for r in 0..64 {
+            for c in 0..3 {
+                m.set(r, c, true);
+            }
+        }
+        let t = m.transposed_with(SparseMode::ForceDense);
+        for c in 0..3 {
+            assert!(!t.col(c).get(64));
+            assert_eq!(t.col(c).count_ones(), 64);
+        }
     }
 }

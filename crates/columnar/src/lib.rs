@@ -41,6 +41,7 @@ mod error;
 mod frame;
 mod interner;
 mod matrix;
+mod sparse;
 mod value;
 
 pub use bitset::{BitMatrix, BitVec, TransposedBitMatrix};
@@ -49,4 +50,5 @@ pub use error::ColumnarError;
 pub use frame::Frame;
 pub use interner::Interner;
 pub use matrix::ValueMatrix;
+pub use sparse::{PresenceColumn, SparseMode};
 pub use value::{Value, ValueTuple};

@@ -3,7 +3,49 @@
 
 use proptest::prelude::*;
 use std::io::Cursor;
-use tempo_columnar::{read_frame, write_frame, BitMatrix, BitVec, Frame, Value};
+use tempo_columnar::{
+    read_frame, write_frame, BitMatrix, BitVec, Frame, PresenceColumn, SparseMode, Value,
+};
+
+/// Widths crossing the word-tail boundaries (63/64/65) plus small and
+/// multi-word shapes.
+const WIDTHS: [usize; 8] = [1, 7, 63, 64, 65, 127, 129, 190];
+
+/// Bits from a threshold over uniform draws: `t` sweeps the density from
+/// all-zero (`t = 0`) through ~1% / ~10% / ~50% up to all-one (`t = 100`),
+/// the shapes the hybrid column's auto-pick must handle.
+fn threshold_bits(vals: &[u32], t: u32) -> BitVec {
+    BitVec::from_bools(&vals.iter().map(|&v| v < t).collect::<Vec<bool>>())
+}
+
+/// One presence-column test case: the column bits plus three independent
+/// same-width operand vectors, each at its own random density.
+fn column_case() -> impl Strategy<Value = (BitVec, BitVec, BitVec, BitVec)> {
+    (
+        0usize..WIDTHS.len(),
+        0u32..101,
+        0u32..101,
+        0u32..101,
+        0u32..101,
+    )
+        .prop_flat_map(|(wi, tc, ta, tb, tr)| {
+            let n = WIDTHS[wi];
+            (
+                proptest::collection::vec(0u32..100, n),
+                proptest::collection::vec(0u32..100, n),
+                proptest::collection::vec(0u32..100, n),
+                proptest::collection::vec(0u32..100, n),
+            )
+                .prop_map(move |(c, a, b, r)| {
+                    (
+                        threshold_bits(&c, tc),
+                        threshold_bits(&a, ta),
+                        threshold_bits(&b, tb),
+                        threshold_bits(&r, tr),
+                    )
+                })
+        })
+}
 
 fn bitvec_strategy(max_bits: usize) -> impl Strategy<Value = BitVec> {
     (1..max_bits).prop_flat_map(|n| {
@@ -22,7 +64,124 @@ fn bitvec_pair(max_bits: usize) -> impl Strategy<Value = (BitVec, BitVec)> {
     })
 }
 
+/// Naive per-bit reference for the fused Definition-2.5 difference count:
+/// `popcount(keep & (!drop | rescue) [& sel])`.
+fn naive_difference(keep: &BitVec, drop: &BitVec, rescue: &BitVec, sel: Option<&BitVec>) -> usize {
+    (0..keep.len())
+        .filter(|&i| keep.get(i) && (!drop.get(i) || rescue.get(i)) && sel.is_none_or(|m| m.get(i)))
+        .count()
+}
+
 proptest! {
+    /// Both `PresenceColumn` representations of the same bits satisfy the
+    /// container contract: invariants hold, accessors agree, and the
+    /// round-trip through `to_bitvec` is lossless — at densities from
+    /// all-zero to all-one and widths crossing the 63/64/65 tails.
+    #[test]
+    fn presence_column_representations_agree((bits, _a, _b, _r) in column_case()) {
+        let dense = PresenceColumn::from_bitvec(bits.clone(), SparseMode::ForceDense);
+        let sparse = PresenceColumn::from_bitvec(bits.clone(), SparseMode::ForceSparse);
+        let auto = PresenceColumn::from_bitvec(bits.clone(), SparseMode::Auto);
+        for col in [&dense, &sparse, &auto] {
+            prop_assert_eq!(col.check_invariants(), Ok(()));
+            prop_assert_eq!(col.len(), bits.len());
+            prop_assert_eq!(col.count_ones(), bits.count_ones());
+            prop_assert_eq!(&col.to_bitvec(), &bits);
+            prop_assert_eq!(col.iter_ones().collect::<Vec<_>>(), bits.iter_ones().collect::<Vec<_>>());
+            for i in [0, bits.len() / 2, bits.len() - 1] {
+                prop_assert_eq!(col.get(i), bits.get(i));
+            }
+        }
+        prop_assert!(!dense.is_sparse());
+        prop_assert!(sparse.is_sparse());
+        // the auto pick is by the documented density rule, never by luck
+        prop_assert_eq!(auto.is_sparse(), bits.count_ones() * 64 <= bits.len());
+    }
+
+    /// Every in-place fold of the op surface produces bit-identical output
+    /// (with clean invariants) whichever representation the column uses,
+    /// and matches naive `BitVec` algebra.
+    #[test]
+    fn presence_column_folds_match_dense((bits, a, b, _r) in column_case()) {
+        let dense = PresenceColumn::from_bitvec(bits.clone(), SparseMode::ForceDense);
+        let sparse = PresenceColumn::from_bitvec(bits.clone(), SparseMode::ForceSparse);
+        let n = bits.len();
+        let folds: [(&str, fn(&PresenceColumn, &BitVec, &mut BitVec)); 6] = [
+            ("copy_into", |c, _o, out| c.copy_into(out)),
+            ("or_into", |c, _o, out| c.or_into(out)),
+            ("and_assign_into", |c, _o, out| c.and_assign_into(out)),
+            ("and_into", |c, o, out| c.and_into(o, out)),
+            ("and_not_into", |c, o, out| c.and_not_into(o, out)),
+            ("and_not_from", |c, o, out| c.and_not_from(o, out)),
+        ];
+        for (name, f) in folds {
+            // seed the output/accumulator with `a` so accumulator folds
+            // (or_into / and_assign_into) start from a meaningful state
+            let mut from_dense = a.clone();
+            let mut from_sparse = a.clone();
+            f(&dense, &b, &mut from_dense);
+            f(&sparse, &b, &mut from_sparse);
+            prop_assert_eq!(&from_dense, &from_sparse, "fold {} diverged", name);
+            prop_assert_eq!(from_sparse.check_invariants(), Ok(()));
+            let expect: BitVec = match name {
+                "copy_into" => bits.clone(),
+                "or_into" => a.or(&bits),
+                "and_assign_into" => a.and(&bits),
+                "and_into" => bits.and(&b),
+                "and_not_into" => BitVec::from_indices(n, bits.iter_ones().filter(|&i| !b.get(i))),
+                "and_not_from" => BitVec::from_indices(n, b.iter_ones().filter(|&i| !bits.get(i))),
+                _ => unreachable!(),
+            };
+            prop_assert_eq!(&from_sparse, &expect, "fold {} wrong", name);
+        }
+        // or_and_into: acc |= col & other
+        let mut acc_dense = a.clone();
+        let mut acc_sparse = a.clone();
+        dense.or_and_into(&b, &mut acc_dense);
+        sparse.or_and_into(&b, &mut acc_sparse);
+        prop_assert_eq!(&acc_dense, &acc_sparse);
+        prop_assert_eq!(acc_sparse.check_invariants(), Ok(()));
+        prop_assert_eq!(&acc_sparse, &a.or(&bits.and(&b)));
+    }
+
+    /// Every count kernel returns the same value whichever representation
+    /// either column uses, and matches a naive per-bit count — including
+    /// the fused difference counts with and without a selector mask.
+    #[test]
+    fn presence_column_counts_match_naive((bits, a, b, r) in column_case()) {
+        let dense = PresenceColumn::from_bitvec(bits.clone(), SparseMode::ForceDense);
+        let sparse = PresenceColumn::from_bitvec(bits.clone(), SparseMode::ForceSparse);
+        let n = bits.len();
+        for col in [&dense, &sparse] {
+            prop_assert_eq!(col.count_ones_and_dense(&a), bits.count_ones_and(&a));
+            prop_assert_eq!(
+                col.count_ones_and2(&a, &b),
+                (0..n).filter(|&i| bits.get(i) && a.get(i) && b.get(i)).count()
+            );
+            for sel in [None, Some(&b)] {
+                prop_assert_eq!(
+                    col.count_difference_keep(&a, &r, sel),
+                    naive_difference(&bits, &a, &r, sel),
+                    "count_difference_keep"
+                );
+                prop_assert_eq!(
+                    col.count_difference_drop(&a, &r, sel),
+                    naive_difference(&a, &bits, &r, sel),
+                    "count_difference_drop"
+                );
+            }
+        }
+        // column × column intersection count, all four representation pairs
+        let other_dense = PresenceColumn::from_bitvec(a.clone(), SparseMode::ForceDense);
+        let other_sparse = PresenceColumn::from_bitvec(a.clone(), SparseMode::ForceSparse);
+        let expect = bits.count_ones_and(&a);
+        for x in [&dense, &sparse] {
+            for y in [&other_dense, &other_sparse] {
+                prop_assert_eq!(x.count_ones_and(y), expect);
+            }
+        }
+    }
+
     #[test]
     fn iter_ones_roundtrips(v in bitvec_strategy(200)) {
         let rebuilt = BitVec::from_indices(v.len(), v.iter_ones());

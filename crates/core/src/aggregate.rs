@@ -402,11 +402,14 @@ pub fn aggregate_static_fast(
         })
         .collect();
     let full = tempo_columnar::BitVec::ones(g.domain().len());
-    let node_counts = g.node_presence_matrix().masked_popcounts(&full);
-    let edge_counts = g.edge_presence_matrix().masked_popcounts(&full);
+    // One popcount buffer serves both passes; the node counts are consumed
+    // before the edge counts overwrite them.
+    let mut counts: Vec<u32> = Vec::new();
+    g.node_presence_matrix()
+        .masked_popcounts_into(&full, &mut counts);
 
     for (n, tuple) in node_tuples.iter().enumerate() {
-        let appearances = u64::from(node_counts[n]);
+        let appearances = u64::from(counts[n]);
         if appearances == 0 {
             continue;
         }
@@ -416,7 +419,9 @@ pub fn aggregate_static_fast(
         };
         agg.add_node_weight(tuple.clone(), w);
     }
-    for (e, &count) in edge_counts.iter().enumerate() {
+    g.edge_presence_matrix()
+        .masked_popcounts_into(&full, &mut counts);
+    for (e, &count) in counts.iter().enumerate() {
         let appearances = u64::from(count);
         if appearances == 0 {
             continue;
@@ -692,18 +697,57 @@ impl GroupTable {
 
         let all_static = resolved.iter().all(|r| matches!(r, Resolved::Static(_)));
         let (static_gids, time_gids) = if all_static {
-            let gids = (0..g.n_nodes())
-                .map(|n| {
-                    let tuple: ValueTuple = resolved
-                        .iter()
-                        .map(|r| match r {
-                            Resolved::Static(slot) => g.static_table().get(n, *slot).clone(),
-                            Resolved::TimeVarying(_) => unreachable!("all attrs static"),
-                        })
-                        .collect();
-                    intern_tuple(&mut index, &mut tuples, tuple)
-                })
-                .collect();
+            // Group ids are assigned in first-occurrence order either way,
+            // so both fast paths below produce the table the naive per-node
+            // intern loop would.
+            let gids = if let [Resolved::Static(slot)] = resolved.as_slice() {
+                // Single static attribute: categorical codes are already
+                // dense interner indexes, so a code-indexed table resolves
+                // each node with one load — no hashing, no tuple allocation
+                // (dominant in exploration kernel builds on large graphs).
+                let mut cat_gids: Vec<u32> = Vec::new();
+                (0..g.n_nodes())
+                    .map(|n| match g.static_table().get(n, *slot) {
+                        Value::Cat(code) => {
+                            let c = *code as usize;
+                            if c >= cat_gids.len() {
+                                cat_gids.resize(c + 1, NO_GROUP);
+                            }
+                            if cat_gids[c] == NO_GROUP {
+                                cat_gids[c] =
+                                    intern_tuple(&mut index, &mut tuples, vec![Value::Cat(*code)]);
+                            }
+                            cat_gids[c]
+                        }
+                        v => intern_tuple(&mut index, &mut tuples, vec![v.clone()]),
+                    })
+                    .collect()
+            } else {
+                // Multi-attribute: probe with a reused scratch tuple
+                // (`Vec<Value>: Borrow<[Value]>`), allocating only on the
+                // first occurrence of a tuple.
+                let mut scratch: ValueTuple = Vec::with_capacity(resolved.len());
+                (0..g.n_nodes())
+                    .map(|n| {
+                        scratch.clear();
+                        for r in &resolved {
+                            match r {
+                                Resolved::Static(slot) => {
+                                    scratch.push(g.static_table().get(n, *slot).clone());
+                                }
+                                Resolved::TimeVarying(_) => {
+                                    unreachable!("all attrs static")
+                                }
+                            }
+                        }
+                        if let Some(&gid) = index.get(scratch.as_slice()) {
+                            gid
+                        } else {
+                            intern_tuple(&mut index, &mut tuples, scratch.clone())
+                        }
+                    })
+                    .collect()
+            };
             (Some(gids), None)
         } else {
             let tv_tables: Vec<&tempo_columnar::ValueMatrix> = g
@@ -873,6 +917,9 @@ impl GroupTable {
         debug_assert_eq!(scope.check_invariants(), Ok(()));
         debug_assert_eq!(mask.keep_nodes().check_invariants(), Ok(()));
         let mut node_acc = vec![0u64; self.tuples.len()];
+        // Shared popcount scratch: the node branch is done with it before
+        // the edge branch refills it.
+        let mut counts: Vec<u32> = Vec::new();
         match (&self.static_gids, mode) {
             (Some(gids), AggMode::Distinct) => {
                 for n in mask.keep_nodes().iter_ones() {
@@ -884,7 +931,8 @@ impl GroupTable {
                 }
             }
             (Some(gids), AggMode::All) => {
-                let counts = g.node_presence_matrix().masked_popcounts(scope);
+                g.node_presence_matrix()
+                    .masked_popcounts_into(scope, &mut counts);
                 for n in mask.keep_nodes().iter_ones() {
                     node_acc[gids[n] as usize] += u64::from(counts[n]);
                 }
@@ -914,14 +962,14 @@ impl GroupTable {
         let mut edge_acc: HashMap<(u32, u32), u64> = HashMap::new();
         match &self.static_gids {
             Some(gids) => {
-                let counts = matches!(mode, AggMode::All)
-                    .then(|| g.edge_presence_matrix().masked_popcounts(scope));
+                let weighted = matches!(mode, AggMode::All);
+                if weighted {
+                    g.edge_presence_matrix()
+                        .masked_popcounts_into(scope, &mut counts);
+                }
                 for e in mask.keep_edges().iter_ones() {
                     let (u, v) = g.edge_endpoints(tempo_graph::EdgeId(e as u32));
-                    let w = match &counts {
-                        Some(c) => u64::from(c[e]),
-                        None => 1,
-                    };
+                    let w = if weighted { u64::from(counts[e]) } else { 1 };
                     *edge_acc
                         .entry((gids[u.index()], gids[v.index()]))
                         .or_insert(0) += w;

@@ -17,7 +17,12 @@
 //! (including the Definition-2.5 incident-node fix-up, recomputed only over
 //! the kept-edge set bits). For static group tables it also resolves the
 //! count to a precomputed target bitmask, so a full evaluation is a
-//! popcount — no per-entity scan at all. Results are bit-identical to the
+//! popcount — no per-entity scan at all. A counting cursor
+//! ([`ChainCursor::new_counting`], what the engine drives) goes one step
+//! further and fuses the membership test into the count: a stability
+//! evaluation is one `popcount(ref & ext [& target])` sweep and a difference
+//! evaluation one `popcount(keep & (!drop | incident) [& target])` sweep,
+//! with no node keep-mask write at all. Results are bit-identical to the
 //! per-pair kernel and the materializing oracle (property-tested in
 //! `tests/chain_cursor.rs`).
 
@@ -27,7 +32,7 @@ use super::{ExtendSide, Semantics};
 use crate::aggregate::CountTarget;
 use crate::ops::{Event, EventMask};
 use tempo_columnar::{BitVec, TransposedBitMatrix};
-use tempo_graph::{EdgeId, GraphError, TemporalGraph, TimePoint};
+use tempo_graph::{EdgeId, GraphError, TimePoint};
 
 /// How the cursor turns a finished [`EventMask`] into `result(G)`.
 ///
@@ -117,6 +122,15 @@ pub struct ChainCursor<'k, 'g> {
     mask: EventMask,
     /// Scratch for the Definition-2.5 incident-node fix-up.
     incident: BitVec,
+    /// Node ids currently set in `incident`, so the next evaluation clears
+    /// only those bits (`O(kept edges)`) instead of the whole vector.
+    incident_touched: Vec<u32>,
+    /// Count-only mode ([`new_counting`](Self::new_counting)): popcount
+    /// selectors fuse the membership test and the count into one
+    /// word-parallel (or sparse-probe) pass, skipping the node keep-mask
+    /// write entirely. [`last_mask`](Self::last_mask) is then not
+    /// meaningful, so the mode is opt-in.
+    count_only: bool,
     ins_chains: std::sync::Arc<tempo_instrument::Counter>,
     ins_steps: std::sync::Arc<tempo_instrument::Counter>,
     ins_step_ns: std::sync::Arc<tempo_instrument::Histogram>,
@@ -125,8 +139,23 @@ pub struct ChainCursor<'k, 'g> {
 impl<'k, 'g> ChainCursor<'k, 'g> {
     /// Builds a cursor over a shared kernel: borrows (building on first use)
     /// the graph's transposed presence indexes and resolves the fast count
-    /// path for the kernel's target.
+    /// path for the kernel's target. Every evaluation materializes the full
+    /// [`EventMask`], so [`last_mask`](Self::last_mask) is valid after each
+    /// call.
     pub fn new(kernel: &'k ExploreKernel<'g>) -> Self {
+        Self::build(kernel, false)
+    }
+
+    /// [`new`](Self::new), but for callers that only read the returned
+    /// counts (the exploration engine): popcount-style selectors are
+    /// evaluated as one fused membership-and-count pass with no node
+    /// keep-mask write. [`last_mask`](Self::last_mask) contents are
+    /// unspecified on this cursor.
+    pub fn new_counting(kernel: &'k ExploreKernel<'g>) -> Self {
+        Self::build(kernel, true)
+    }
+
+    fn build(kernel: &'k ExploreKernel<'g>, count_only: bool) -> Self {
         let ins = tempo_instrument::global();
         ins.counter("explore.cursor.builds").inc();
         let g = kernel.g;
@@ -143,6 +172,8 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
             ext_edges: BitVec::zeros(g.n_edges()),
             mask: EventMask::cleared(g),
             incident: BitVec::zeros(g.n_nodes()),
+            incident_touched: Vec::new(),
+            count_only,
             ins_chains: ins.counter("explore.cursor.chains"),
             ins_steps: ins.counter("explore.cursor.steps"),
             ins_step_ns: ins.histogram("explore.cursor.step_ns"),
@@ -162,8 +193,8 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
             ExtendSide::Old => (i, i + 1),
         };
         self.ref_t = ref_t;
-        self.ext_nodes.copy_from(self.node_cols.col(ext_t0));
-        self.ext_edges.copy_from(self.edge_cols.col(ext_t0));
+        self.node_cols.col(ext_t0).copy_into(&mut self.ext_nodes);
+        self.edge_cols.col(ext_t0).copy_into(&mut self.ext_edges);
         debug_assert_eq!(self.ext_nodes.check_invariants(), Ok(()));
         debug_assert_eq!(self.ext_edges.check_invariants(), Ok(()));
         // Base scope per event: stability spans both sides, growth lives in
@@ -202,12 +233,12 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
         let (node_col, edge_col) = (self.node_cols.col(t_added), self.edge_cols.col(t_added));
         match self.kernel.cfg.semantics {
             Semantics::Union => {
-                self.ext_nodes.or_assign(node_col);
-                self.ext_edges.or_assign(edge_col);
+                node_col.or_into(&mut self.ext_nodes);
+                edge_col.or_into(&mut self.ext_edges);
             }
             Semantics::Intersection => {
-                self.ext_nodes.and_assign(node_col);
-                self.ext_edges.and_assign(edge_col);
+                node_col.and_assign_into(&mut self.ext_nodes);
+                edge_col.and_assign_into(&mut self.ext_edges);
             }
         }
         debug_assert_eq!(self.ext_nodes.check_invariants(), Ok(()));
@@ -225,47 +256,144 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
         }
     }
 
+    /// Whether the current config keeps the reference column's side of the
+    /// pair under a difference event (growth keeps 𝒯new, shrinkage keeps
+    /// 𝒯old; the reference column holds the old side under
+    /// `ExtendSide::New` and the new side under `Old`).
+    fn ref_is_keep(&self) -> bool {
+        matches!(
+            (self.kernel.cfg.event, self.kernel.cfg.extend),
+            (Event::Growth, ExtendSide::Old) | (Event::Shrinkage, ExtendSide::New)
+        )
+    }
+
+    /// Rebuilds the Definition-2.5 incident-endpoint rescue set from the
+    /// kept edges in `mask`, clearing only the bits the previous rebuild
+    /// set (`O(kept edges)` instead of an `O(nodes)` vector clear).
+    fn rebuild_incident(&mut self) {
+        for &i in &self.incident_touched {
+            self.incident.set(i as usize, false);
+        }
+        self.incident_touched.clear();
+        let g = self.kernel.g;
+        for e in self.mask.keep_edges().iter_ones() {
+            let (u, v) = g.edge_endpoints(EdgeId(e as u32));
+            self.incident.set(u.index(), true);
+            self.incident.set(v.index(), true);
+            self.incident_touched.push(u.index() as u32);
+            self.incident_touched.push(v.index() as u32);
+        }
+    }
+
+    /// Count-only fast paths: membership test and count fused into one
+    /// word-parallel (or sparse ID-probe) pass over the node dimension —
+    /// the node keep mask is never materialized. Difference events still
+    /// write the kept-*edge* mask (the incident fix-up iterates its set
+    /// bits, and edges are the short dimension here). Returns `None` when
+    /// the target genuinely needs the materialized mask (time-varying
+    /// group tables).
+    fn fused_count(&mut self) -> Option<u64> {
+        match self.fast {
+            FastCount::Zero => return Some(0),
+            FastCount::Table => return None,
+            _ => {}
+        }
+        let ref_nodes = self.node_cols.col(self.ref_t);
+        let ref_edges = self.edge_cols.col(self.ref_t);
+        match self.kernel.cfg.event {
+            Event::Stability => Some(match &self.fast {
+                FastCount::PopNodes => ref_nodes.count_ones_and_dense(&self.ext_nodes) as u64,
+                FastCount::PopEdges => ref_edges.count_ones_and_dense(&self.ext_edges) as u64,
+                FastCount::NodesMatch(m) => ref_nodes.count_ones_and2(&self.ext_nodes, m) as u64,
+                FastCount::EdgesMatch(m) => ref_edges.count_ones_and2(&self.ext_edges, m) as u64,
+                FastCount::Zero | FastCount::Table => unreachable!("returned above"),
+            }),
+            Event::Growth | Event::Shrinkage => {
+                let ref_is_keep = self.ref_is_keep();
+                {
+                    let (_, keep_edges, _) = self.mask.parts_mut();
+                    if ref_is_keep {
+                        ref_edges.and_not_into(&self.ext_edges, keep_edges);
+                    } else {
+                        ref_edges.and_not_from(&self.ext_edges, keep_edges);
+                    }
+                }
+                match &self.fast {
+                    FastCount::PopEdges => return Some(self.mask.keep_edges().count_ones() as u64),
+                    FastCount::EdgesMatch(m) => {
+                        return Some(self.mask.keep_edges().count_ones_and(m) as u64)
+                    }
+                    _ => {}
+                }
+                self.rebuild_incident();
+                let sel = match &self.fast {
+                    FastCount::NodesMatch(m) => Some(m),
+                    _ => None,
+                };
+                Some(if ref_is_keep {
+                    ref_nodes.count_difference_keep(&self.ext_nodes, &self.incident, sel) as u64
+                } else {
+                    ref_nodes.count_difference_drop(&self.ext_nodes, &self.incident, sel) as u64
+                })
+            }
+        }
+    }
+
     /// Rewrites the mask for the current pair and counts the target:
     /// whole-vector AND/ANDNOT for membership, set-bit iteration only for
-    /// the kept edges' endpoints (Definition 2.5), then the fast count.
+    /// the kept edges' endpoints (Definition 2.5), then the fast count. On
+    /// a counting cursor the popcount targets take the fused path instead
+    /// (no mask write; fused evaluations record `eval_ns` but not the
+    /// `mask_ns`/`count_ns` split).
     fn evaluate_current(&mut self) -> u64 {
         let _eval_span = self.kernel.ins_eval_ns.span();
         self.kernel.ins_evals.inc();
+        if self.count_only {
+            if let Some(count) = self.fused_count() {
+                return count;
+            }
+        }
         {
             let _mask_span = self.kernel.ins_mask_ns.span();
+            // One pair side is always the fixed reference column (dense or
+            // sparse); the other is the dense extension accumulator. Every
+            // op below lets the column pick its own fold.
             let ref_nodes = self.node_cols.col(self.ref_t);
             let ref_edges = self.edge_cols.col(self.ref_t);
-            let (old_n, new_n, old_e, new_e) = match self.kernel.cfg.extend {
-                ExtendSide::New => (ref_nodes, &self.ext_nodes, ref_edges, &self.ext_edges),
-                ExtendSide::Old => (&self.ext_nodes, ref_nodes, &self.ext_edges, ref_edges),
-            };
-            let (keep_nodes, keep_edges, _) = self.mask.parts_mut();
             match self.kernel.cfg.event {
                 Event::Stability => {
-                    old_n.and_into(new_n, keep_nodes);
-                    old_e.and_into(new_e, keep_edges);
+                    let (keep_nodes, keep_edges, _) = self.mask.parts_mut();
+                    // AND is commutative, so which side is old/new is moot.
+                    ref_nodes.and_into(&self.ext_nodes, keep_nodes);
+                    ref_edges.and_into(&self.ext_edges, keep_edges);
                 }
-                Event::Growth => difference_into(
-                    self.kernel.g,
-                    new_n,
-                    old_n,
-                    new_e,
-                    old_e,
-                    keep_nodes,
-                    keep_edges,
-                    &mut self.incident,
-                ),
-                Event::Shrinkage => difference_into(
-                    self.kernel.g,
-                    old_n,
-                    new_n,
-                    old_e,
-                    new_e,
-                    keep_nodes,
-                    keep_edges,
-                    &mut self.incident,
-                ),
+                Event::Growth | Event::Shrinkage => {
+                    // Kept edges are member of the keep side and not of the
+                    // drop side; kept nodes likewise, except a node incident
+                    // to a kept edge is kept regardless of the drop test
+                    // (Definition 2.5).
+                    let ref_is_keep = self.ref_is_keep();
+                    {
+                        let (_, keep_edges, _) = self.mask.parts_mut();
+                        if ref_is_keep {
+                            ref_edges.and_not_into(&self.ext_edges, keep_edges);
+                        } else {
+                            ref_edges.and_not_from(&self.ext_edges, keep_edges);
+                        }
+                    }
+                    self.rebuild_incident();
+                    let (keep_nodes, _, _) = self.mask.parts_mut();
+                    if ref_is_keep {
+                        ref_nodes.and_not_into(&self.ext_nodes, keep_nodes);
+                        ref_nodes.or_and_into(&self.incident, keep_nodes);
+                    } else {
+                        ref_nodes.and_not_from(&self.ext_nodes, keep_nodes);
+                        keep_nodes.or_and_assign(&self.incident, &self.ext_nodes);
+                    }
+                }
             }
+            debug_assert_eq!(self.mask.keep_nodes().check_invariants(), Ok(()));
+            debug_assert_eq!(self.mask.keep_edges().check_invariants(), Ok(()));
         }
         let _count_span = self.kernel.ins_count_ns.span();
         match &self.fast {
@@ -313,35 +441,6 @@ impl ChainEvaluator for ChainCursor<'_, '_> {
     fn evaluate(&mut self, i: usize, j: usize, _pair: &IntervalPair) -> Result<u64, GraphError> {
         Ok(self.evaluate_chain_pair(i, j))
     }
-}
-
-/// Difference-event masks (Definition 2.5), in place: kept edges are member
-/// of the keep side and not of the drop side; kept nodes likewise, except a
-/// node incident to a kept edge is kept regardless of the drop test.
-#[allow(clippy::too_many_arguments)]
-fn difference_into(
-    g: &TemporalGraph,
-    keep_n: &BitVec,
-    drop_n: &BitVec,
-    keep_e: &BitVec,
-    drop_e: &BitVec,
-    out_n: &mut BitVec,
-    out_e: &mut BitVec,
-    incident: &mut BitVec,
-) {
-    keep_e.and_not_into(drop_e, out_e);
-    incident.clear_all();
-    for e in out_e.iter_ones() {
-        let (u, v) = g.edge_endpoints(EdgeId(e as u32));
-        incident.set(u.index(), true);
-        incident.set(v.index(), true);
-    }
-    keep_n.and_not_into(drop_n, out_n);
-    // Definition 2.5 fix-up: endpoints of kept edges stay even when present
-    // on the drop side, as long as they pass the keep-side test.
-    out_n.or_and_assign(incident, keep_n);
-    debug_assert_eq!(out_n.check_invariants(), Ok(()));
-    debug_assert_eq!(out_e.check_invariants(), Ok(()));
 }
 
 #[cfg(test)]

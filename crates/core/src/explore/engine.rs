@@ -115,9 +115,37 @@ pub(super) fn chain(n: usize, i: usize, extend: ExtendSide) -> Vec<IntervalPair>
 /// Returns an error if the graph has fewer than two time points or an
 /// operator fails.
 pub fn explore(g: &TemporalGraph, cfg: &ExploreConfig) -> Result<ExploreOutcome, GraphError> {
-    let n = check_domain(g)?;
     let kernel = ExploreKernel::new(g, cfg);
-    explore_sequential(&mut ChainCursor::new(&kernel), cfg, n)
+    explore_prepared(&kernel)
+}
+
+/// [`explore`] over a caller-built [`ExploreKernel`]: repeated runs over
+/// the same graph and attribute set reuse the interned group table instead
+/// of rebuilding it per call (the same sharing [`explore_parallel`] uses
+/// across its workers), and benchmarks can time exploration separately
+/// from kernel construction.
+///
+/// # Errors
+/// Returns an error if the graph has fewer than two time points or an
+/// operator fails.
+pub fn explore_prepared(kernel: &ExploreKernel<'_>) -> Result<ExploreOutcome, GraphError> {
+    let n = check_domain(kernel.g)?;
+    explore_sequential(&mut ChainCursor::new_counting(kernel), kernel.cfg, n)
+}
+
+/// [`explore_prepared`] driving the mask-materializing cursor
+/// ([`ChainCursor::new`]) instead of the fused counting cursor: every
+/// evaluation writes the full node and edge keep masks and then counts
+/// them — the pre-fusion evaluation path. Identical outcome
+/// (property-tested); exists so benchmarks can ablate the fused
+/// membership-and-count kernels with pruning and column layout held fixed.
+///
+/// # Errors
+/// Returns an error if the graph has fewer than two time points or an
+/// operator fails.
+pub fn explore_prepared_masked(kernel: &ExploreKernel<'_>) -> Result<ExploreOutcome, GraphError> {
+    let n = check_domain(kernel.g)?;
+    explore_sequential(&mut ChainCursor::new(kernel), kernel.cfg, n)
 }
 
 /// [`explore`] evaluating every pair through the per-pair kernel
@@ -232,7 +260,7 @@ pub fn explore_parallel(
     crossbeam::thread::scope(|scope| {
         for bucket in buckets {
             scope.spawn(move |_| {
-                let mut cursor = ChainCursor::new(kernel);
+                let mut cursor = ChainCursor::new_counting(kernel);
                 for (i, slot) in bucket {
                     *slot = Some(explore_reference(&mut cursor, cfg, n, i));
                 }
@@ -510,9 +538,11 @@ mod tests {
                     for k in [1, 2] {
                         let c = cfg(event, extend, semantics, k);
                         let fast = explore(&g, &c).unwrap();
+                        let kernel = ExploreKernel::new(&g, &c);
                         for (name, slow) in [
                             ("pairwise", explore_pairwise(&g, &c).unwrap()),
                             ("materializing", explore_materializing(&g, &c).unwrap()),
+                            ("masked", explore_prepared_masked(&kernel).unwrap()),
                         ] {
                             assert_eq!(
                                 fast.pairs, slow.pairs,

@@ -29,8 +29,8 @@ mod threshold;
 
 pub use cursor::ChainCursor;
 pub use engine::{
-    explore, explore_materializing, explore_pairwise, explore_parallel, ExploreOutcome,
-    IntervalPair,
+    explore, explore_materializing, explore_pairwise, explore_parallel, explore_prepared,
+    explore_prepared_masked, ExploreOutcome, IntervalPair,
 };
 pub use kernel::{evaluate_pair_materialized, ExploreKernel};
 pub use naive::explore_naive;

@@ -1,0 +1,189 @@
+//! Million-node evolving graphs for bit-kernel stress benchmarks.
+
+use crate::common::{evolve_active_set, evolve_edges};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tempo_columnar::Value;
+use tempo_graph::{
+    AttributeSchema, GraphBuilder, GraphError, TemporalGraph, Temporality, TimeDomain, TimePoint,
+};
+
+/// Configuration of the `large` preset: a node pool big enough that one
+/// transposed presence column spans tens of thousands of packed words
+/// (≥1M nodes at `scale = 1.0`), with per-timepoint presence density as the
+/// primary knob.
+///
+/// Every pool node is registered up front — including ones never present —
+/// so the node dimension (and with it the dense column width) is exactly
+/// `pool` regardless of density. The schema carries a single *static*
+/// categorical attribute (`kind`): at this scale a time-varying table would
+/// cost hundreds of megabytes, and a static table is also what routes
+/// exploration through the popcount fast path the benchmark measures.
+#[derive(Clone, Debug)]
+pub struct LargeConfig {
+    /// Node pool size (= node dimension of the built graph).
+    pub pool: usize,
+    /// Number of time points.
+    pub timepoints: usize,
+    /// Fraction of the pool active per time point (presence density).
+    pub density: f64,
+    /// Directed edges per active node per time point.
+    pub edges_per_node: f64,
+    /// Node carry-over fraction between consecutive points.
+    pub node_persistence: f64,
+    /// Edge carry-over fraction between consecutive points.
+    pub edge_persistence: f64,
+    /// Number of values of the static `kind` attribute.
+    pub kinds: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LargeConfig {
+    fn default() -> Self {
+        LargeConfig {
+            pool: 1_000_000,
+            timepoints: 24,
+            density: 0.002,
+            edges_per_node: 1.5,
+            node_persistence: 0.6,
+            edge_persistence: 0.3,
+            kinds: 8,
+            seed: 0x1a46e,
+        }
+    }
+}
+
+impl LargeConfig {
+    /// Default configuration with the pool scaled by `scale` (so CI smoke
+    /// tests run the same code path on a few thousand nodes).
+    #[must_use]
+    pub fn scaled(scale: f64) -> Self {
+        let base = LargeConfig::default();
+        LargeConfig {
+            pool: ((base.pool as f64 * scale) as usize).max(100),
+            ..base
+        }
+    }
+
+    /// This configuration with a different presence density.
+    #[must_use]
+    pub fn with_density(mut self, density: f64) -> Self {
+        self.density = density;
+        self
+    }
+
+    /// Active nodes per time point implied by `pool` and `density`.
+    #[must_use]
+    pub fn active_per_tp(&self) -> usize {
+        ((self.pool as f64 * self.density).round() as usize).clamp(2, self.pool)
+    }
+
+    /// Generates the graph.
+    ///
+    /// # Errors
+    /// Never in practice; propagates builder validation.
+    pub fn generate(&self) -> Result<TemporalGraph, GraphError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let nt = self.timepoints.max(2);
+        let pool = self.pool.max(100);
+        let domain = TimeDomain::indexed(nt);
+        let mut schema = AttributeSchema::new();
+        let kind = schema.declare("kind", Temporality::Static)?;
+
+        let mut b = GraphBuilder::new(domain, schema);
+        let kind_values: Vec<Value> = (0..self.kinds.max(1))
+            .map(|k| b.intern_category(kind, &format!("k{k}")))
+            .collect();
+        let n_communities = 64usize;
+        let ids: Vec<_> = (0..pool)
+            .map(|n| b.get_or_add_node(&format!("n{n}")))
+            .collect();
+        for (n, &id) in ids.iter().enumerate() {
+            b.set_static(id, kind, kind_values[n % self.kinds.max(1)].clone())?;
+        }
+
+        let active_target = self.active_per_tp();
+        let edge_target = ((active_target as f64 * self.edges_per_node).round() as usize).max(1);
+        // Communities are taken modulo the id, so a node keeps its
+        // community across time points without a pool-sized side table.
+        let community: Vec<usize> = (0..pool).map(|n| n % n_communities).collect();
+        let mut prev_active: Vec<usize> = Vec::new();
+        let mut prev_edges: Vec<(usize, usize)> = Vec::new();
+        for t in 0..nt {
+            let active = evolve_active_set(
+                &mut rng,
+                pool,
+                &prev_active,
+                active_target,
+                self.node_persistence,
+                &[],
+            );
+            for &n in &active {
+                b.set_presence(ids[n], TimePoint(t as u32))?;
+            }
+            let edges = evolve_edges(
+                &mut rng,
+                &active,
+                &prev_edges,
+                edge_target,
+                self.edge_persistence,
+                &community,
+                n_communities,
+                0.5,
+                &[],
+            );
+            for &(u, v) in &edges {
+                b.add_edge_at(ids[u], ids[v], TimePoint(t as u32))?;
+            }
+            prev_active = active;
+            prev_edges = edges;
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generate-and-validate at tiny scale: the full code path of the
+    /// preset on a pool small enough for CI.
+    #[test]
+    fn tiny_scale_smoke() {
+        let cfg = LargeConfig::scaled(0.002); // 2 000-node pool
+        let g = cfg.generate().unwrap();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.n_nodes(), 2_000);
+        assert_eq!(g.domain().len(), 24);
+        assert!(g.n_edges() > 0);
+        // density knob drives the per-timepoint presence
+        let expect = cfg.active_per_tp();
+        for t in g.domain().iter() {
+            let at = g.nodes_at(t);
+            assert!(
+                at >= expect && at <= expect + 2 * cfg.active_per_tp(),
+                "nodes_at({t:?}) = {at}, want ≥ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn density_knob_changes_presence() {
+        let sparse = LargeConfig::scaled(0.002).with_density(0.002);
+        let dense = LargeConfig::scaled(0.002).with_density(0.2);
+        assert!(dense.active_per_tp() > 10 * sparse.active_per_tp());
+        let g = dense.generate().unwrap();
+        assert!(g.validate().is_ok());
+        let t0 = g.domain().iter().next().unwrap();
+        assert!(g.nodes_at(t0) >= dense.active_per_tp());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = LargeConfig::scaled(0.001).generate().unwrap();
+        let b = LargeConfig::scaled(0.001).generate().unwrap();
+        assert_eq!(a.n_nodes(), b.n_nodes());
+        assert_eq!(a.n_edges(), b.n_edges());
+    }
+}

@@ -14,6 +14,8 @@ pub const ALL: &[&str] = &[
     "aggregate.group_table_build_ns",
     "aggregate.group_tables_built",
     "aggregate.groups_interned",
+    "columnar.presence.dense_cols",
+    "columnar.presence.sparse_cols",
     "explore.count_ns",
     "explore.cursor.builds",
     "explore.cursor.chains",

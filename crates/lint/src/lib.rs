@@ -423,6 +423,7 @@ const MUST_USE_TYPES: &[&str] = &[
     "BitVec",
     "BitMatrix",
     "TransposedBitMatrix",
+    "PresenceColumn",
     "EventMask",
     "GroupTable",
 ];

@@ -16,7 +16,21 @@ use crate::error::GraphError;
 use crate::time::{TimeDomain, TimePoint, TimeSet};
 use std::collections::HashMap;
 use std::sync::OnceLock;
-use tempo_columnar::{BitMatrix, Interner, TransposedBitMatrix, Value, ValueMatrix};
+use tempo_columnar::{BitMatrix, Interner, SparseMode, TransposedBitMatrix, Value, ValueMatrix};
+
+/// Representation policy for the cached presence-column indexes, from the
+/// `GRAPHTEMPO_SPARSE` environment variable: `dense`/`off`/`0` forces every
+/// column dense (the pre-hybrid layout), `sparse`/`on`/`force`/`1` forces
+/// every column sparse, anything else (or unset) lets each column pick by
+/// its own density. Read at every index build, so ablation harnesses can
+/// flip it between graphs.
+fn sparse_mode() -> SparseMode {
+    match std::env::var("GRAPHTEMPO_SPARSE").as_deref() {
+        Ok("dense") | Ok("off") | Ok("0") => SparseMode::ForceDense,
+        Ok("sparse") | Ok("on") | Ok("force") | Ok("1") => SparseMode::ForceSparse,
+        _ => SparseMode::Auto,
+    }
+}
 
 /// Dense node identifier (row in the node arrays).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -467,9 +481,16 @@ impl TemporalGraph {
 
     fn build_transposed(m: &BitMatrix) -> TransposedBitMatrix {
         let ins = tempo_instrument::global();
-        let _span = ins.histogram("graph.transpose_build_ns").span();
-        ins.counter("graph.transpose_builds").inc();
-        m.transposed()
+        let t = {
+            let _span = ins.histogram("graph.transpose_build_ns").span();
+            ins.counter("graph.transpose_builds").inc();
+            m.transposed_with(sparse_mode())
+        };
+        ins.counter("columnar.presence.dense_cols")
+            .add(t.n_dense_cols() as u64);
+        ins.counter("columnar.presence.sparse_cols")
+            .add(t.n_sparse_cols() as u64);
+        t
     }
 
     /// Raw static attribute table (the paper's array **S**).
