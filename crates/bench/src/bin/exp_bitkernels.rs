@@ -4,7 +4,7 @@
 //! against the all-dense layout, on the million-node `large` preset across
 //! a density sweep. Writes `BENCH_bitkernels.json`.
 //!
-//! The PR 5 baseline arm is `GRAPHTEMPO_SPARSE=dense` (the pre-hybrid
+//! The PR 5 baseline arm forces all-dense presence columns (the pre-hybrid
 //! column layout) driving the mask-materializing cursor (the pre-fusion
 //! evaluation path), so `geomean_vs_pr5_baseline` is the per-evaluation
 //! speedup of this PR's tentpole with pruning, dataset and kernel build
@@ -173,16 +173,16 @@ struct CaseRun {
 }
 
 /// Generates the `large` graph with the given column representation forced
-/// via `GRAPHTEMPO_SPARSE` (read lazily at the first presence-column
-/// build), then runs every case through both evaluation paths over a
-/// kernel built once outside the timed region — so the times measure chain
-/// exploration itself, not group-table interning.
-fn run_mode(density: f64, force: &str) -> (TemporalGraph, Vec<CaseRun>) {
-    std::env::set_var("GRAPHTEMPO_SPARSE", force);
-    let g = LargeConfig::scaled(scale())
+/// explicitly on the graph (per-graph state, no environment involved),
+/// then runs every case through both evaluation paths over a kernel built
+/// once outside the timed region — so the times measure chain exploration
+/// itself, not group-table interning.
+fn run_mode(density: f64, force: SparseMode) -> (TemporalGraph, Vec<CaseRun>) {
+    let mut g = LargeConfig::scaled(scale())
         .with_density(density)
         .generate()
         .expect("large generator produces a valid graph");
+    g.set_sparse_mode(force);
     let cases = all_cases(&g);
     let mut out = Vec::with_capacity(cases.len());
     for cfg in cases {
@@ -231,8 +231,8 @@ fn case_label(cfg: &ExploreConfig) -> String {
 /// bit-identical.
 fn end_to_end(density: f64) -> (Json, f64) {
     println!("\n== end-to-end chain exploration, density {density} ==");
-    let (gd, dense) = run_mode(density, "dense");
-    let (gh, hybrid) = run_mode(density, "auto");
+    let (gd, dense) = run_mode(density, SparseMode::ForceDense);
+    let (gh, hybrid) = run_mode(density, SparseMode::Auto);
     assert_eq!(
         gd.n_nodes(),
         gh.n_nodes(),
@@ -342,22 +342,21 @@ fn oracle_check() -> Json {
     println!("\n== oracle check (tiny pool) ==");
     let cfg0 = LargeConfig::scaled(0.002).with_density(0.01);
     let mut checked = 0u64;
-    for force in ["dense", "sparse"] {
-        std::env::set_var("GRAPHTEMPO_SPARSE", force);
-        let g = cfg0.generate().expect("large generator (tiny pool)");
+    for force in [SparseMode::ForceDense, SparseMode::ForceSparse] {
+        let mut g = cfg0.generate().expect("large generator (tiny pool)");
+        g.set_sparse_mode(force);
         for cfg in all_cases(&g) {
             let fast = explore(&g, &cfg).expect("explore");
             let oracle = explore_materializing(&g, &cfg).expect("materializing explore");
             assert_eq!(
                 fast.pairs,
                 oracle.pairs,
-                "{force} mode must match the materializing oracle ({})",
+                "{force:?} mode must match the materializing oracle ({})",
                 case_label(&cfg)
             );
             checked += 1;
         }
     }
-    std::env::remove_var("GRAPHTEMPO_SPARSE");
     println!("   {checked} case runs bit-identical to the oracle");
     Json::Obj(vec![
         ("cases_checked".into(), Json::Int(checked)),

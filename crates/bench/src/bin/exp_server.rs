@@ -1,0 +1,176 @@
+//! Concurrent-server study: spawns `tempo-server` in process, loads one
+//! shared snapshot, and drives it with 32 concurrent clients replaying a
+//! fixed query mix. Every response is asserted byte-identical to the
+//! single-connection reference run, a zero-budget request must come back
+//! as a timeout error, and the run reports client-side and server-side
+//! latency quantiles plus throughput. Writes `BENCH_server.json`.
+//!
+//! Latency is measured through the `server.client_request_ns` histogram
+//! (instrument spans), so the numbers land in the same registry the
+//! server's own `metrics` command exposes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use tempo_bench::datasets::scale;
+use tempo_bench::report::{metrics_json, secs, timed, Json};
+use tempo_server::{spawn, ServerConfig};
+
+const CLIENTS: usize = 32;
+const ROUNDS: usize = 8;
+
+/// The fixed per-round query mix every client replays.
+const QUERIES: &[&str] = &[
+    "stats bench",
+    "schema bench",
+    "agg bench dist attrs=gender",
+    "explore bench event=growth semantics=union extend=new k=2 attrs=gender",
+    "explore bench event=stability semantics=intersect extend=old k=2 attrs=gender",
+    "suggest bench event=shrinkage semantics=union extend=new attrs=gender",
+];
+
+/// Minimal blocking client for the `OK <n>` / `ERR …` protocol.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to in-process server");
+        let writer = stream.try_clone().expect("clone client stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    /// One request/response round trip; returns the full wire response.
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.writer.flush().expect("flush request");
+        let mut status = String::new();
+        self.reader.read_line(&mut status).expect("read status");
+        let mut response = status.clone();
+        if let Some(n) = status.trim_end().strip_prefix("OK ") {
+            let n: usize = n.parse().expect("payload line count");
+            for _ in 0..n {
+                let mut l = String::new();
+                self.reader.read_line(&mut l).expect("read payload");
+                response.push_str(&l);
+            }
+        }
+        response
+    }
+
+    /// A round trip timed through the shared client-latency histogram.
+    fn request_timed(&mut self, line: &str) -> String {
+        let _span = tempo_instrument::global()
+            .histogram("server.client_request_ns")
+            .span();
+        self.request(line)
+    }
+}
+
+fn main() {
+    tempo_instrument::global().reset();
+    let server = spawn(ServerConfig::default()).expect("spawn in-process server");
+    let addr = server.addr();
+    println!("tempo-server bench instance on {addr}");
+
+    // One shared snapshot, deterministic across runs.
+    let mut setup = Client::connect(addr);
+    let gen = format!("generate bench dblp scale={} seed=1", scale());
+    let resp = setup.request(&gen);
+    assert!(resp.starts_with("OK "), "snapshot setup failed: {resp}");
+
+    // Single-connection reference answers: the bit-identity oracle.
+    let reference: Vec<String> = QUERIES.iter().map(|q| setup.request(q)).collect();
+
+    // Request-scoped timeout enforcement.
+    let resp = setup.request(
+        "explore bench event=growth semantics=union extend=new k=2 attrs=gender timeout_ms=0",
+    );
+    assert!(
+        resp.starts_with("ERR timeout:"),
+        "zero budget must trip the deadline: {resp}"
+    );
+
+    println!(
+        "driving {CLIENTS} clients x {ROUNDS} rounds x {} queries",
+        QUERIES.len()
+    );
+    let (divergences, wall) = timed(|| {
+        std::thread::scope(|s| {
+            let reference = &reference;
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|_| {
+                    s.spawn(move || {
+                        let mut c = Client::connect(addr);
+                        let mut diverged = 0usize;
+                        for _ in 0..ROUNDS {
+                            for (q, want) in QUERIES.iter().zip(reference) {
+                                if c.request_timed(q) != *want {
+                                    diverged += 1;
+                                }
+                            }
+                        }
+                        diverged
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread"))
+                .sum::<usize>()
+        })
+    });
+    assert_eq!(
+        divergences, 0,
+        "concurrent responses must be bit-identical to the serial reference"
+    );
+
+    let total_requests = CLIENTS * ROUNDS * QUERIES.len();
+    let wall_s = secs(wall);
+    let throughput = total_requests as f64 / wall_s;
+    let snap = tempo_instrument::global().snapshot();
+    let client = snap
+        .histogram("server.client_request_ns")
+        .expect("client latency histogram recorded");
+    let served = snap
+        .histogram("server.request_ns")
+        .expect("server latency histogram recorded");
+    println!(
+        "{total_requests} requests over {wall_s:.2}s = {throughput:.0} req/s; \
+         client p50 {:.3} ms, p99 {:.3} ms",
+        client.p50 as f64 / 1e6,
+        client.p99 as f64 / 1e6
+    );
+
+    let report = Json::Obj(vec![
+        ("experiment".into(), Json::str("server")),
+        ("dataset".into(), Json::str("dblp_synthetic")),
+        ("scale".into(), Json::Num(scale())),
+        ("clients".into(), Json::Int(CLIENTS as u64)),
+        ("rounds".into(), Json::Int(ROUNDS as u64)),
+        ("queries_per_round".into(), Json::Int(QUERIES.len() as u64)),
+        ("total_requests".into(), Json::Int(total_requests as u64)),
+        ("bit_identical_to_serial".into(), Json::Bool(true)),
+        ("timeout_enforced".into(), Json::Bool(true)),
+        ("wall_s".into(), Json::Num(wall_s)),
+        ("throughput_rps".into(), Json::Num(throughput)),
+        ("client_p50_ns".into(), Json::Int(client.p50)),
+        ("client_p99_ns".into(), Json::Int(client.p99)),
+        ("server_p50_ns".into(), Json::Int(served.p50)),
+        ("server_p99_ns".into(), Json::Int(served.p99)),
+        ("metrics".into(), metrics_json(&snap)),
+    ]);
+
+    drop(setup);
+    server.shutdown();
+
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_server.json".to_owned());
+    std::fs::write(&path, report.render()).expect("write server report");
+    println!("wrote {path}");
+}

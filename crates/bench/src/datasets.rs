@@ -5,38 +5,66 @@
 //! (default 0.1; `GRAPHTEMPO_SCALE=1.0` reproduces the paper's dataset
 //! sizes from Tables 3 and 4).
 
+use std::sync::OnceLock;
+use tempo_columnar::SparseMode;
 use tempo_datagen::{DblpConfig, LargeConfig, MovieLensConfig};
 use tempo_graph::{AttrId, TemporalGraph};
 
-/// The experiment scale factor (`GRAPHTEMPO_SCALE`, default 0.1).
+/// The experiment scale factor (`GRAPHTEMPO_SCALE`, default 0.1), read
+/// from the environment exactly once per process.
 pub fn scale() -> f64 {
-    std::env::var("GRAPHTEMPO_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.1)
+    static SCALE: OnceLock<f64> = OnceLock::new();
+    *SCALE.get_or_init(|| {
+        std::env::var("GRAPHTEMPO_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.1)
+    })
+}
+
+/// The sparse-mode policy for experiment graphs (`GRAPHTEMPO_SPARSE`),
+/// read from the environment exactly once per process. Experiments that
+/// need a specific representation set it explicitly per graph instead.
+pub fn sparse_mode() -> SparseMode {
+    static MODE: OnceLock<SparseMode> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        SparseMode::from_env_value(std::env::var("GRAPHTEMPO_SPARSE").ok().as_deref())
+    })
+}
+
+/// Applies the process-wide experiment policy to a freshly generated graph.
+fn with_policy(mut g: TemporalGraph) -> TemporalGraph {
+    g.set_sparse_mode(sparse_mode());
+    g
 }
 
 /// Generates the DBLP-like graph at the experiment scale.
 pub fn dblp() -> TemporalGraph {
-    DblpConfig::scaled(scale())
-        .generate()
-        .expect("DBLP generator produces a valid graph")
+    with_policy(
+        DblpConfig::scaled(scale())
+            .generate()
+            .expect("DBLP generator produces a valid graph"),
+    )
 }
 
 /// Generates the MovieLens-like graph at the experiment scale.
 pub fn movielens() -> TemporalGraph {
-    MovieLensConfig::scaled(scale())
-        .generate()
-        .expect("MovieLens generator produces a valid graph")
+    with_policy(
+        MovieLensConfig::scaled(scale())
+            .generate()
+            .expect("MovieLens generator produces a valid graph"),
+    )
 }
 
 /// Generates the million-node `large` preset at the experiment scale with
 /// the given per-timepoint presence density (1M-node pool at scale 1.0).
 pub fn large(density: f64) -> TemporalGraph {
-    LargeConfig::scaled(scale())
-        .with_density(density)
-        .generate()
-        .expect("large generator produces a valid graph")
+    with_policy(
+        LargeConfig::scaled(scale())
+            .with_density(density)
+            .generate()
+            .expect("large generator produces a valid graph"),
+    )
 }
 
 /// Resolves attribute names to ids, panicking on unknown names (experiment
@@ -58,12 +86,23 @@ mod tests {
 
     #[test]
     fn datasets_generate_at_tiny_scale() {
-        std::env::set_var("GRAPHTEMPO_SCALE", "0.01");
-        let d = dblp();
+        // scale()/sparse_mode() are one-shot env reads, so the tiny scale
+        // is pinned on the generator configs directly — no set_var, which
+        // would race other tests in this process.
+        let d = DblpConfig::scaled(0.01)
+            .generate()
+            .expect("DBLP generator at tiny scale");
         assert_eq!(d.domain().len(), 21);
-        let m = movielens();
+        let m = MovieLensConfig::scaled(0.01)
+            .generate()
+            .expect("MovieLens generator at tiny scale");
         assert_eq!(m.domain().len(), 6);
         assert_eq!(attrs(&d, &["gender", "publications"]).len(), 2);
-        std::env::remove_var("GRAPHTEMPO_SCALE");
+    }
+
+    #[test]
+    fn policy_is_applied_to_generated_graphs() {
+        let g = large(0.01);
+        assert_eq!(g.sparse_mode(), sparse_mode());
     }
 }

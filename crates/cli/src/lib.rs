@@ -1,0 +1,16 @@
+//! Session layer of the GraphTempo shell.
+//!
+//! The command surface (`generate`, `agg`, `explore`, `zoom`, …) lives in
+//! [`session::Session`] so it can be driven by more than one front end: the
+//! `graphtempo` binary wraps it in a REPL, and `tempo-server` builds one
+//! short-lived session per request over a shared `Arc<TemporalGraph>`
+//! snapshot.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod parser;
+pub mod session;
+
+pub use error::CliError;
+pub use session::{QueryLimits, Session, HELP};

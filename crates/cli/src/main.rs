@@ -11,16 +11,16 @@
 //! Commands may also be passed as arguments for one-shot use:
 //! `graphtempo "generate dblp" stats`.
 
-mod error;
-mod parser;
-mod session;
-
-use session::Session;
+use graphtempo_cli::Session;
 use std::io::{BufRead, Write};
+use tempo_columnar::SparseMode;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut session = Session::new();
+    // the only environment read: once, at startup — the mode is explicit
+    // per-graph state from here on
+    let mode = SparseMode::from_env_value(std::env::var("GRAPHTEMPO_SPARSE").ok().as_deref());
+    let mut session = Session::new().with_sparse_mode(mode);
 
     if !args.is_empty() {
         // one-shot mode: each argument is a command line

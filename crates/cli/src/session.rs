@@ -4,13 +4,16 @@ use crate::error::CliError;
 use crate::parser::{kwarg, parse_interval, split_kwargs, tokenize};
 use graphtempo::aggregate::{aggregate, AggMode, AggregateGraph};
 use graphtempo::evolution::{evolution_aggregate, EvolutionAggregate};
-use graphtempo::explore::{explore, suggest_k, ExploreConfig, ExtendSide, Selector, Semantics};
+use graphtempo::explore::{
+    explore_budgeted, suggest_k, Budget, ExploreConfig, ExtendSide, Selector, Semantics,
+};
 use graphtempo::export::{aggregate_edges_frame, aggregate_nodes_frame, aggregate_to_dot};
 use graphtempo::ops::{difference, intersection, project, union, Event, SideTest};
 use graphtempo::zoom::{zoom_out, Granularity};
 use std::fmt::Write as _;
 use std::path::Path;
-use tempo_columnar::{Value, ValueTuple};
+use std::sync::Arc;
+use tempo_columnar::{SparseMode, Value, ValueTuple};
 use tempo_datagen::{DblpConfig, MovieLensConfig, RandomGraphConfig, SchoolConfig};
 use tempo_graph::{AttrId, GraphStats, NodeId, TemporalGraph, TimePoint};
 
@@ -41,18 +44,73 @@ GraphTempo interactive shell — commands:
   help | quit
 Intervals: a label (2005, May), an index (#3), or a range (2001..2005).";
 
+/// Request-scoped execution limits applied to session commands; the
+/// defaults impose none.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryLimits {
+    /// Wall-clock ceiling for one `explore` run, in milliseconds; on expiry
+    /// the command fails with [`tempo_graph::GraphError::Cancelled`].
+    pub timeout_ms: Option<u64>,
+    /// Maximum detail rows in an `explore` pair listing; longer listings
+    /// are truncated with a trailing note (and counted in the
+    /// `server.rows_truncated` metric).
+    pub max_rows: Option<usize>,
+}
+
 /// Interactive state: the working graph and the last computed results.
+///
+/// The graph is held behind an [`Arc`] so a server can hand the same
+/// immutable snapshot to many concurrent per-request sessions (see
+/// [`Session::for_snapshot`]).
 #[derive(Default)]
 pub struct Session {
-    graph: Option<TemporalGraph>,
+    graph: Option<Arc<TemporalGraph>>,
     last_agg: Option<AggregateGraph>,
     last_evo: Option<EvolutionAggregate>,
+    sparse_mode: SparseMode,
+    limits: QueryLimits,
 }
 
 impl Session {
     /// Creates an empty session.
     pub fn new() -> Self {
         Session::default()
+    }
+
+    /// Sets the presence-column policy applied to every graph this session
+    /// generates, loads, or derives (zoom). Binaries honoring
+    /// `GRAPHTEMPO_SPARSE` read the variable once at startup and pass the
+    /// parsed mode here.
+    #[must_use]
+    pub fn with_sparse_mode(mut self, mode: SparseMode) -> Self {
+        self.sparse_mode = mode;
+        self
+    }
+
+    /// A session over an existing shared snapshot, with request-scoped
+    /// limits — the shape `tempo-server` builds per request.
+    pub fn for_snapshot(graph: Arc<TemporalGraph>, limits: QueryLimits) -> Self {
+        Session {
+            graph: Some(graph),
+            limits,
+            ..Session::default()
+        }
+    }
+
+    /// Replaces the request-scoped limits.
+    pub fn set_limits(&mut self, limits: QueryLimits) {
+        self.limits = limits;
+    }
+
+    /// The current request-scoped limits.
+    pub fn limits(&self) -> QueryLimits {
+        self.limits
+    }
+
+    /// The session's graph as a shareable handle (e.g. to register a zoom
+    /// result as a new server snapshot), if one is loaded.
+    pub fn graph_arc(&self) -> Option<Arc<TemporalGraph>> {
+        self.graph.clone()
     }
 
     /// True once a graph is loaded or generated.
@@ -62,7 +120,16 @@ impl Session {
     }
 
     fn graph(&self) -> Result<&TemporalGraph, CliError> {
-        self.graph.as_ref().ok_or(CliError::NoGraph)
+        self.graph.as_deref().ok_or(CliError::NoGraph)
+    }
+
+    /// Installs a newly built graph, applying the session's presence-column
+    /// policy and invalidating result state derived from the old graph.
+    fn install_graph(&mut self, mut g: TemporalGraph) {
+        g.set_sparse_mode(self.sparse_mode);
+        self.graph = Some(Arc::new(g));
+        self.last_agg = None;
+        self.last_evo = None;
     }
 
     /// Executes one command line, returning the text to print.
@@ -150,9 +217,7 @@ impl Session {
             g.n_edges(),
             g.domain().len()
         );
-        self.graph = Some(g);
-        self.last_agg = None;
-        self.last_evo = None;
+        self.install_graph(g);
         Ok(msg)
     }
 
@@ -167,9 +232,7 @@ impl Session {
             g.n_edges(),
             g.domain().len()
         );
-        self.graph = Some(g);
-        self.last_agg = None;
-        self.last_evo = None;
+        self.install_graph(g);
         Ok(msg)
     }
 
@@ -457,7 +520,11 @@ impl Session {
             .ok_or_else(|| CliError::Usage(usage.into()))?
             .parse()
             .map_err(|_| CliError::Usage("k=<int>".into()))?;
-        let out = explore(g, &cfg)?;
+        let budget = match self.limits.timeout_ms {
+            Some(ms) => Budget::unlimited().with_deadline_ms(ms),
+            None => Budget::unlimited(),
+        };
+        let out = explore_budgeted(g, &cfg, &budget)?;
         let kind = match semantics {
             Semantics::Union => "minimal",
             Semantics::Intersection => "maximal",
@@ -467,8 +534,16 @@ impl Session {
             out.pairs.len(),
             out.evaluations
         );
-        for (pair, r) in &out.pairs {
+        let cap = self.limits.max_rows.unwrap_or(usize::MAX);
+        for (pair, r) in out.pairs.iter().take(cap) {
             let _ = writeln!(text, "  {} -> {r} events", pair.display(g.domain()));
+        }
+        if out.pairs.len() > cap {
+            let dropped = out.pairs.len() - cap;
+            tempo_instrument::global()
+                .counter("server.rows_truncated")
+                .add(dropped as u64);
+            let _ = writeln!(text, "  … {dropped} more rows (limit {cap})");
         }
         Ok(text.trim_end().to_owned())
     }
@@ -493,9 +568,7 @@ impl Session {
             z.n_nodes(),
             z.n_edges()
         );
-        self.graph = Some(z);
-        self.last_agg = None;
-        self.last_evo = None;
+        self.install_graph(z);
         Ok(msg)
     }
 
@@ -683,7 +756,7 @@ impl Session {
         let agg = self.last_agg.as_ref().ok_or(CliError::NoAggregate)?;
         match what.as_str() {
             "dot" => {
-                std::fs::write(path, aggregate_to_dot(agg, self.graph.as_ref()))?;
+                std::fs::write(path, aggregate_to_dot(agg, self.graph.as_deref()))?;
             }
             "nodes" => {
                 let f = aggregate_nodes_frame(agg).map_err(tempo_graph::GraphError::from)?;
@@ -970,6 +1043,55 @@ mod tests {
         let out = s2.exec(&format!("load {}", dir.display())).unwrap();
         assert!(out.contains("loaded"));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn session_sparse_mode_applies_to_generated_and_zoomed_graphs() {
+        let mut s = Session::new().with_sparse_mode(SparseMode::ForceSparse);
+        s.exec("generate random seed=7").unwrap();
+        let g = s.graph_arc().unwrap();
+        assert!(g.node_presence_columns().col(0).is_sparse());
+        // a derived graph (zoom) inherits the policy
+        s.exec("zoom window=2 semantics=any").unwrap();
+        let z = s.graph_arc().unwrap();
+        assert!(z.node_presence_columns().col(0).is_sparse());
+    }
+
+    #[test]
+    fn snapshot_session_applies_timeout_and_row_limits() {
+        let base = ready();
+        let snap = base.graph_arc().unwrap();
+        // a zero timeout cancels explore at its first checkpoint
+        let mut s = Session::for_snapshot(
+            Arc::clone(&snap),
+            QueryLimits {
+                timeout_ms: Some(0),
+                max_rows: None,
+            },
+        );
+        assert!(matches!(
+            s.exec("explore event=stability semantics=union extend=new k=1 attrs=kind"),
+            Err(CliError::Graph(tempo_graph::GraphError::Cancelled(_)))
+        ));
+        // a zero row limit truncates the listing with a note
+        let mut s = Session::for_snapshot(
+            snap,
+            QueryLimits {
+                timeout_ms: None,
+                max_rows: Some(0),
+            },
+        );
+        assert_eq!(s.limits().max_rows, Some(0));
+        let out = s
+            .exec("explore event=stability semantics=union extend=new k=1 attrs=kind")
+            .unwrap();
+        assert!(out.contains("more rows (limit 0)"), "{out}");
+        // the untruncated run over the same shared snapshot still works
+        s.set_limits(QueryLimits::default());
+        let out = s
+            .exec("explore event=stability semantics=union extend=new k=1 attrs=kind")
+            .unwrap();
+        assert!(!out.contains("more rows"));
     }
 
     #[test]

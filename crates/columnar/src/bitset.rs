@@ -1070,7 +1070,7 @@ impl BitMatrix {
     ///
     /// The transpose itself is cache-blocked: the matrix is walked in
     /// 64×64-bit tiles (64 consecutive rows × one word of columns), each
-    /// tile is flipped in registers by [`transpose64`], and the flipped
+    /// tile is flipped in registers by `transpose64`, and the flipped
     /// words are scattered into per-column stores. One pass touches each
     /// source word exactly once, all-zero tiles short-circuit, and the
     /// write stream per tile stays within 64 columns — unlike the naive

@@ -18,16 +18,55 @@ const WORD_BITS: usize = 64;
 
 /// Representation policy for presence columns built by
 /// [`BitMatrix::transposed_with`](crate::BitMatrix::transposed_with).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// The policy is always an explicit parameter: nothing in the library reads
+/// the environment. Binaries that honor `GRAPHTEMPO_SPARSE` read it once at
+/// startup (via [`SparseMode::from_env_value`]) and pass the result down.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum SparseMode {
     /// Pick per column: sparse iff the column has fewer set bits than the
     /// dense form has words (`nnz * 64 <= nbits`).
+    #[default]
     Auto,
     /// Every column stays dense (the pre-hybrid layout; ablation baseline).
     ForceDense,
     /// Every column goes sparse regardless of density (worst-case probe of
     /// the sparse kernels; ablation and property tests).
     ForceSparse,
+}
+
+impl SparseMode {
+    /// Parses the conventional `GRAPHTEMPO_SPARSE` value. `dense`/`off`/`0`
+    /// force dense, `sparse`/`on`/`force`/`1` force sparse, anything else
+    /// (including an unset variable) is [`SparseMode::Auto`].
+    #[must_use]
+    pub fn from_env_value(value: Option<&str>) -> SparseMode {
+        match value {
+            Some("dense") | Some("off") | Some("0") => SparseMode::ForceDense,
+            Some("sparse") | Some("on") | Some("force") | Some("1") => SparseMode::ForceSparse,
+            _ => SparseMode::Auto,
+        }
+    }
+}
+
+/// Widest bit-space a sparse column can address with `u32` entity IDs.
+const SPARSE_MAX_BITS: usize = u32::MAX as usize + 1;
+
+/// Applies the `mode` policy and then vetoes the sparse representation for
+/// columns wider than the `u32` ID range. Returns `(sparse, vetoed)`;
+/// `vetoed` is true when the policy *wanted* sparse but the width forced
+/// dense (the caller records this in a warning counter).
+fn choose_representation(nbits: usize, nnz: usize, mode: SparseMode) -> (bool, bool) {
+    let want_sparse = match mode {
+        SparseMode::ForceDense => false,
+        SparseMode::ForceSparse => true,
+        SparseMode::Auto => nnz * WORD_BITS <= nbits,
+    };
+    if want_sparse && nbits > SPARSE_MAX_BITS {
+        (false, true)
+    } else {
+        (want_sparse, false)
+    }
 }
 
 /// Sorted strictly-increasing entity IDs of the set bits of one column.
@@ -40,8 +79,8 @@ pub struct SparseIds {
 /// One transposed presence column in either representation.
 ///
 /// Equality is structural: a dense and a sparse column holding the same
-/// bits compare *unequal*. Compare contents via [`to_bitvec`]
-/// (PresenceColumn::to_bitvec) or the op surface when representation
+/// bits compare *unequal*. Compare contents via
+/// [`PresenceColumn::to_bitvec`] or the op surface when representation
 /// independence is needed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum PresenceColumn {
@@ -54,22 +93,19 @@ pub enum PresenceColumn {
 impl PresenceColumn {
     /// Wraps a [`BitVec`] choosing the representation per `mode`.
     ///
-    /// # Panics
-    /// Panics if a sparse representation is chosen for a vector wider than
-    /// `u32` ID space.
+    /// Columns wider than the `u32` ID range can never go sparse: the
+    /// policy is overridden to dense and the
+    /// `columnar.presence.sparse_overflow_forced_dense` warning counter is
+    /// incremented instead of failing the build.
     #[must_use]
     pub fn from_bitvec(bv: BitVec, mode: SparseMode) -> Self {
-        let sparse = match mode {
-            SparseMode::ForceDense => false,
-            SparseMode::ForceSparse => true,
-            SparseMode::Auto => bv.count_ones() * WORD_BITS <= bv.len(),
-        };
+        let (sparse, vetoed) = choose_representation(bv.len(), bv.count_ones(), mode);
+        if vetoed {
+            tempo_instrument::global()
+                .counter("columnar.presence.sparse_overflow_forced_dense")
+                .inc();
+        }
         if sparse {
-            assert!(
-                bv.len() <= u32::MAX as usize + 1,
-                "sparse presence column cannot index {} bits with u32 IDs",
-                bv.len()
-            );
             let ids: Vec<u32> = bv.iter_ones().map(|i| i as u32).collect();
             PresenceColumn::Sparse(SparseIds {
                 nbits: bv.len(),
@@ -577,6 +613,44 @@ mod tests {
         let hi =
             PresenceColumn::from_bitvec(BitVec::from_indices(128, [5, 9, 99]), SparseMode::Auto);
         assert!(!hi.is_sparse());
+    }
+
+    #[test]
+    fn env_value_parses_the_conventional_tokens() {
+        for v in ["dense", "off", "0"] {
+            assert_eq!(SparseMode::from_env_value(Some(v)), SparseMode::ForceDense);
+        }
+        for v in ["sparse", "on", "force", "1"] {
+            assert_eq!(SparseMode::from_env_value(Some(v)), SparseMode::ForceSparse);
+        }
+        assert_eq!(SparseMode::from_env_value(None), SparseMode::Auto);
+        assert_eq!(SparseMode::from_env_value(Some("bogus")), SparseMode::Auto);
+        assert_eq!(SparseMode::default(), SparseMode::Auto);
+    }
+
+    // Boundary check on the pure chooser: exercising the veto through
+    // `from_bitvec` would need a 512 MiB allocation.
+    #[test]
+    fn u32_overflow_vetoes_sparse_without_panicking() {
+        // exactly at the limit: the policy is honored
+        assert_eq!(
+            choose_representation(SPARSE_MAX_BITS, 0, SparseMode::ForceSparse),
+            (true, false)
+        );
+        // one past the limit: sparse is vetoed, never chosen
+        assert_eq!(
+            choose_representation(SPARSE_MAX_BITS + 1, 0, SparseMode::ForceSparse),
+            (false, true)
+        );
+        assert_eq!(
+            choose_representation(SPARSE_MAX_BITS + 1, 0, SparseMode::Auto),
+            (false, true)
+        );
+        // forced dense never counts as a veto
+        assert_eq!(
+            choose_representation(SPARSE_MAX_BITS + 1, 0, SparseMode::ForceDense),
+            (false, false)
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The exploration strategies: U-Explore, I-Explore, and the two
 //! monotonicity shortcuts (§3.2–§3.4).
 
+use super::budget::Budget;
 use super::cursor::ChainCursor;
 use super::kernel::{evaluate_pair_materialized, ExploreKernel};
 use super::{direction, ExploreConfig, ExtendSide};
@@ -115,8 +116,24 @@ pub(super) fn chain(n: usize, i: usize, extend: ExtendSide) -> Vec<IntervalPair>
 /// Returns an error if the graph has fewer than two time points or an
 /// operator fails.
 pub fn explore(g: &TemporalGraph, cfg: &ExploreConfig) -> Result<ExploreOutcome, GraphError> {
+    explore_budgeted(g, cfg, &Budget::unlimited())
+}
+
+/// [`explore`] under a request-scoped [`Budget`]: the engine polls the
+/// budget before every pair evaluation, so a deadline or cancel flag stops
+/// the run within one evaluation. With [`Budget::unlimited`] the outcome is
+/// identical to [`explore`].
+///
+/// # Errors
+/// Returns [`GraphError::Cancelled`] when the budget trips, or any error
+/// [`explore`] can return.
+pub fn explore_budgeted(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+    budget: &Budget,
+) -> Result<ExploreOutcome, GraphError> {
     let kernel = ExploreKernel::new(g, cfg);
-    explore_prepared(&kernel)
+    explore_prepared_budgeted(&kernel, budget)
 }
 
 /// [`explore`] over a caller-built [`ExploreKernel`]: repeated runs over
@@ -129,8 +146,26 @@ pub fn explore(g: &TemporalGraph, cfg: &ExploreConfig) -> Result<ExploreOutcome,
 /// Returns an error if the graph has fewer than two time points or an
 /// operator fails.
 pub fn explore_prepared(kernel: &ExploreKernel<'_>) -> Result<ExploreOutcome, GraphError> {
+    explore_prepared_budgeted(kernel, &Budget::unlimited())
+}
+
+/// [`explore_prepared`] under a request-scoped [`Budget`]; see
+/// [`explore_budgeted`].
+///
+/// # Errors
+/// Returns [`GraphError::Cancelled`] when the budget trips, or any error
+/// [`explore_prepared`] can return.
+pub fn explore_prepared_budgeted(
+    kernel: &ExploreKernel<'_>,
+    budget: &Budget,
+) -> Result<ExploreOutcome, GraphError> {
     let n = check_domain(kernel.g)?;
-    explore_sequential(&mut ChainCursor::new_counting(kernel), kernel.cfg, n)
+    explore_sequential(
+        &mut ChainCursor::new_counting(kernel),
+        kernel.cfg,
+        n,
+        budget,
+    )
 }
 
 /// [`explore_prepared`] driving the mask-materializing cursor
@@ -145,7 +180,12 @@ pub fn explore_prepared(kernel: &ExploreKernel<'_>) -> Result<ExploreOutcome, Gr
 /// operator fails.
 pub fn explore_prepared_masked(kernel: &ExploreKernel<'_>) -> Result<ExploreOutcome, GraphError> {
     let n = check_domain(kernel.g)?;
-    explore_sequential(&mut ChainCursor::new(kernel), kernel.cfg, n)
+    explore_sequential(
+        &mut ChainCursor::new(kernel),
+        kernel.cfg,
+        n,
+        &Budget::unlimited(),
+    )
 }
 
 /// [`explore`] evaluating every pair through the per-pair kernel
@@ -167,6 +207,7 @@ pub fn explore_pairwise(
         &mut PairEvaluator(|told: &TimeSet, tnew: &TimeSet| kernel.evaluate(told, tnew)),
         cfg,
         n,
+        &Budget::unlimited(),
     )
 }
 
@@ -189,6 +230,7 @@ pub fn explore_materializing(
         }),
         cfg,
         n,
+        &Budget::unlimited(),
     )
 }
 
@@ -206,11 +248,12 @@ fn explore_sequential(
     eval: &mut dyn ChainEvaluator,
     cfg: &ExploreConfig,
     n: usize,
+    budget: &Budget,
 ) -> Result<ExploreOutcome, GraphError> {
     let mut pairs = Vec::new();
     let mut evaluations = 0;
     for i in 0..n - 1 {
-        let outcome = explore_reference(eval, cfg, n, i)?;
+        let outcome = explore_reference(eval, cfg, n, i, budget)?;
         evaluations += outcome.evaluations;
         pairs.extend(outcome.pairs);
     }
@@ -257,12 +300,14 @@ pub fn explore_parallel(
     for (i, slot) in slots.iter_mut().enumerate() {
         buckets[i % threads].push((i, slot));
     }
+    let unlimited = Budget::unlimited();
+    let unlimited = &unlimited;
     crossbeam::thread::scope(|scope| {
         for bucket in buckets {
             scope.spawn(move |_| {
                 let mut cursor = ChainCursor::new_counting(kernel);
                 for (i, slot) in bucket {
-                    *slot = Some(explore_reference(&mut cursor, cfg, n, i));
+                    *slot = Some(explore_reference(&mut cursor, cfg, n, i, unlimited));
                 }
             });
         }
@@ -309,12 +354,14 @@ fn pruned_counters() -> &'static PrunedCounters {
 /// Runs the configured strategy on the single chain of reference `i`,
 /// counting one evaluation per `eval` call (the pruning metric is therefore
 /// identical whichever evaluator — cursor, kernel or materializing — is
-/// plugged in).
+/// plugged in). The budget is polled before every evaluation — the engine's
+/// cancellation checkpoints.
 fn explore_reference(
     eval: &mut dyn ChainEvaluator,
     cfg: &ExploreConfig,
     n: usize,
     i: usize,
+    budget: &Budget,
 ) -> Result<ExploreOutcome, GraphError> {
     use super::{Direction, Semantics};
     let dir = direction(cfg.event, cfg.extend, cfg.semantics);
@@ -325,6 +372,7 @@ fn explore_reference(
     match (cfg.semantics, dir) {
         (Semantics::Union, Direction::Increasing) => {
             for (j, pair) in chain_pairs.into_iter().enumerate() {
+                budget.check()?;
                 let r = eval.evaluate(i, j, &pair)?;
                 evaluations += 1;
                 if r >= cfg.k {
@@ -338,6 +386,7 @@ fn explore_reference(
                 .into_iter()
                 .next()
                 .expect("invariant: chain_len >= 1, so chain_pairs is non-empty");
+            budget.check()?;
             let r = eval.evaluate(i, 0, &pair)?;
             evaluations += 1;
             if r >= cfg.k {
@@ -347,6 +396,7 @@ fn explore_reference(
         (Semantics::Intersection, Direction::Decreasing) => {
             let mut last_good = None;
             for (j, pair) in chain_pairs.into_iter().enumerate() {
+                budget.check()?;
                 let r = eval.evaluate(i, j, &pair)?;
                 evaluations += 1;
                 if r >= cfg.k {
@@ -362,6 +412,7 @@ fn explore_reference(
                 .into_iter()
                 .next_back()
                 .expect("invariant: chain_len >= 1, so chain_pairs is non-empty");
+            budget.check()?;
             let r = eval.evaluate(i, chain_len - 1, &pair)?;
             evaluations += 1;
             if r >= cfg.k {
@@ -554,6 +605,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn budget_checkpoints_cancel_exploration() {
+        use std::sync::atomic::AtomicBool;
+        let g = fig1();
+        let c = cfg(Event::Stability, ExtendSide::New, Semantics::Union, 1);
+        // a zero deadline trips the very first checkpoint
+        let b = Budget::unlimited().with_deadline_ms(0);
+        assert!(matches!(
+            explore_budgeted(&g, &c, &b),
+            Err(GraphError::Cancelled(_))
+        ));
+        // a pre-raised cancel flag does too
+        let flag = Arc::new(AtomicBool::new(true));
+        let b = Budget::unlimited().with_cancel_flag(flag);
+        assert!(matches!(
+            explore_budgeted(&g, &c, &b),
+            Err(GraphError::Cancelled(_))
+        ));
+        // an unlimited budget changes nothing
+        let free = explore_budgeted(&g, &c, &Budget::unlimited()).unwrap();
+        let plain = explore(&g, &c).unwrap();
+        assert_eq!(free.pairs, plain.pairs);
+        assert_eq!(free.evaluations, plain.evaluations);
     }
 
     #[test]

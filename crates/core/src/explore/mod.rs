@@ -20,6 +20,7 @@
 //! | shrinkage | old | ∩ | decreasing | I-Explore |
 //! | shrinkage | new | ∩ | increasing | longest-interval check |
 
+mod budget;
 mod cursor;
 mod engine;
 mod kernel;
@@ -27,10 +28,12 @@ mod naive;
 mod solve;
 mod threshold;
 
+pub use budget::Budget;
 pub use cursor::ChainCursor;
 pub use engine::{
-    explore, explore_materializing, explore_pairwise, explore_parallel, explore_prepared,
-    explore_prepared_masked, ExploreOutcome, IntervalPair,
+    explore, explore_budgeted, explore_materializing, explore_pairwise, explore_parallel,
+    explore_prepared, explore_prepared_budgeted, explore_prepared_masked, ExploreOutcome,
+    IntervalPair,
 };
 pub use kernel::{evaluate_pair_materialized, ExploreKernel};
 pub use naive::explore_naive;

@@ -251,17 +251,36 @@ impl Histogram {
     }
 
     /// Immutable point-in-time view.
+    ///
+    /// `record` updates its fields with independent relaxed atomics, so a
+    /// snapshot racing in-flight recordings cannot be exact. The tolerance
+    /// is: the view may *lag* concurrent recordings by a few samples, but it
+    /// is always self-consistent — `count` equals the bucket totals,
+    /// `min <= max`, `sum` (and hence [`HistogramSnapshot::mean`]) lies in
+    /// `[min * count, max * count]`, and an empty view is all zeros. In a
+    /// quiescent histogram every clamp is a no-op and the values are exact.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let counts: Vec<u64> = self
             .buckets
             .iter()
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
+        // derive the sample count from the buckets themselves so it can
+        // never disagree with them
         let count: u64 = counts.iter().sum();
+        if count == 0 {
+            return HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                buckets: Vec::new(),
+            };
+        }
         let quantile = |q: f64| -> u64 {
-            if count == 0 {
-                return 0;
-            }
             let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
             let mut seen = 0u64;
             for (i, &c) in counts.iter().enumerate() {
@@ -272,15 +291,20 @@ impl Histogram {
             }
             bucket_upper(BUCKETS - 1)
         };
+        // a record() caught between its bucket update and its min/max/sum
+        // updates can leave min at its sentinel (u64::MAX), max behind the
+        // buckets, or sum lagging; clamp into the possible range
+        let max = self.max.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed).min(max);
+        let sum = self
+            .sum
+            .load(Ordering::Relaxed)
+            .clamp(min.saturating_mul(count), max.saturating_mul(count));
         HistogramSnapshot {
             count,
-            sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 {
-                0
-            } else {
-                self.min.load(Ordering::Relaxed)
-            },
-            max: self.max.load(Ordering::Relaxed),
+            sum,
+            min,
+            max,
             p50: quantile(0.50),
             p90: quantile(0.90),
             p99: quantile(0.99),
@@ -313,6 +337,48 @@ impl Drop for SpanGuard {
         if let Some(start) = self.start {
             self.hist.record_duration(start.elapsed());
         }
+    }
+}
+
+/// A wall-clock budget: a start instant plus a duration limit.
+///
+/// Lives here because the workspace's `no-instant` lint confines raw
+/// [`Instant`] reads to this crate; budget-carrying layers (the explore
+/// engine, the server's request limits) consume deadlines through this
+/// type. Stored as start + limit rather than an end instant so arbitrarily
+/// large limits cannot overflow the platform clock.
+#[derive(Clone, Copy, Debug)]
+pub struct Deadline {
+    start: Instant,
+    limit: std::time::Duration,
+}
+
+impl Deadline {
+    /// A deadline `limit` from now.
+    #[must_use]
+    pub fn after(limit: std::time::Duration) -> Self {
+        Deadline {
+            start: Instant::now(),
+            limit,
+        }
+    }
+
+    /// A deadline `ms` milliseconds from now.
+    #[must_use]
+    pub fn after_millis(ms: u64) -> Self {
+        Self::after(std::time::Duration::from_millis(ms))
+    }
+
+    /// True once the limit has elapsed. A zero limit is expired immediately.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.start.elapsed() >= self.limit
+    }
+
+    /// The configured limit in milliseconds (saturating).
+    #[must_use]
+    pub fn limit_millis(&self) -> u64 {
+        u64::try_from(self.limit.as_millis()).unwrap_or(u64::MAX)
     }
 }
 
@@ -589,6 +655,61 @@ impl Snapshot {
         out.push_str("}\n}\n");
         out
     }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4), the shape scraped from `tempo-server`'s `metrics`
+    /// endpoint.
+    ///
+    /// Metric names are prefixed with `graphtempo_` and sanitized (every
+    /// character outside `[a-zA-Z0-9_:]` becomes `_`, so the registry's
+    /// dotted names map 1:1). Counters gain the conventional `_total`
+    /// suffix; histograms emit cumulative `_bucket{le="…"}` series ending
+    /// in `le="+Inf"`, plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n}_total counter\n{n}_total {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = prometheus_name(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (le, c) in &h.buckets {
+                cumulative += c;
+                // the top bucket's bound is the u64 ceiling, i.e. +Inf
+                if *le == u64::MAX {
+                    continue;
+                }
+                out.push_str(&format!("{n}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "{n}_bucket{{le=\"+Inf\"}} {}\n{n}_sum {}\n{n}_count {}\n",
+                h.count, h.sum, h.count
+            ));
+        }
+        out
+    }
+}
+
+/// Maps a registry metric name onto the Prometheus name charset:
+/// `graphtempo_` prefix, every character outside `[a-zA-Z0-9_:]` replaced
+/// with `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 11);
+    out.push_str("graphtempo_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -718,6 +839,109 @@ mod tests {
     #[test]
     fn json_escaping_handles_specials() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn record_zero_and_top_bucket_saturation_are_pinned() {
+        let _g = gate().read().unwrap();
+        let h = Histogram::new();
+        // zero lands in the dedicated zero bucket and is a real sample
+        h.record(0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max, s.p50, s.sum), (0, 0, 0, 0));
+        assert_eq!(s.buckets, vec![(0, 1)]);
+        // u64::MAX lands in the top bucket, whose bound saturates at
+        // u64::MAX (so quantiles from it saturate too, never wrap)
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.p99, u64::MAX);
+        assert_eq!(s.buckets, vec![(0, 1), (u64::MAX, 1)]);
+        // an over-range Duration saturates to u64::MAX nanoseconds
+        h.record_duration(std::time::Duration::from_secs(u64::MAX));
+        assert_eq!(h.snapshot().buckets, vec![(0, 1), (u64::MAX, 2)]);
+    }
+
+    #[test]
+    fn snapshot_is_self_consistent_under_concurrent_records() {
+        let _g = gate().read().unwrap();
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..3)
+            .map(|w| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut v = w as u64 + 1;
+                    while !stop.load(Ordering::Relaxed) {
+                        h.record(v % 5000);
+                        v = v.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..200 {
+            let s = h.snapshot();
+            let bucket_total: u64 = s.buckets.iter().map(|(_, c)| c).sum();
+            assert_eq!(s.count, bucket_total, "count must equal bucket totals");
+            if s.count == 0 {
+                assert_eq!((s.sum, s.min, s.max, s.p50), (0, 0, 0, 0));
+            } else {
+                assert!(s.min <= s.max, "min {} > max {}", s.min, s.max);
+                let mean = s.mean();
+                assert!(
+                    mean >= s.min as f64 && mean <= s.max as f64,
+                    "mean {mean} outside [{}, {}]",
+                    s.min,
+                    s.max
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for t in writers {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let _g = gate().read().unwrap();
+        let r = Registry::new();
+        r.counter("p.requests").add(3);
+        r.gauge("p.active").set(2);
+        let h = r.histogram("p.lat_ns");
+        h.record(5);
+        h.record(100);
+        h.record(u64::MAX);
+        let text = r.snapshot().render_prometheus();
+        assert!(text.contains("# TYPE graphtempo_p_requests_total counter\n"));
+        assert!(text.contains("graphtempo_p_requests_total 3\n"));
+        assert!(text.contains("# TYPE graphtempo_p_active gauge\n"));
+        assert!(text.contains("graphtempo_p_active 2\n"));
+        assert!(text.contains("# TYPE graphtempo_p_lat_ns histogram\n"));
+        // buckets are cumulative and the saturated top bucket folds into +Inf
+        assert!(text.contains("graphtempo_p_lat_ns_bucket{le=\"7\"} 1\n"));
+        assert!(text.contains("graphtempo_p_lat_ns_bucket{le=\"127\"} 2\n"));
+        assert!(!text.contains("le=\"18446744073709551615\""));
+        assert!(text.contains("graphtempo_p_lat_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("graphtempo_p_lat_ns_count 3\n"));
+        assert_eq!(prometheus_name("a.b-c"), "graphtempo_a_b_c");
+    }
+
+    #[test]
+    fn deadline_expiry() {
+        let d = Deadline::after_millis(0);
+        assert!(d.expired());
+        assert_eq!(d.limit_millis(), 0);
+        let far = Deadline::after_millis(3_600_000);
+        assert!(!far.expired());
+        assert_eq!(far.limit_millis(), 3_600_000);
+        // huge limits neither overflow nor expire
+        let huge = Deadline::after(std::time::Duration::from_secs(u64::MAX));
+        assert!(!huge.expired());
+        assert_eq!(huge.limit_millis(), u64::MAX);
     }
 
     #[test]

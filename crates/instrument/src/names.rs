@@ -16,6 +16,7 @@ pub const ALL: &[&str] = &[
     "aggregate.groups_interned",
     "columnar.presence.dense_cols",
     "columnar.presence.sparse_cols",
+    "columnar.presence.sparse_overflow_forced_dense",
     "explore.count_ns",
     "explore.cursor.builds",
     "explore.cursor.chains",
@@ -43,6 +44,14 @@ pub const ALL: &[&str] = &[
     "materialize.cache.misses",
     "materialize.points_appended",
     "materialize.store_build_ns",
+    "server.active_connections",
+    "server.client_request_ns",
+    "server.connections",
+    "server.errors",
+    "server.request_ns",
+    "server.requests",
+    "server.rows_truncated",
+    "server.timeouts",
 ];
 
 /// Whether `name` is a registered metric name.

@@ -408,7 +408,10 @@ impl Scope {
             return true;
         }
         match rule {
-            RULE_NO_PANIC => has_prefix(rel, LIB_PREFIXES) || has_prefix(rel, &["crates/cli/src"]),
+            RULE_NO_PANIC => {
+                has_prefix(rel, LIB_PREFIXES)
+                    || has_prefix(rel, &["crates/cli/src", "crates/server/src"])
+            }
             RULE_NO_PRINT => has_prefix(rel, LIB_PREFIXES),
             RULE_NO_INSTANT => !has_prefix(rel, &["crates/instrument/src"]),
             RULE_METRIC_REGISTRY => true,
@@ -1143,6 +1146,8 @@ mod tests {
         let s = Scope { explicit: false };
         assert!(s.applies(RULE_NO_PANIC, "crates/columnar/src/bitset.rs"));
         assert!(s.applies(RULE_NO_PANIC, "crates/cli/src/main.rs"));
+        assert!(s.applies(RULE_NO_PANIC, "crates/server/src/lib.rs"));
+        assert!(!s.applies(RULE_NO_PRINT, "crates/server/src/main.rs"));
         assert!(!s.applies(RULE_NO_PANIC, "crates/bench/src/report.rs"));
         assert!(!s.applies(RULE_NO_INSTANT, "crates/instrument/src/lib.rs"));
         assert!(s.applies(RULE_NO_INSTANT, "crates/bench/src/report.rs"));

@@ -1,0 +1,572 @@
+//! `tempo-server` — a long-running, zero-framework GraphTempo query service.
+//!
+//! The server keeps a [`SnapshotRegistry`] of immutable `Arc<TemporalGraph>`
+//! snapshots and serves concurrent clients over a plain TCP line protocol.
+//! Each request line is dispatched to a short-lived [`graphtempo_cli::Session`]
+//! built around the shared snapshot, so the full shell command surface
+//! (`stats`, `agg`, `explore`, `zoom`, …) is available without a second
+//! implementation — and without any process-global state: the sparse-mode
+//! policy and request limits travel explicitly with each session.
+//!
+//! ## Protocol
+//!
+//! Requests are single lines, `\n`-terminated. Responses are
+//!
+//! ```text
+//! OK <n>\n        followed by exactly n payload lines, or
+//! ERR <message>\n
+//! ```
+//!
+//! Server-level commands: `ping`, `help`, `snapshots`, `generate <name> …`,
+//! `load <name> <dir>`, `drop <name>`, `zoom <src> as=<dst> …`, `metrics`,
+//! `shutdown`. Query commands are addressed to a snapshot:
+//! `<cmd> <snapshot> [args…]`, e.g. `stats g` or
+//! `explore g event=growth k=5 attrs=gender timeout_ms=500 limit=100`.
+//! The `timeout_ms=` and `limit=` kwargs are request-scoped limits enforced
+//! by the server (they override the configured defaults).
+
+#![warn(missing_docs)]
+
+pub mod registry;
+
+pub use registry::SnapshotRegistry;
+
+use graphtempo_cli::error::CliError;
+use graphtempo_cli::parser::tokenize;
+use graphtempo_cli::{QueryLimits, Session};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tempo_columnar::SparseMode;
+use tempo_graph::GraphError;
+
+/// How long a blocked read waits before re-checking the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Address to bind, e.g. `127.0.0.1:7341`. Port 0 picks a free port.
+    pub addr: String,
+    /// Sparse-mode policy applied to every graph the server builds.
+    pub sparse_mode: SparseMode,
+    /// Default per-request timeout; `None` disables the default deadline.
+    pub default_timeout_ms: Option<u64>,
+    /// Default cap on listing rows in a response.
+    pub default_max_rows: usize,
+    /// Maximum concurrently served connections; extra clients get `ERR busy`.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            sparse_mode: SparseMode::Auto,
+            default_timeout_ms: Some(30_000),
+            default_max_rows: 10_000,
+            max_connections: 64,
+        }
+    }
+}
+
+/// Shared state behind every connection handler.
+#[derive(Debug)]
+struct ServiceState {
+    cfg: ServerConfig,
+    addr: std::net::SocketAddr,
+    registry: SnapshotRegistry,
+    shutdown: AtomicBool,
+}
+
+impl ServiceState {
+    /// Raises the shutdown flag and pokes the accept loop awake.
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); a throw-away connection to
+        // ourselves unblocks it so the flag is observed promptly.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping it requests shutdown and joins the accept loop.
+#[derive(Debug)]
+pub struct Server {
+    addr: std::net::SocketAddr,
+    state: Arc<ServiceState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Registers a snapshot directly (useful for embedding and tests).
+    pub fn registry(&self) -> &SnapshotRegistry {
+        &self.state.registry
+    }
+
+    /// Asks the server to stop accepting and finish in-flight connections.
+    pub fn request_shutdown(&self) {
+        self.state.request_shutdown();
+    }
+
+    /// Blocks until the server shuts down (via the `shutdown` command or
+    /// [`Server::request_shutdown`]).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Requests shutdown and waits for the server to wind down.
+    pub fn shutdown(self) {
+        self.state.request_shutdown();
+        self.join();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(h) = self.accept.take() {
+            self.state.request_shutdown();
+            let _ = h.join();
+        }
+    }
+}
+
+/// Binds the listener and spawns the accept loop. Returns once the socket
+/// is bound; the returned [`Server`] owns the background thread.
+pub fn spawn(cfg: ServerConfig) -> std::io::Result<Server> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    let state = Arc::new(ServiceState {
+        cfg,
+        addr,
+        registry: SnapshotRegistry::new(),
+        shutdown: AtomicBool::new(false),
+    });
+    let loop_state = Arc::clone(&state);
+    let accept = std::thread::spawn(move || accept_loop(&listener, &loop_state));
+    Ok(Server {
+        addr,
+        state,
+        accept: Some(accept),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServiceState>) {
+    let mut workers: Vec<JoinHandle<()>> = Vec::new();
+    let active = tempo_instrument::global().gauge("server.active_connections");
+    for incoming in listener.incoming() {
+        if state.shutting_down() {
+            break;
+        }
+        let Ok(stream) = incoming else { continue };
+        workers.retain(|h| !h.is_finished());
+        if workers.len() >= state.cfg.max_connections {
+            let mut stream = stream;
+            let _ = stream.write_all(b"ERR busy: connection limit reached\n");
+            continue;
+        }
+        tempo_instrument::global()
+            .counter("server.connections")
+            .inc();
+        active.add(1);
+        let conn_state = Arc::clone(state);
+        let conn_active = Arc::clone(&active);
+        workers.push(std::thread::spawn(move || {
+            handle_connection(stream, &conn_state);
+            conn_active.add(-1);
+        }));
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>) {
+    // A short read timeout turns the blocking read loop into a poll so the
+    // handler notices shutdown even while a client sits idle.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut writer = write_half;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if state.shutting_down() {
+            break;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+        let request = line.trim();
+        if request.is_empty() {
+            continue;
+        }
+        let (response, shutdown_after) = handle_request(state, request);
+        if writer.write_all(response.as_bytes()).is_err() {
+            break;
+        }
+        let _ = writer.flush();
+        if shutdown_after {
+            state.request_shutdown();
+            break;
+        }
+    }
+}
+
+/// Wire encoding of a successful response.
+fn ok(lines: &[String]) -> String {
+    let mut out = format!("OK {}\n", lines.len());
+    for l in lines {
+        out.push_str(l);
+        out.push('\n');
+    }
+    out
+}
+
+/// Wire encoding of an error. The message is flattened to one line.
+fn err(msg: &str) -> String {
+    let flat: String = msg
+        .chars()
+        .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+        .collect();
+    format!("ERR {flat}\n")
+}
+
+/// Splits a multi-line payload into protocol lines (empty payload → none).
+fn payload_lines(text: &str) -> Vec<String> {
+    if text.is_empty() {
+        Vec::new()
+    } else {
+        text.lines().map(str::to_owned).collect()
+    }
+}
+
+/// Commands the server forwards verbatim to a snapshot-scoped session.
+const SNAPSHOT_COMMANDS: &[&str] = &[
+    "stats",
+    "schema",
+    "project",
+    "union",
+    "intersect",
+    "diff",
+    "agg",
+    "evolution",
+    "explore",
+    "suggest",
+    "cube",
+    "measure",
+    "solve",
+    "save",
+    "export",
+];
+
+/// Dispatches one request line; returns the wire response and whether the
+/// server should shut down after sending it.
+fn handle_request(state: &Arc<ServiceState>, request: &str) -> (String, bool) {
+    tempo_instrument::global().counter("server.requests").inc();
+    let _span = tempo_instrument::global()
+        .histogram("server.request_ns")
+        .span();
+    let tokens = tokenize(request);
+    let Some(cmd) = tokens.first().map(String::as_str) else {
+        return (err("empty request"), false);
+    };
+    let _cmd_span = tempo_instrument::global()
+        .histogram(&format!("server.cmd.{cmd}_ns"))
+        .span();
+    let rest = &tokens[1..];
+    let result = match cmd {
+        "ping" => Ok(vec!["pong".to_owned()]),
+        "help" => Ok(help_lines()),
+        "snapshots" => Ok(list_snapshots(state)),
+        "generate" | "load" => build_snapshot(state, cmd, rest),
+        "drop" => drop_snapshot(state, rest),
+        "zoom" => zoom_snapshot(state, rest),
+        "metrics" => Ok(payload_lines(
+            tempo_instrument::global()
+                .snapshot()
+                .render_prometheus()
+                .trim_end(),
+        )),
+        "shutdown" => return (ok(&["shutting down".to_owned()]), true),
+        c if SNAPSHOT_COMMANDS.contains(&c) => query_snapshot(state, cmd, rest),
+        other => Err(CliError::Unknown(format!("command {other:?} (try `help`)"))),
+    };
+    match result {
+        Ok(lines) => (ok(&lines), false),
+        Err(CliError::Graph(GraphError::Cancelled(m))) => {
+            tempo_instrument::global().counter("server.timeouts").inc();
+            (err(&format!("timeout: {m}")), false)
+        }
+        Err(e) => {
+            tempo_instrument::global().counter("server.errors").inc();
+            (err(&e.to_string()), false)
+        }
+    }
+}
+
+fn help_lines() -> Vec<String> {
+    let mut lines = vec![
+        "server commands:".to_owned(),
+        "  ping | snapshots | metrics | shutdown".to_owned(),
+        "  generate <name> <dblp|movielens|school|random> [scale=] [seed=]".to_owned(),
+        "  load <name> <dir> | drop <name>".to_owned(),
+        "  zoom <src> as=<name> <zoom args>".to_owned(),
+        "snapshot queries: <cmd> <snapshot> [args…] [timeout_ms=] [limit=]".to_owned(),
+        String::new(),
+    ];
+    lines.extend(graphtempo_cli::HELP.lines().map(str::to_owned));
+    lines
+}
+
+fn list_snapshots(state: &Arc<ServiceState>) -> Vec<String> {
+    let snaps = state.registry.list();
+    if snaps.is_empty() {
+        return vec!["(no snapshots)".to_owned()];
+    }
+    snaps
+        .into_iter()
+        .map(|(name, g)| {
+            format!(
+                "{name}  nodes={} edges={} timepoints={}",
+                g.n_nodes(),
+                g.n_edges(),
+                g.domain().len()
+            )
+        })
+        .collect()
+}
+
+/// `generate <name> <dataset> [kwargs…]` / `load <name> <dir>`: builds a
+/// graph through a scratch session and registers it as a snapshot.
+fn build_snapshot(
+    state: &Arc<ServiceState>,
+    cmd: &str,
+    rest: &[String],
+) -> Result<Vec<String>, CliError> {
+    let Some((name, args)) = rest.split_first() else {
+        return Err(CliError::Usage(format!("{cmd} <name> <args…>")));
+    };
+    validate_name(name)?;
+    let mut session = Session::new().with_sparse_mode(state.cfg.sparse_mode);
+    let line = rebuild_line(cmd, args);
+    let summary = session.exec(&line)?;
+    let graph = session
+        .graph_arc()
+        .ok_or_else(|| CliError::Unknown(format!("{cmd} produced no graph")))?;
+    state.registry.insert(name, graph);
+    let mut lines = vec![format!("snapshot {name} registered")];
+    lines.extend(payload_lines(&summary));
+    Ok(lines)
+}
+
+fn drop_snapshot(state: &Arc<ServiceState>, rest: &[String]) -> Result<Vec<String>, CliError> {
+    let Some(name) = rest.first() else {
+        return Err(CliError::Usage("drop <name>".into()));
+    };
+    if state.registry.remove(name) {
+        Ok(vec![format!("snapshot {name} dropped")])
+    } else {
+        Err(CliError::Unknown(format!("snapshot {name:?}")))
+    }
+}
+
+/// `zoom <src> as=<dst> <args…>`: runs zoom on a session seeded with the
+/// source snapshot and registers the result under the destination name.
+fn zoom_snapshot(state: &Arc<ServiceState>, rest: &[String]) -> Result<Vec<String>, CliError> {
+    let Some((src, args)) = rest.split_first() else {
+        return Err(CliError::Usage("zoom <src> as=<name> <zoom args>".into()));
+    };
+    let graph = state
+        .registry
+        .get(src)
+        .ok_or_else(|| CliError::Unknown(format!("snapshot {src:?}")))?;
+    let mut dst = None;
+    let mut zoom_args = Vec::new();
+    for a in args {
+        match a.strip_prefix("as=") {
+            Some(d) => dst = Some(d.to_owned()),
+            None => zoom_args.push(a.clone()),
+        }
+    }
+    let dst = dst.ok_or_else(|| CliError::Usage("zoom <src> as=<name> <zoom args>".into()))?;
+    validate_name(&dst)?;
+    let mut session = Session::for_snapshot(graph, QueryLimits::default())
+        .with_sparse_mode(state.cfg.sparse_mode);
+    let summary = session.exec(&rebuild_line("zoom", &zoom_args))?;
+    let zoomed = session
+        .graph_arc()
+        .ok_or_else(|| CliError::Unknown("zoom produced no graph".into()))?;
+    state.registry.insert(&dst, zoomed);
+    let mut lines = vec![format!("snapshot {dst} registered")];
+    lines.extend(payload_lines(&summary));
+    Ok(lines)
+}
+
+/// `<cmd> <snapshot> [args…]`: forwards to a request-scoped session over the
+/// shared snapshot, applying request limits.
+fn query_snapshot(
+    state: &Arc<ServiceState>,
+    cmd: &str,
+    rest: &[String],
+) -> Result<Vec<String>, CliError> {
+    let Some((name, args)) = rest.split_first() else {
+        return Err(CliError::Usage(format!("{cmd} <snapshot> [args…]")));
+    };
+    let graph = state
+        .registry
+        .get(name)
+        .ok_or_else(|| CliError::Unknown(format!("snapshot {name:?}")))?;
+    let mut limits = QueryLimits {
+        timeout_ms: state.cfg.default_timeout_ms,
+        max_rows: Some(state.cfg.default_max_rows),
+    };
+    let mut query_args = Vec::new();
+    for a in args {
+        if let Some(v) = a.strip_prefix("timeout_ms=") {
+            limits.timeout_ms = Some(
+                v.parse()
+                    .map_err(|_| CliError::Usage("timeout_ms=<int>".into()))?,
+            );
+        } else if let Some(v) = a.strip_prefix("limit=") {
+            limits.max_rows = Some(
+                v.parse()
+                    .map_err(|_| CliError::Usage("limit=<int>".into()))?,
+            );
+        } else {
+            query_args.push(a.clone());
+        }
+    }
+    let mut session = Session::for_snapshot(graph, limits).with_sparse_mode(state.cfg.sparse_mode);
+    let out = session.exec(&rebuild_line(cmd, &query_args))?;
+    let mut lines = payload_lines(&out);
+    // Session-level limits cover explore listings; this covers every other
+    // command's output uniformly at the protocol layer.
+    if let Some(cap) = limits.max_rows {
+        if lines.len() > cap {
+            let dropped = lines.len() - cap;
+            lines.truncate(cap);
+            lines.push(format!("… {dropped} more rows (limit {cap})"));
+            tempo_instrument::global()
+                .counter("server.rows_truncated")
+                .add(dropped as u64);
+        }
+    }
+    Ok(lines)
+}
+
+/// Rebuilds a command line from tokens, re-quoting any token with spaces.
+fn rebuild_line(cmd: &str, args: &[String]) -> String {
+    let mut line = cmd.to_owned();
+    for a in args {
+        line.push(' ');
+        if a.contains(' ') {
+            line.push('"');
+            line.push_str(a);
+            line.push('"');
+        } else {
+            line.push_str(a);
+        }
+    }
+    line
+}
+
+/// Snapshot names keep the protocol unambiguous: word characters only.
+fn validate_name(name: &str) -> Result<(), CliError> {
+    if !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+    {
+        Ok(())
+    } else {
+        Err(CliError::Usage(format!(
+            "snapshot name {name:?} (use letters, digits, `_`, `-`, `.`)"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_encoding_shapes() {
+        assert_eq!(ok(&[]), "OK 0\n");
+        assert_eq!(ok(&["a".into(), "b".into()]), "OK 2\na\nb\n");
+        assert_eq!(err("boom\nsecond"), "ERR boom second\n");
+    }
+
+    #[test]
+    fn rebuild_requotes_spaced_tokens() {
+        assert_eq!(
+            rebuild_line("load", &["my dir/x".to_owned(), "k=1".to_owned()]),
+            "load \"my dir/x\" k=1"
+        );
+    }
+
+    #[test]
+    fn snapshot_names_are_validated() {
+        assert!(validate_name("g1.zoom-out_x").is_ok());
+        assert!(validate_name("").is_err());
+        assert!(validate_name("a b").is_err());
+        assert!(validate_name("a/b").is_err());
+    }
+
+    #[test]
+    fn request_dispatch_without_network() {
+        let state = Arc::new(ServiceState {
+            cfg: ServerConfig::default(),
+            addr: "127.0.0.1:1".parse().expect("invariant: literal addr"),
+            registry: SnapshotRegistry::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let (resp, stop) = handle_request(&state, "ping");
+        assert_eq!(resp, "OK 1\npong\n");
+        assert!(!stop);
+
+        let (resp, _) = handle_request(&state, "generate g school seed=3");
+        assert!(resp.starts_with("OK "), "unexpected: {resp}");
+        let (resp, _) = handle_request(&state, "snapshots");
+        assert!(resp.contains("g  nodes="), "unexpected: {resp}");
+        let (resp, _) = handle_request(&state, "stats g");
+        assert!(resp.starts_with("OK "), "unexpected: {resp}");
+
+        // a zero budget must surface as a timeout error, not a hang
+        let (resp, _) = handle_request(
+            &state,
+            "explore g event=growth semantics=union extend=new k=2 attrs=grade timeout_ms=0",
+        );
+        assert!(resp.starts_with("ERR timeout:"), "unexpected: {resp}");
+
+        let (resp, _) = handle_request(&state, "nonsense g");
+        assert!(resp.starts_with("ERR "), "unexpected: {resp}");
+
+        let (resp, stop) = handle_request(&state, "shutdown");
+        assert!(resp.starts_with("OK "), "unexpected: {resp}");
+        assert!(stop);
+    }
+}

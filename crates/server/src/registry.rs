@@ -1,0 +1,89 @@
+//! Named registry of immutable graph snapshots.
+//!
+//! Snapshots are `Arc<TemporalGraph>`: once registered they are never
+//! mutated, so any number of request handlers can hold and query one
+//! concurrently while the registry itself stays behind a short-lived lock.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use tempo_graph::TemporalGraph;
+
+/// A concurrent map from snapshot name to an immutable shared graph.
+#[derive(Debug, Default)]
+pub struct SnapshotRegistry {
+    inner: Mutex<BTreeMap<String, Arc<TemporalGraph>>>,
+}
+
+impl SnapshotRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Locks the map, recovering from a poisoned lock: the data is a plain
+    /// map of `Arc`s and stays structurally valid even if a holder panicked.
+    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Arc<TemporalGraph>>> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers (or replaces) a snapshot under `name`.
+    pub fn insert(&self, name: &str, graph: Arc<TemporalGraph>) {
+        self.lock().insert(name.to_owned(), graph);
+    }
+
+    /// Returns the snapshot registered under `name`, if any.
+    pub fn get(&self, name: &str) -> Option<Arc<TemporalGraph>> {
+        self.lock().get(name).cloned()
+    }
+
+    /// Removes a snapshot; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.lock().remove(name).is_some()
+    }
+
+    /// Lists `(name, graph)` pairs in name order.
+    pub fn list(&self) -> Vec<(String, Arc<TemporalGraph>)> {
+        self.lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), Arc::clone(v)))
+            .collect()
+    }
+
+    /// Number of registered snapshots.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tempo_graph::fixtures;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let reg = SnapshotRegistry::new();
+        assert!(reg.is_empty());
+        let g = Arc::new(fixtures::fig1());
+        reg.insert("a", Arc::clone(&g));
+        reg.insert("b", Arc::clone(&g));
+        assert_eq!(reg.len(), 2);
+        assert!(Arc::ptr_eq(
+            &reg.get("a").expect("invariant: just inserted"),
+            &g
+        ));
+        assert!(reg.get("zzz").is_none());
+        let names: Vec<String> = reg.list().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a".to_owned(), "b".to_owned()]);
+        assert!(reg.remove("a"));
+        assert!(!reg.remove("a"));
+        assert_eq!(reg.len(), 1);
+    }
+}

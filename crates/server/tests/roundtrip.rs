@@ -1,0 +1,172 @@
+//! End-to-end round trips against a live `tempo-server` over TCP:
+//! spawn on an ephemeral port, drive the line protocol from real client
+//! sockets (including concurrently), and shut down cleanly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use tempo_server::{spawn, ServerConfig};
+
+/// A tiny blocking client for the `OK <n>` / `ERR …` line protocol.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to test server");
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    /// Sends one request and returns `(status_line, payload_lines)`.
+    fn request(&mut self, line: &str) -> (String, Vec<String>) {
+        writeln!(self.writer, "{line}").expect("write request");
+        self.writer.flush().expect("flush request");
+        let mut status = String::new();
+        self.reader.read_line(&mut status).expect("read status");
+        let status = status.trim_end().to_owned();
+        let mut payload = Vec::new();
+        if let Some(n) = status.strip_prefix("OK ") {
+            let n: usize = n.parse().unwrap_or_else(|_| panic!("bad count: {status}"));
+            for _ in 0..n {
+                let mut l = String::new();
+                self.reader.read_line(&mut l).expect("read payload line");
+                payload.push(l.trim_end().to_owned());
+            }
+        }
+        (status, payload)
+    }
+}
+
+fn test_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn protocol_roundtrip_and_graceful_shutdown() {
+    let server = spawn(test_config()).expect("spawn server");
+    let addr = server.addr();
+    let mut c = Client::connect(addr);
+
+    let (status, payload) = c.request("ping");
+    assert_eq!(status, "OK 1");
+    assert_eq!(payload, vec!["pong"]);
+
+    let (status, payload) = c.request("generate g school seed=7");
+    assert!(status.starts_with("OK "), "generate failed: {status}");
+    assert_eq!(payload[0], "snapshot g registered");
+
+    let (status, payload) = c.request("snapshots");
+    assert_eq!(status, "OK 1");
+    assert!(payload[0].starts_with("g  nodes="), "got {payload:?}");
+
+    let (status, payload) = c.request("stats g");
+    assert!(status.starts_with("OK "), "got {status}");
+    assert!(
+        payload.iter().any(|l| l.contains("odes")),
+        "stats payload: {payload:?}"
+    );
+
+    let (status, _) =
+        c.request("explore g event=growth semantics=union extend=new k=2 attrs=grade");
+    assert!(status.starts_with("OK "), "explore failed: {status}");
+
+    // request-scoped timeout: a zero budget must error, not hang
+    let (status, _) =
+        c.request("explore g event=growth semantics=union extend=new k=2 attrs=grade timeout_ms=0");
+    assert!(status.starts_with("ERR timeout:"), "got {status}");
+
+    // request-scoped row limit: payload truncated with a marker line
+    let (status, payload) = c.request("stats g limit=1");
+    assert_eq!(status, "OK 2", "got {status}");
+    assert!(
+        payload[1].contains("more rows (limit 1)"),
+        "got {payload:?}"
+    );
+
+    let (status, payload) = c.request("metrics");
+    assert!(status.starts_with("OK "), "got {status}");
+    let text = payload.join("\n");
+    assert!(
+        text.contains("graphtempo_server_requests_total"),
+        "metrics missing counter:\n{text}"
+    );
+    assert!(
+        text.contains("graphtempo_server_timeouts_total"),
+        "metrics missing timeouts:\n{text}"
+    );
+
+    let (status, _) = c.request("bogus-command g");
+    assert!(status.starts_with("ERR "), "got {status}");
+
+    // a second connection sees the same registry
+    let mut c2 = Client::connect(addr);
+    let (status, _) = c2.request("stats g");
+    assert!(status.starts_with("OK "), "second client: {status}");
+
+    let (status, _) = c.request("drop g");
+    assert_eq!(status, "OK 1");
+    let (status, _) = c.request("stats g");
+    assert!(status.starts_with("ERR "), "dropped snapshot still served");
+
+    let (status, _) = c.request("shutdown");
+    assert_eq!(status, "OK 1");
+    // join returns only when the accept loop and workers have wound down
+    server.join();
+}
+
+#[test]
+fn concurrent_clients_get_identical_answers() {
+    let server = spawn(test_config()).expect("spawn server");
+    let addr = server.addr();
+
+    let mut setup = Client::connect(addr);
+    let (status, _) = setup.request("generate g school seed=11");
+    assert!(status.starts_with("OK "), "generate failed: {status}");
+
+    let queries = [
+        "stats g",
+        "schema g",
+        "agg g dist attrs=grade",
+        "explore g event=growth semantics=union extend=new k=2 attrs=grade",
+        "suggest g event=stability semantics=intersect extend=old attrs=grade",
+    ];
+    let reference: Vec<(String, Vec<String>)> = queries.iter().map(|q| setup.request(q)).collect();
+
+    let results: Vec<Vec<(String, Vec<String>)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut c = Client::connect(addr);
+                    let mut out = Vec::new();
+                    for _ in 0..4 {
+                        for q in &queries {
+                            out.push(c.request(q));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    for (i, per_client) in results.iter().enumerate() {
+        for (j, got) in per_client.iter().enumerate() {
+            let want = &reference[j % queries.len()];
+            assert_eq!(got, want, "client {i} request {j} diverged");
+        }
+    }
+
+    server.shutdown();
+}

@@ -58,6 +58,9 @@ pub enum GraphError {
     },
     /// Self-loop registered where the model forbids it.
     SelfLoop(String),
+    /// A request budget (deadline or cancel flag) expired mid-computation;
+    /// the payload says which limit tripped.
+    Cancelled(String),
     /// Underlying columnar/IO failure.
     Columnar(ColumnarError),
     /// Malformed on-disk graph directory.
@@ -90,6 +93,7 @@ impl fmt::Display for GraphError {
                 "attribute {attr:?} of node {node:?} inconsistent with presence at {time}"
             ),
             GraphError::SelfLoop(n) => write!(f, "self-loop on node {n:?}"),
+            GraphError::Cancelled(m) => write!(f, "request cancelled: {m}"),
             GraphError::Columnar(e) => write!(f, "columnar error: {e}"),
             GraphError::Format(m) => write!(f, "format error: {m}"),
         }

@@ -18,20 +18,6 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 use tempo_columnar::{BitMatrix, Interner, SparseMode, TransposedBitMatrix, Value, ValueMatrix};
 
-/// Representation policy for the cached presence-column indexes, from the
-/// `GRAPHTEMPO_SPARSE` environment variable: `dense`/`off`/`0` forces every
-/// column dense (the pre-hybrid layout), `sparse`/`on`/`force`/`1` forces
-/// every column sparse, anything else (or unset) lets each column pick by
-/// its own density. Read at every index build, so ablation harnesses can
-/// flip it between graphs.
-fn sparse_mode() -> SparseMode {
-    match std::env::var("GRAPHTEMPO_SPARSE").as_deref() {
-        Ok("dense") | Ok("off") | Ok("0") => SparseMode::ForceDense,
-        Ok("sparse") | Ok("on") | Ok("force") | Ok("1") => SparseMode::ForceSparse,
-        _ => SparseMode::Auto,
-    }
-}
-
 /// Dense node identifier (row in the node arrays).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct NodeId(pub u32);
@@ -73,6 +59,11 @@ pub struct TemporalGraph {
     pub(crate) static_table: ValueMatrix,
     pub(crate) tv_tables: Vec<ValueMatrix>,
     pub(crate) edge_values: Option<ValueMatrix>,
+    /// Representation policy for the cached presence-column indexes. Kept
+    /// per graph (never read from the environment) so graphs built under
+    /// different policies can coexist in one process; see
+    /// [`TemporalGraph::set_sparse_mode`].
+    pub(crate) sparse_mode: SparseMode,
     /// Lazily built column-major (time-major) presence indexes, shared
     /// across threads. A clone of the graph carries the cached value along.
     pub(crate) node_cols: OnceLock<TransposedBitMatrix>,
@@ -204,6 +195,7 @@ impl TemporalGraph {
             static_table,
             tv_tables,
             edge_values,
+            sparse_mode: SparseMode::Auto,
             node_cols: OnceLock::new(),
             edge_cols: OnceLock::new(),
         };
@@ -469,22 +461,44 @@ impl TemporalGraph {
     /// the index backing chain-incremental exploration.
     pub fn node_presence_columns(&self) -> &TransposedBitMatrix {
         self.node_cols
-            .get_or_init(|| Self::build_transposed(&self.node_presence))
+            .get_or_init(|| self.build_transposed(&self.node_presence))
     }
 
     /// Column-major (time-major) view of the edge presence matrix; see
     /// [`node_presence_columns`](Self::node_presence_columns).
     pub fn edge_presence_columns(&self) -> &TransposedBitMatrix {
         self.edge_cols
-            .get_or_init(|| Self::build_transposed(&self.edge_presence))
+            .get_or_init(|| self.build_transposed(&self.edge_presence))
     }
 
-    fn build_transposed(m: &BitMatrix) -> TransposedBitMatrix {
+    /// The presence-column representation policy used when the transposed
+    /// indexes are built.
+    pub fn sparse_mode(&self) -> SparseMode {
+        self.sparse_mode
+    }
+
+    /// Sets the representation policy for the transposed presence-column
+    /// indexes, dropping any index already built under a different policy.
+    ///
+    /// The policy is explicit per-graph state rather than an environment
+    /// read, so two graphs in one process can use different layouts and no
+    /// build races a concurrent `env::set_var`. Binaries that honor
+    /// `GRAPHTEMPO_SPARSE` read it exactly once at startup (via
+    /// [`SparseMode::from_env_value`]) and call this.
+    pub fn set_sparse_mode(&mut self, mode: SparseMode) {
+        if self.sparse_mode != mode {
+            self.sparse_mode = mode;
+            self.node_cols = OnceLock::new();
+            self.edge_cols = OnceLock::new();
+        }
+    }
+
+    fn build_transposed(&self, m: &BitMatrix) -> TransposedBitMatrix {
         let ins = tempo_instrument::global();
         let t = {
             let _span = ins.histogram("graph.transpose_build_ns").span();
             ins.counter("graph.transpose_builds").inc();
-            m.transposed_with(sparse_mode())
+            m.transposed_with(self.sparse_mode)
         };
         ins.counter("columnar.presence.dense_cols")
             .add(t.n_dense_cols() as u64);
@@ -573,6 +587,30 @@ mod tests {
         // a clone carries the cache along without rebuilding
         let g2 = g.clone();
         assert_eq!(g2.node_presence_columns(), nc);
+    }
+
+    // Regression for the env-driven policy: building one graph used to
+    // flip the representation for every other graph in the process.
+    #[test]
+    fn per_graph_sparse_mode_is_independent() {
+        let mut a = fig1_graph();
+        let mut b = fig1_graph();
+        a.set_sparse_mode(SparseMode::ForceSparse);
+        b.set_sparse_mode(SparseMode::ForceDense);
+        assert_eq!(a.sparse_mode(), SparseMode::ForceSparse);
+        for t in 0..a.domain().len() {
+            assert!(a.node_presence_columns().col(t).is_sparse());
+            assert!(a.edge_presence_columns().col(t).is_sparse());
+            assert!(!b.node_presence_columns().col(t).is_sparse());
+            assert!(!b.edge_presence_columns().col(t).is_sparse());
+        }
+        // flipping the policy after a build drops the cached index …
+        a.set_sparse_mode(SparseMode::ForceDense);
+        assert!(!a.node_presence_columns().col(0).is_sparse());
+        // … while re-setting the same policy keeps it
+        let before = a.node_presence_columns() as *const _;
+        a.set_sparse_mode(SparseMode::ForceDense);
+        assert!(std::ptr::eq(before, a.node_presence_columns()));
     }
 
     #[test]
