@@ -2,12 +2,14 @@
 //! wall-clock time of the monotonicity-pruned strategies versus naive
 //! enumeration of every interval pair, across all twelve Table-1 cases —
 //! plus the three-way ablation of the evaluation paths (chain-incremental
-//! cursor vs per-pair kernel vs materializing oracle) written to
+//! cursor vs per-pair kernel vs materializing oracle) and the entity-space
+//! sharding arm (sharded vs chain-parallel at an equal thread budget,
+//! `GRAPHTEMPO_SHARDS` shards, asserted bit-identical), written to
 //! `BENCH_explore_kernel.json`.
 
 use graphtempo::explore::{
-    explore, explore_materializing, explore_naive, explore_pairwise, explore_parallel, suggest_k,
-    ExploreConfig, ExtendSide, Selector, Semantics,
+    explore, explore_materializing, explore_naive, explore_pairwise, explore_parallel,
+    explore_sharded_parallel, suggest_k, ExploreConfig, ExtendSide, Selector, Semantics,
 };
 use graphtempo::ops::Event;
 use tempo_bench::datasets::{attrs, dblp, scale};
@@ -180,6 +182,88 @@ fn kernel_ablation(g: &TemporalGraph, cases: &[ExploreConfig]) -> Json {
     ])
 }
 
+/// Shard count for the sharded arm (`GRAPHTEMPO_SHARDS`, default 4;
+/// 1 forces the degenerate unsharded delegate for ablation).
+fn shard_count() -> usize {
+    std::env::var("GRAPHTEMPO_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4)
+        .max(1)
+}
+
+/// Ablates entity-space sharding against chain-only parallelism at an
+/// equal thread budget: `explore_sharded_parallel` (shards × chain
+/// groups) versus `explore_parallel` (chains only), both asserted
+/// bit-identical to the sequential chain path. Returns the report
+/// section.
+fn sharded_ablation(g: &TemporalGraph, cases: &[ExploreConfig]) -> Json {
+    const REPS: usize = 3;
+    let shards = shard_count();
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = cores.max(shards);
+    println!(
+        "\nsharded arm: {shards} shards, {threads} threads, {cores} cores\n\
+         {:<12} {:<6} {:<13} {:>4} {:>8} {:>10} {:>10} {:>8}",
+        "event", "extend", "semantics", "k", "evals", "chainpar(s)", "sharded(s)", "sh/cp"
+    );
+    let mut entries = Vec::new();
+    let mut log_speedups = Vec::new();
+    for cfg in cases {
+        let (event, extend, sem) = case_name(cfg);
+        let seq = explore(g, cfg).expect("chain explore");
+        let (par, par_t) = timed_min(REPS, || {
+            explore_parallel(g, cfg, threads).expect("chain-parallel explore")
+        });
+        let (sh, sh_t) = timed_min(REPS, || {
+            explore_sharded_parallel(g, cfg, shards, threads).expect("sharded explore")
+        });
+        assert_eq!(par.pairs, seq.pairs, "chain-parallel must match chain");
+        assert_eq!(sh.pairs, seq.pairs, "sharded must match chain");
+        assert_eq!(sh.evaluations, seq.evaluations);
+        let speedup = secs(par_t) / secs(sh_t).max(f64::EPSILON);
+        log_speedups.push(speedup.ln());
+        println!(
+            "{:<12} {:<6} {:<13} {:>4} {:>8} {:>10.4} {:>10.4} {:>7.2}x",
+            event,
+            extend,
+            sem,
+            cfg.k,
+            sh.evaluations,
+            secs(par_t),
+            secs(sh_t),
+            speedup
+        );
+        entries.push(Json::Obj(vec![
+            ("event".into(), Json::str(&event)),
+            ("extend".into(), Json::str(&extend)),
+            ("semantics".into(), Json::str(sem)),
+            ("k".into(), Json::Int(cfg.k)),
+            ("evaluations".into(), Json::Int(sh.evaluations as u64)),
+            ("pairs".into(), Json::Int(sh.pairs.len() as u64)),
+            ("chain_parallel_s".into(), Json::Num(secs(par_t))),
+            ("sharded_s".into(), Json::Num(secs(sh_t))),
+            (
+                "speedup_sharded_vs_chain_parallel".into(),
+                Json::Num(speedup),
+            ),
+        ]));
+    }
+    let geomean = (log_speedups.iter().sum::<f64>() / log_speedups.len().max(1) as f64).exp();
+    println!("geomean sharded speedup over chain-parallel: {geomean:.2}x");
+    Json::Obj(vec![
+        ("shards".into(), Json::Int(shards as u64)),
+        ("threads".into(), Json::Int(threads as u64)),
+        ("cores".into(), Json::Int(cores as u64)),
+        ("reps".into(), Json::Int(REPS as u64)),
+        (
+            "geomean_sharded_vs_chain_parallel".into(),
+            Json::Num(geomean),
+        ),
+        ("cases".into(), Json::Arr(entries)),
+    ])
+}
+
 fn main() {
     let g = dblp();
     let gender = attrs(&g, &["gender"])[0];
@@ -194,6 +278,7 @@ fn main() {
     let Json::Obj(mut fields) = report else {
         unreachable!("kernel_ablation returns an object")
     };
+    fields.push(("sharded".into(), sharded_ablation(&g, &cases)));
     fields.push((
         "metrics".into(),
         metrics_json(&tempo_instrument::global().snapshot()),

@@ -5,7 +5,8 @@ use crate::parser::{kwarg, parse_interval, split_kwargs, tokenize};
 use graphtempo::aggregate::{aggregate, AggMode, AggregateGraph};
 use graphtempo::evolution::{evolution_aggregate, EvolutionAggregate};
 use graphtempo::explore::{
-    explore_budgeted, suggest_k, Budget, ExploreConfig, ExtendSide, Selector, Semantics,
+    explore_budgeted, explore_sharded_budgeted, suggest_k, Budget, ExploreConfig, ExtendSide,
+    Selector, Semantics,
 };
 use graphtempo::export::{aggregate_edges_frame, aggregate_nodes_frame, aggregate_to_dot};
 use graphtempo::ops::{difference, intersection, project, union, Event, SideTest};
@@ -55,6 +56,10 @@ pub struct QueryLimits {
     /// are truncated with a trailing note (and counted in the
     /// `server.rows_truncated` metric).
     pub max_rows: Option<usize>,
+    /// Entity-space shard count for `explore`: values above 1 route the
+    /// run through the sharded evaluator (bit-identical to the unsharded
+    /// path); `None` or `Some(1)` keep the plain chain engine.
+    pub shards: Option<usize>,
 }
 
 /// Interactive state: the working graph and the last computed results.
@@ -524,7 +529,10 @@ impl Session {
             Some(ms) => Budget::unlimited().with_deadline_ms(ms),
             None => Budget::unlimited(),
         };
-        let out = explore_budgeted(g, &cfg, &budget)?;
+        let out = match self.limits.shards {
+            Some(s) if s > 1 => explore_sharded_budgeted(g, &cfg, s, &budget)?,
+            _ => explore_budgeted(g, &cfg, &budget)?,
+        };
         let kind = match semantics {
             Semantics::Union => "minimal",
             Semantics::Intersection => "maximal",
@@ -1066,7 +1074,7 @@ mod tests {
             Arc::clone(&snap),
             QueryLimits {
                 timeout_ms: Some(0),
-                max_rows: None,
+                ..QueryLimits::default()
             },
         );
         assert!(matches!(
@@ -1077,8 +1085,8 @@ mod tests {
         let mut s = Session::for_snapshot(
             snap,
             QueryLimits {
-                timeout_ms: None,
                 max_rows: Some(0),
+                ..QueryLimits::default()
             },
         );
         assert_eq!(s.limits().max_rows, Some(0));
@@ -1092,6 +1100,43 @@ mod tests {
             .exec("explore event=stability semantics=union extend=new k=1 attrs=kind")
             .unwrap();
         assert!(!out.contains("more rows"));
+    }
+
+    #[test]
+    fn snapshot_session_shard_limit_routes_sharded_explore() {
+        let base = ready();
+        let snap = base.graph_arc().unwrap();
+        let line = "explore event=stability semantics=union extend=new k=1 attrs=kind";
+        let mut plain = Session::for_snapshot(Arc::clone(&snap), QueryLimits::default());
+        let expected = plain.exec(line).unwrap();
+        // the sharded route is bit-identical, so the rendering matches too
+        let mut sharded = Session::for_snapshot(
+            Arc::clone(&snap),
+            QueryLimits {
+                shards: Some(4),
+                ..QueryLimits::default()
+            },
+        );
+        assert_eq!(sharded.exec(line).unwrap(), expected);
+        // shards=1 keeps the plain engine and agrees as well
+        sharded.set_limits(QueryLimits {
+            shards: Some(1),
+            ..QueryLimits::default()
+        });
+        assert_eq!(sharded.exec(line).unwrap(), expected);
+        // budget checkpoints still fire inside sharded evaluation
+        let mut timed = Session::for_snapshot(
+            snap,
+            QueryLimits {
+                timeout_ms: Some(0),
+                shards: Some(4),
+                ..QueryLimits::default()
+            },
+        );
+        assert!(matches!(
+            timed.exec(line),
+            Err(CliError::Graph(tempo_graph::GraphError::Cancelled(_)))
+        ));
     }
 
     #[test]

@@ -43,7 +43,7 @@ use tempo_graph::{EdgeId, GraphError, TimePoint};
 /// (`Table`), which scans kept entities.
 ///
 /// [`GroupTable::count_distinct`]: crate::aggregate::GroupTable::count_distinct
-enum FastCount {
+pub(super) enum FastCount {
     /// Selector tuple occurs nowhere in the source graph — always 0.
     Zero,
     /// Static table + all-nodes selector: popcount of kept nodes.
@@ -59,7 +59,7 @@ enum FastCount {
 }
 
 impl FastCount {
-    fn resolve(kernel: &ExploreKernel<'_>) -> FastCount {
+    pub(super) fn resolve(kernel: &ExploreKernel<'_>) -> FastCount {
         let g = kernel.g;
         match (&kernel.target, kernel.table.is_static()) {
             // A tuple absent from the source graph can never appear in an
@@ -125,6 +125,10 @@ pub struct ChainCursor<'k, 'g> {
     /// Node ids currently set in `incident`, so the next evaluation clears
     /// only those bits (`O(kept edges)`) instead of the whole vector.
     incident_touched: Vec<u32>,
+    /// Dedup scratches for the time-varying distinct count, hoisted so a
+    /// worker's whole chain batch reuses one pair of buffers.
+    seen_gids: Vec<u32>,
+    seen_pairs: Vec<(u32, u32)>,
     /// Count-only mode ([`new_counting`](Self::new_counting)): popcount
     /// selectors fuse the membership test and the count into one
     /// word-parallel (or sparse-probe) pass, skipping the node keep-mask
@@ -173,6 +177,8 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
             mask: EventMask::cleared(g),
             incident: BitVec::zeros(g.n_nodes()),
             incident_touched: Vec::new(),
+            seen_gids: Vec::new(),
+            seen_pairs: Vec::new(),
             count_only,
             ins_chains: ins.counter("explore.cursor.chains"),
             ins_steps: ins.counter("explore.cursor.steps"),
@@ -402,11 +408,13 @@ impl<'k, 'g> ChainCursor<'k, 'g> {
             FastCount::PopEdges => self.mask.keep_edges().count_ones() as u64,
             FastCount::NodesMatch(m) => self.mask.keep_nodes().count_ones_and(m) as u64,
             FastCount::EdgesMatch(m) => self.mask.keep_edges().count_ones_and(m) as u64,
-            FastCount::Table => {
-                self.kernel
-                    .table
-                    .count_distinct(self.kernel.g, &self.mask, &self.kernel.target)
-            }
+            FastCount::Table => self.kernel.table.count_distinct_with_scratch(
+                self.kernel.g,
+                &self.mask,
+                &self.kernel.target,
+                &mut self.seen_gids,
+                &mut self.seen_pairs,
+            ),
         }
     }
 

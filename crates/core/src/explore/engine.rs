@@ -234,7 +234,7 @@ pub fn explore_materializing(
     )
 }
 
-fn check_domain(g: &TemporalGraph) -> Result<usize, GraphError> {
+pub(super) fn check_domain(g: &TemporalGraph) -> Result<usize, GraphError> {
     let n = g.domain().len();
     if n < 2 {
         return Err(GraphError::EmptyInterval(
@@ -356,7 +356,7 @@ fn pruned_counters() -> &'static PrunedCounters {
 /// identical whichever evaluator — cursor, kernel or materializing — is
 /// plugged in). The budget is polled before every evaluation — the engine's
 /// cancellation checkpoints.
-fn explore_reference(
+pub(super) fn explore_reference(
     eval: &mut dyn ChainEvaluator,
     cfg: &ExploreConfig,
     n: usize,

@@ -25,6 +25,7 @@ mod cursor;
 mod engine;
 mod kernel;
 mod naive;
+mod shard;
 mod solve;
 mod threshold;
 
@@ -37,6 +38,10 @@ pub use engine::{
 };
 pub use kernel::{evaluate_pair_materialized, ExploreKernel};
 pub use naive::explore_naive;
+pub use shard::{
+    explore_sharded, explore_sharded_budgeted, explore_sharded_parallel, explore_sharded_prepared,
+    ShardPlan,
+};
 pub use solve::{solve_problem, EventReport, ProblemReport};
 pub use threshold::{initial_threshold, suggest_k, ThresholdStat};
 

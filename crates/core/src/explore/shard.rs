@@ -1,0 +1,858 @@
+//! Entity-space sharded exploration: per-shard chain cursors with
+//! merge-by-gid reduction.
+//!
+//! [`explore_parallel`](super::explore_parallel) fans out over the `n-1`
+//! reference chains only — on graphs with few time points and millions of
+//! entities most cores sit idle and every accumulator spans the full
+//! entity range. This module adds the orthogonal axis: a [`ShardPlan`]
+//! partitions the node and edge id spaces into `S` contiguous,
+//! word-aligned shards (fragments built and cached by
+//! [`TemporalGraph::presence_shards`]), and each interval-pair evaluation
+//! runs `S` fragment-local chain cursors whose partial results reduce to
+//! the whole-graph count:
+//!
+//! * popcount-style targets and per-edge distinct scans decompose per
+//!   entity, so shards reduce by a plain sum;
+//! * time-varying node targets accumulate into the [`GroupTable`]'s dense
+//!   per-group accumulators, reduced by **merge-by-gid** — a vector add,
+//!   one pass per shard ([`GroupTable::merge_accumulator`]);
+//! * the Definition-2.5 incident-endpoint rescue crosses shard boundaries
+//!   (an edge's endpoints live anywhere in node space), so difference
+//!   events with node targets run a two-barrier exchange through a shared
+//!   atomic incident bitmap: every shard scatters the endpoints of its
+//!   kept edges, then gathers its own node range back.
+//!
+//! Execution is driver-broadcast: per chain group, the shard-0 participant
+//! (the *driver*) runs the real exploration strategy — pruning, budget
+//! checkpoints, outcome recording, all identical to the unsharded engine —
+//! and publishes each chain coordinate to `S-1` spin-waiting workers, then
+//! merges their partials. Workers carry no strategy or budget logic at
+//! all, so the sharded path cannot diverge from the sequential one; the
+//! `S = 1` degenerate case *is* the unsharded path
+//! ([`explore_prepared_budgeted`]). Total parallelism becomes
+//! shards × chain groups. Bit-identity with the unsharded engine across
+//! every strategy row, selector, and shard count is property-tested in
+//! `tests/sharded_explore.rs`.
+//!
+//! [`GroupTable`]: crate::aggregate::GroupTable
+//! [`GroupTable::merge_accumulator`]: crate::aggregate::GroupTable::merge_accumulator
+//! [`TemporalGraph::presence_shards`]: tempo_graph::TemporalGraph::presence_shards
+
+use super::budget::Budget;
+use super::cursor::FastCount;
+use super::engine::{
+    check_domain, explore_reference, ChainEvaluator, ExploreOutcome, IntervalPair,
+};
+use super::kernel::ExploreKernel;
+use super::{explore_budgeted, explore_parallel, explore_prepared_budgeted};
+use super::{ExploreConfig, ExtendSide, Semantics};
+use crate::aggregate::CountTarget;
+use crate::ops::Event;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use tempo_columnar::BitVec;
+use tempo_graph::{EdgeId, GraphError, PresenceShards, TemporalGraph, TimePoint, TimeSet};
+
+const WORD_BITS: usize = 64;
+
+/// The entity-space partition of one graph for a fixed shard count: a
+/// cheap handle on the graph's cached [`PresenceShards`] (per-shard
+/// transposed presence fragments over word-aligned contiguous id ranges).
+///
+/// Build once and reuse across [`explore_sharded_prepared`] runs; cloning
+/// the plan or rebuilding it for the same graph and shard count shares the
+/// cached fragments.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    frags: Arc<PresenceShards>,
+}
+
+impl ShardPlan {
+    /// Builds (or fetches from the graph's cache) the fragment set for
+    /// `shards` shards. A count of zero is treated as one shard.
+    #[must_use]
+    pub fn new(g: &TemporalGraph, shards: usize) -> ShardPlan {
+        ShardPlan {
+            frags: g.presence_shards(shards.max(1)),
+        }
+    }
+
+    /// Number of shards in the plan.
+    #[must_use]
+    pub fn n_shards(&self) -> usize {
+        self.frags.n_shards()
+    }
+
+    /// The underlying fragments.
+    fn frags(&self) -> &PresenceShards {
+        &self.frags
+    }
+}
+
+/// How each shard turns its fragment-local masks into a partial result,
+/// resolved once per run from the kernel's [`FastCount`] and target.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ModeKind {
+    /// Target tuple absent from the source graph: every partial is 0.
+    Zero,
+    /// Static table + all-nodes: popcount over the node fragment.
+    PopNodes,
+    /// Static table + all-edges: popcount over the edge fragment.
+    PopEdges,
+    /// Static table + node tuple: popcount ∧ sliced node target mask.
+    NodesMatch,
+    /// Static table + edge tuple: popcount ∧ sliced edge target mask.
+    EdgesMatch,
+    /// Time-varying table, node target: per-group accumulator over the
+    /// shard's kept nodes, reduced by merge-by-gid.
+    TableNodes,
+    /// Time-varying table, edge target: per-edge distinct scan over the
+    /// shard's kept edges, reduced by sum.
+    TableEdges,
+}
+
+/// Resolved counting mode shared by every participant of a run, holding
+/// the whole-graph target masks each cursor slices to its own range.
+struct ShardMode {
+    kind: ModeKind,
+    node_mask: Option<BitVec>,
+    edge_mask: Option<BitVec>,
+    /// Difference events with a node-dimension target need the cross-shard
+    /// incident exchange (and therefore the two barrier phases) — uniform
+    /// across every round of a run, so barriers always pair up.
+    uses_incident: bool,
+}
+
+impl ShardMode {
+    fn resolve(kernel: &ExploreKernel<'_>) -> ShardMode {
+        let (kind, node_mask, edge_mask) = match FastCount::resolve(kernel) {
+            FastCount::Zero => (ModeKind::Zero, None, None),
+            FastCount::PopNodes => (ModeKind::PopNodes, None, None),
+            FastCount::PopEdges => (ModeKind::PopEdges, None, None),
+            FastCount::NodesMatch(m) => (ModeKind::NodesMatch, Some(m), None),
+            FastCount::EdgesMatch(m) => (ModeKind::EdgesMatch, None, Some(m)),
+            FastCount::Table => match kernel.target {
+                CountTarget::AllNodes | CountTarget::Node(_) => (ModeKind::TableNodes, None, None),
+                CountTarget::AllEdges | CountTarget::Edge(_) => (ModeKind::TableEdges, None, None),
+            },
+        };
+        let node_dim = matches!(
+            kind,
+            ModeKind::PopNodes | ModeKind::NodesMatch | ModeKind::TableNodes
+        );
+        ShardMode {
+            kind,
+            node_mask,
+            edge_mask,
+            uses_incident: node_dim && kernel.cfg.event != Event::Stability,
+        }
+    }
+
+    fn table_nodes(&self) -> bool {
+        self.kind == ModeKind::TableNodes
+    }
+}
+
+/// Spin-then-yield backoff for the round-trip waits. Evaluations are
+/// microseconds, so waiting must not fall into a futex sleep — but on an
+/// oversubscribed machine (more participants than cores) pure spinning
+/// would starve the very thread being waited for, hence the yield.
+#[inline]
+fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 1 << 10 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Sense-reversing spin barrier for the incident-exchange phases. All `n`
+/// participants of a chain group hit every barrier of a round or none
+/// (the phase structure is fixed per run by [`ShardMode`]), so a plain
+/// generation counter suffices.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> SpinBarrier {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation.fetch_add(1, Ordering::Release);
+        } else {
+            let mut spins = 0;
+            while self.generation.load(Ordering::Acquire) == gen {
+                backoff(&mut spins);
+            }
+        }
+    }
+}
+
+/// Shared round state of one chain group: the driver broadcasts chain
+/// coordinates, workers publish partials, and difference/node-target
+/// rounds exchange incident-endpoint bits through the shared bitmap.
+struct GroupComms {
+    shards: usize,
+    /// Round generation; a bump (`Release`) publishes `op`/`stop`.
+    round: AtomicU64,
+    /// Chain coordinate of the current round, packed `i << 32 | j`.
+    op: AtomicU64,
+    /// Raised (before the final bump) to shut the group's workers down.
+    stop: AtomicBool,
+    /// Scalar partial accumulator, reset by the driver between rounds.
+    sum: AtomicU64,
+    /// Workers done with the current round; the driver's merge gate.
+    done: AtomicUsize,
+    barrier: SpinBarrier,
+    /// Whole-graph incident-endpoint bitmap (one word per 64 node ids);
+    /// empty unless the run's mode uses the incident exchange.
+    incident: Vec<AtomicU64>,
+    /// Per-worker dense group accumulators (merge-by-gid slots), pre-zeroed
+    /// and re-zeroed by the driver's merge; empty unless `TableNodes`.
+    acc_slots: Vec<Mutex<Vec<u64>>>,
+}
+
+impl GroupComms {
+    fn new(shards: usize, mode: &ShardMode, node_words: usize, n_groups: usize) -> GroupComms {
+        GroupComms {
+            shards,
+            round: AtomicU64::new(0),
+            op: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            sum: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            barrier: SpinBarrier::new(shards),
+            incident: if mode.uses_incident {
+                (0..node_words).map(|_| AtomicU64::new(0)).collect()
+            } else {
+                Vec::new()
+            },
+            acc_slots: if mode.table_nodes() {
+                (1..shards).map(|_| Mutex::new(vec![0; n_groups])).collect()
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    fn publish_stop(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        self.round.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// One participant's fragment-local chain cursor: the fused counting
+/// cursor's accumulators and mask formulas (see
+/// [`ChainCursor`](super::ChainCursor)) over one shard's presence
+/// fragments, with target masks pre-sliced to the shard's id range. All
+/// scratch is allocated once per participant and reused across the whole
+/// run. Records no `explore.*`/`cursor.*` evaluation metrics — the driver
+/// accounts each *logical* (merged) evaluation exactly once.
+struct ShardCursor<'k, 'g, 'p> {
+    kernel: &'k ExploreKernel<'g>,
+    node_frag: &'p tempo_columnar::TransposedBitMatrix,
+    edge_frag: &'p tempo_columnar::TransposedBitMatrix,
+    node_lo: usize,
+    edge_lo: usize,
+    /// Word range of the shard's node ids in the shared incident bitmap.
+    node_word_lo: usize,
+    node_word_hi: usize,
+    node_target: Option<BitVec>,
+    edge_target: Option<BitVec>,
+    kind: ModeKind,
+    n: usize,
+    current_ref: Option<usize>,
+    step: usize,
+    ref_t: usize,
+    ext_nodes: BitVec,
+    ext_edges: BitVec,
+    scope: TimeSet,
+    keep_nodes: BitVec,
+    keep_edges: BitVec,
+    incident: BitVec,
+    gather: Vec<u64>,
+    seen_gids: Vec<u32>,
+    seen_pairs: Vec<(u32, u32)>,
+}
+
+impl<'k, 'g, 'p> ShardCursor<'k, 'g, 'p> {
+    fn new(
+        kernel: &'k ExploreKernel<'g>,
+        frags: &'p PresenceShards,
+        mode: &ShardMode,
+        s: usize,
+    ) -> Self {
+        let (node_lo, node_hi) = frags.node_range(s);
+        let (edge_lo, edge_hi) = frags.edge_range(s);
+        let node_len = node_hi - node_lo;
+        let edge_len = edge_hi - edge_lo;
+        ShardCursor {
+            kernel,
+            node_frag: frags.node_frag(s),
+            edge_frag: frags.edge_frag(s),
+            node_lo,
+            edge_lo,
+            node_word_lo: node_lo / WORD_BITS,
+            node_word_hi: node_lo / WORD_BITS + node_len.div_ceil(WORD_BITS),
+            node_target: mode
+                .node_mask
+                .as_ref()
+                .map(|m| m.slice_aligned(node_lo, node_hi)),
+            edge_target: mode
+                .edge_mask
+                .as_ref()
+                .map(|m| m.slice_aligned(edge_lo, edge_hi)),
+            kind: mode.kind,
+            n: kernel.g.domain().len(),
+            current_ref: None,
+            step: 0,
+            ref_t: 0,
+            ext_nodes: BitVec::zeros(node_len),
+            ext_edges: BitVec::zeros(edge_len),
+            scope: TimeSet::empty(kernel.g.domain().len()),
+            keep_nodes: BitVec::zeros(node_len),
+            keep_edges: BitVec::zeros(edge_len),
+            incident: BitVec::zeros(node_len),
+            gather: Vec::with_capacity(node_len.div_ceil(WORD_BITS)),
+            seen_gids: Vec::new(),
+            seen_pairs: Vec::new(),
+        }
+    }
+
+    /// Mirrors `ChainCursor::start_chain` on the fragment.
+    fn start_chain(&mut self, i: usize) {
+        assert!(i + 1 < self.n, "reference {i} out of domain {}", self.n);
+        self.current_ref = Some(i);
+        self.step = 0;
+        let (ext_t0, ref_t) = match self.kernel.cfg.extend {
+            ExtendSide::New => (i + 1, i),
+            ExtendSide::Old => (i, i + 1),
+        };
+        self.ref_t = ref_t;
+        self.node_frag.col(ext_t0).copy_into(&mut self.ext_nodes);
+        self.edge_frag.col(ext_t0).copy_into(&mut self.ext_edges);
+        self.scope.clear();
+        match self.kernel.cfg.event {
+            Event::Stability => {
+                self.scope.insert(TimePoint(i as u32));
+                self.scope.insert(TimePoint((i + 1) as u32));
+            }
+            Event::Growth => self.scope.insert(TimePoint((i + 1) as u32)),
+            Event::Shrinkage => self.scope.insert(TimePoint(i as u32)),
+        }
+    }
+
+    /// Mirrors `ChainCursor::advance` on the fragment.
+    fn advance(&mut self) {
+        let i = self
+            .current_ref
+            .expect("invariant: start_chain loads a reference before advance");
+        self.step += 1;
+        let t_added = match self.kernel.cfg.extend {
+            ExtendSide::New => i + 1 + self.step,
+            ExtendSide::Old => i
+                .checked_sub(self.step)
+                .expect("invariant: chain length caps steps so the old side never passes t0"),
+        };
+        assert!(
+            t_added < self.n,
+            "new side extends at most to the domain end"
+        );
+        let (node_col, edge_col) = (self.node_frag.col(t_added), self.edge_frag.col(t_added));
+        match self.kernel.cfg.semantics {
+            Semantics::Union => {
+                node_col.or_into(&mut self.ext_nodes);
+                edge_col.or_into(&mut self.ext_edges);
+            }
+            Semantics::Intersection => {
+                node_col.and_assign_into(&mut self.ext_nodes);
+                edge_col.and_assign_into(&mut self.ext_edges);
+            }
+        }
+        let scope_tracks_ext = match self.kernel.cfg.event {
+            Event::Stability => true,
+            Event::Growth => self.kernel.cfg.extend == ExtendSide::New,
+            Event::Shrinkage => self.kernel.cfg.extend == ExtendSide::Old,
+        };
+        if scope_tracks_ext {
+            self.scope.insert(TimePoint(t_added as u32));
+        }
+    }
+
+    fn ref_is_keep(&self) -> bool {
+        matches!(
+            (self.kernel.cfg.event, self.kernel.cfg.extend),
+            (Event::Growth, ExtendSide::Old) | (Event::Shrinkage, ExtendSide::New)
+        )
+    }
+
+    /// Two-barrier cross-shard incident exchange (Definition 2.5): every
+    /// participant clears its own word range of the shared bitmap, then
+    /// scatters the endpoints of *its* kept edges (which land in arbitrary
+    /// node shards), then gathers its own node range back as the local
+    /// rescue fragment.
+    fn exchange_incident(&mut self, comms: &GroupComms) {
+        for w in self.node_word_lo..self.node_word_hi {
+            comms.incident[w].store(0, Ordering::Relaxed);
+        }
+        comms.barrier.wait();
+        let g = self.kernel.g;
+        for le in self.keep_edges.iter_ones() {
+            let (u, v) = g.edge_endpoints(EdgeId((self.edge_lo + le) as u32));
+            for id in [u.index(), v.index()] {
+                comms.incident[id / WORD_BITS].fetch_or(1 << (id % WORD_BITS), Ordering::Relaxed);
+            }
+        }
+        comms.barrier.wait();
+        self.gather.clear();
+        self.gather.extend(
+            (self.node_word_lo..self.node_word_hi)
+                .map(|w| comms.incident[w].load(Ordering::Relaxed)),
+        );
+        self.incident.copy_from_words(&self.gather);
+    }
+
+    /// Positions the cursor at chain pair `(i, j)` and produces this
+    /// shard's partial: the scalar return for sum-reduced modes, or group
+    /// counts added into `acc` (pre-zeroed by the caller's reduction) for
+    /// `TableNodes`.
+    fn eval_round(
+        &mut self,
+        i: usize,
+        j: usize,
+        comms: &GroupComms,
+        acc: Option<&mut [u64]>,
+    ) -> u64 {
+        if self.current_ref != Some(i) || j < self.step {
+            self.start_chain(i);
+        }
+        while self.step < j {
+            self.advance();
+        }
+        let table = &self.kernel.table;
+        let g = self.kernel.g;
+        let ref_nodes = self.node_frag.col(self.ref_t);
+        let ref_edges = self.edge_frag.col(self.ref_t);
+        match self.kernel.cfg.event {
+            Event::Stability => match self.kind {
+                ModeKind::Zero => 0,
+                ModeKind::PopNodes => ref_nodes.count_ones_and_dense(&self.ext_nodes) as u64,
+                ModeKind::PopEdges => ref_edges.count_ones_and_dense(&self.ext_edges) as u64,
+                ModeKind::NodesMatch => {
+                    let m = self
+                        .node_target
+                        .as_ref()
+                        .expect("invariant: NodesMatch mode carries a node target mask");
+                    ref_nodes.count_ones_and2(&self.ext_nodes, m) as u64
+                }
+                ModeKind::EdgesMatch => {
+                    let m = self
+                        .edge_target
+                        .as_ref()
+                        .expect("invariant: EdgesMatch mode carries an edge target mask");
+                    ref_edges.count_ones_and2(&self.ext_edges, m) as u64
+                }
+                ModeKind::TableNodes => {
+                    ref_nodes.and_into(&self.ext_nodes, &mut self.keep_nodes);
+                    let acc = acc.expect("invariant: TableNodes rounds pass the group accumulator");
+                    table.accumulate_distinct_nodes(
+                        g,
+                        &self.keep_nodes,
+                        self.node_lo,
+                        self.scope.bits(),
+                        &mut self.seen_gids,
+                        acc,
+                    );
+                    0
+                }
+                ModeKind::TableEdges => {
+                    ref_edges.and_into(&self.ext_edges, &mut self.keep_edges);
+                    table.count_distinct_edges_range(
+                        g,
+                        &self.keep_edges,
+                        self.edge_lo,
+                        self.scope.bits(),
+                        &self.kernel.target,
+                        &mut self.seen_pairs,
+                    )
+                }
+            },
+            Event::Growth | Event::Shrinkage => {
+                if self.kind == ModeKind::Zero {
+                    return 0;
+                }
+                let ref_is_keep = self.ref_is_keep();
+                if ref_is_keep {
+                    ref_edges.and_not_into(&self.ext_edges, &mut self.keep_edges);
+                } else {
+                    ref_edges.and_not_from(&self.ext_edges, &mut self.keep_edges);
+                }
+                match self.kind {
+                    ModeKind::PopEdges => self.keep_edges.count_ones() as u64,
+                    ModeKind::EdgesMatch => {
+                        let m = self
+                            .edge_target
+                            .as_ref()
+                            .expect("invariant: EdgesMatch mode carries an edge target mask");
+                        self.keep_edges.count_ones_and(m) as u64
+                    }
+                    ModeKind::TableEdges => table.count_distinct_edges_range(
+                        g,
+                        &self.keep_edges,
+                        self.edge_lo,
+                        self.scope.bits(),
+                        &self.kernel.target,
+                        &mut self.seen_pairs,
+                    ),
+                    ModeKind::PopNodes | ModeKind::NodesMatch | ModeKind::TableNodes => {
+                        self.exchange_incident(comms);
+                        match self.kind {
+                            ModeKind::PopNodes | ModeKind::NodesMatch => {
+                                let sel = self.node_target.as_ref();
+                                if ref_is_keep {
+                                    ref_nodes.count_difference_keep(
+                                        &self.ext_nodes,
+                                        &self.incident,
+                                        sel,
+                                    ) as u64
+                                } else {
+                                    ref_nodes.count_difference_drop(
+                                        &self.ext_nodes,
+                                        &self.incident,
+                                        sel,
+                                    ) as u64
+                                }
+                            }
+                            ModeKind::TableNodes => {
+                                if ref_is_keep {
+                                    ref_nodes.and_not_into(&self.ext_nodes, &mut self.keep_nodes);
+                                    ref_nodes.or_and_into(&self.incident, &mut self.keep_nodes);
+                                } else {
+                                    ref_nodes.and_not_from(&self.ext_nodes, &mut self.keep_nodes);
+                                    self.keep_nodes
+                                        .or_and_assign(&self.incident, &self.ext_nodes);
+                                }
+                                let acc = acc.expect(
+                                    "invariant: TableNodes rounds pass the group accumulator",
+                                );
+                                table.accumulate_distinct_nodes(
+                                    g,
+                                    &self.keep_nodes,
+                                    self.node_lo,
+                                    self.scope.bits(),
+                                    &mut self.seen_gids,
+                                    acc,
+                                );
+                                0
+                            }
+                            _ => unreachable!("outer match covers the node-dimension kinds"),
+                        }
+                    }
+                    ModeKind::Zero => unreachable!("returned above"),
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn pack(i: usize, j: usize) -> u64 {
+    ((i as u64) << 32) | j as u64
+}
+
+#[inline]
+fn unpack(op: u64) -> (usize, usize) {
+    ((op >> 32) as usize, (op & u32::MAX as u64) as usize)
+}
+
+/// Worker loop for shards `1..S` of one chain group: wait for the driver
+/// to broadcast a round, evaluate the local fragment at that coordinate,
+/// publish the partial, repeat until the stop round. Wait time is recorded
+/// under `explore.shard.worker_idle_ns`.
+fn shard_worker(
+    kernel: &ExploreKernel<'_>,
+    frags: &PresenceShards,
+    mode: &ShardMode,
+    s: usize,
+    comms: &GroupComms,
+    idle: &Arc<tempo_instrument::Histogram>,
+) {
+    let mut cursor = ShardCursor::new(kernel, frags, mode, s);
+    let mut seen_round = 0u64;
+    loop {
+        {
+            let _idle = idle.span();
+            let mut spins = 0;
+            while comms.round.load(Ordering::Acquire) == seen_round {
+                backoff(&mut spins);
+            }
+        }
+        seen_round += 1;
+        if comms.stop.load(Ordering::Relaxed) {
+            return;
+        }
+        let (i, j) = unpack(comms.op.load(Ordering::Relaxed));
+        let partial = if mode.table_nodes() {
+            let mut slot = comms.acc_slots[s - 1]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            cursor.eval_round(i, j, comms, Some(&mut slot))
+        } else {
+            cursor.eval_round(i, j, comms, None)
+        };
+        if partial != 0 {
+            comms.sum.fetch_add(partial, Ordering::Relaxed);
+        }
+        comms.done.fetch_add(1, Ordering::Release);
+    }
+}
+
+/// The driver's evaluator: shard 0's cursor plus the broadcast/merge
+/// protocol. Plugged into the unchanged [`explore_reference`] strategy
+/// walk, so pruning, budget checkpoints, and outcome assembly are shared
+/// with the sequential engine verbatim. Records `explore.evaluations` and
+/// `explore.eval_ns` once per *merged* evaluation (the same accounting as
+/// the unsharded cursor) and the reduction latency under
+/// `explore.shard.merge_ns`.
+struct ShardedEvaluator<'k, 'g, 'p, 'c> {
+    cursor: ShardCursor<'k, 'g, 'p>,
+    comms: &'c GroupComms,
+    /// Driver-side merged accumulator (`TableNodes` only).
+    acc: Vec<u64>,
+    table_nodes: bool,
+    merge_ns: Arc<tempo_instrument::Histogram>,
+}
+
+impl<'k, 'g, 'p, 'c> ShardedEvaluator<'k, 'g, 'p, 'c> {
+    fn new(
+        kernel: &'k ExploreKernel<'g>,
+        frags: &'p PresenceShards,
+        mode: &ShardMode,
+        comms: &'c GroupComms,
+        merge_ns: Arc<tempo_instrument::Histogram>,
+    ) -> Self {
+        ShardedEvaluator {
+            cursor: ShardCursor::new(kernel, frags, mode, 0),
+            comms,
+            acc: if mode.table_nodes() {
+                kernel.table.new_accumulator()
+            } else {
+                Vec::new()
+            },
+            table_nodes: mode.table_nodes(),
+            merge_ns,
+        }
+    }
+}
+
+impl ChainEvaluator for ShardedEvaluator<'_, '_, '_, '_> {
+    fn evaluate(&mut self, i: usize, j: usize, _pair: &IntervalPair) -> Result<u64, GraphError> {
+        let kernel = self.cursor.kernel;
+        let _eval_span = kernel.ins_eval_ns.span();
+        kernel.ins_evals.inc();
+        let c = self.comms;
+        // Workers from the previous round are all past their publishes
+        // (the driver waited for `done`), so resetting before the bump
+        // cannot race them.
+        c.sum.store(0, Ordering::Relaxed);
+        c.done.store(0, Ordering::Relaxed);
+        c.op.store(pack(i, j), Ordering::Relaxed);
+        c.round.fetch_add(1, Ordering::Release);
+        let own = if self.table_nodes {
+            self.cursor.eval_round(i, j, c, Some(&mut self.acc))
+        } else {
+            self.cursor.eval_round(i, j, c, None)
+        };
+        let _merge_span = self.merge_ns.span();
+        let mut spins = 0;
+        while c.done.load(Ordering::Acquire) != c.shards - 1 {
+            backoff(&mut spins);
+        }
+        let mut total = c.sum.load(Ordering::Relaxed) + own;
+        if self.table_nodes {
+            // Merge-by-gid: one vector add per shard slot, then derive the
+            // scalar from the merged accumulator and re-zero everything for
+            // the next round.
+            let table = &kernel.table;
+            for slot in &c.acc_slots {
+                let mut s = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                table.merge_accumulator(&mut self.acc, &s);
+                s.fill(0);
+            }
+            total = table.count_from_accumulator(&self.acc, &kernel.target);
+            self.acc.fill(0);
+        }
+        Ok(total)
+    }
+}
+
+/// [`explore`](super::explore) with each pair evaluation sharded over the
+/// plan's entity-space fragments (`chain_groups` reference chains run
+/// concurrently, each with its own `S`-participant group — total
+/// parallelism shards × chain groups). Outcome is bit-identical to the
+/// sequential strategy; a plan of one shard *is* the sequential strategy.
+///
+/// # Errors
+/// Returns [`GraphError::Cancelled`] when the budget trips (checked by
+/// each group's driver before every merged evaluation, exactly like the
+/// sequential engine), or an error if the graph has fewer than two time
+/// points.
+///
+/// # Panics
+/// Panics if a participant thread panics.
+pub fn explore_sharded_prepared(
+    kernel: &ExploreKernel<'_>,
+    plan: &ShardPlan,
+    chain_groups: usize,
+    budget: &Budget,
+) -> Result<ExploreOutcome, GraphError> {
+    let n = check_domain(kernel.g)?;
+    let shards = plan.n_shards();
+    if shards <= 1 {
+        return explore_prepared_budgeted(kernel, budget);
+    }
+    let groups = chain_groups.clamp(1, n - 1);
+    let mode = ShardMode::resolve(kernel);
+    let mode = &mode;
+    let frags = plan.frags();
+    let ins = tempo_instrument::global();
+    let idle = ins.histogram("explore.shard.worker_idle_ns");
+    let merge_ns = ins.histogram("explore.shard.merge_ns");
+    let node_words = kernel.g.n_nodes().div_ceil(WORD_BITS);
+    let comms: Vec<GroupComms> = (0..groups)
+        .map(|_| GroupComms::new(shards, mode, node_words, kernel.table.n_groups()))
+        .collect();
+
+    let mut slots: Vec<Option<Result<ExploreOutcome, GraphError>>> = vec![None; n - 1];
+    // Same round-robin deal as `explore_parallel`: chain length is linear
+    // in the reference index, so contiguous batches would skew one group.
+    type RefSlot<'a> = (usize, &'a mut Option<Result<ExploreOutcome, GraphError>>);
+    let mut buckets: Vec<Vec<RefSlot<'_>>> = (0..groups).map(|_| Vec::new()).collect();
+    for (i, slot) in slots.iter_mut().enumerate() {
+        buckets[i % groups].push((i, slot));
+    }
+    crossbeam::thread::scope(|scope| {
+        for (bucket, comms) in buckets.into_iter().zip(&comms) {
+            for s in 1..shards {
+                let idle = Arc::clone(&idle);
+                scope.spawn(move |_| shard_worker(kernel, frags, mode, s, comms, &idle));
+            }
+            let merge_ns = Arc::clone(&merge_ns);
+            scope.spawn(move |_| {
+                let mut eval = ShardedEvaluator::new(kernel, frags, mode, comms, merge_ns);
+                for (i, slot) in bucket {
+                    let r = explore_reference(&mut eval, kernel.cfg, n, i, budget);
+                    let stop = r.is_err();
+                    *slot = Some(r);
+                    if stop {
+                        break;
+                    }
+                }
+                comms.publish_stop();
+            });
+        }
+    })
+    .expect("invariant: sharded exploration participants propagate errors instead of panicking");
+
+    let mut pairs = Vec::new();
+    let mut evaluations = 0;
+    let mut first_err = None;
+    let mut unfilled = false;
+    for slot in slots {
+        match slot {
+            Some(Ok(outcome)) => {
+                evaluations += outcome.evaluations;
+                pairs.extend(outcome.pairs);
+            }
+            Some(Err(e)) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+            None => unfilled = true,
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    assert!(
+        !unfilled,
+        "invariant: every reference slot is filled unless a driver erred"
+    );
+    Ok(ExploreOutcome { pairs, evaluations })
+}
+
+/// [`explore`](super::explore) with every pair evaluation sharded over
+/// `shards` entity-space fragments (one chain group; see
+/// [`explore_sharded_prepared`]). `shards <= 1` is exactly
+/// [`explore`](super::explore).
+///
+/// # Errors
+/// Returns an error if the graph has fewer than two time points or an
+/// operator fails.
+pub fn explore_sharded(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+    shards: usize,
+) -> Result<ExploreOutcome, GraphError> {
+    explore_sharded_budgeted(g, cfg, shards, &Budget::unlimited())
+}
+
+/// [`explore_sharded`] under a request-scoped [`Budget`]; the budget
+/// checkpoints fire before every merged evaluation, exactly as in
+/// [`explore_budgeted`](super::explore_budgeted).
+///
+/// # Errors
+/// Returns [`GraphError::Cancelled`] when the budget trips, or any error
+/// [`explore_sharded`] can return.
+pub fn explore_sharded_budgeted(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+    shards: usize,
+    budget: &Budget,
+) -> Result<ExploreOutcome, GraphError> {
+    if shards <= 1 {
+        return explore_budgeted(g, cfg, budget);
+    }
+    let kernel = ExploreKernel::new(g, cfg);
+    let plan = ShardPlan::new(g, shards);
+    explore_sharded_prepared(&kernel, &plan, 1, budget)
+}
+
+/// [`explore_parallel`](super::explore_parallel) with both axes: up to
+/// `threads` participants arranged as `threads / shards` chain groups of
+/// `shards` entity-space shards each. `shards <= 1` falls back to the
+/// chains-only [`explore_parallel`](super::explore_parallel).
+///
+/// # Errors
+/// Returns an error if the graph has fewer than two time points or an
+/// operator fails.
+///
+/// # Panics
+/// Panics if a participant thread panics.
+pub fn explore_sharded_parallel(
+    g: &TemporalGraph,
+    cfg: &ExploreConfig,
+    shards: usize,
+    threads: usize,
+) -> Result<ExploreOutcome, GraphError> {
+    if shards <= 1 {
+        return explore_parallel(g, cfg, threads.max(1));
+    }
+    let kernel = ExploreKernel::new(g, cfg);
+    let plan = ShardPlan::new(g, shards);
+    let groups = (threads.max(1) / shards).max(1);
+    explore_sharded_prepared(&kernel, &plan, groups, &Budget::unlimited())
+}

@@ -9,8 +9,7 @@ use super::cursor::ChainCursor;
 use super::kernel::ExploreKernel;
 use super::{direction, Direction, ExploreConfig, Selector};
 use crate::aggregate::AggMode;
-use crate::ops::{event_mask, SideTest};
-use tempo_graph::{GraphError, TemporalGraph, TimePoint, TimeSet};
+use tempo_graph::{GraphError, TemporalGraph};
 
 /// Which statistic of the consecutive-pair weights to take.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -44,6 +43,11 @@ pub fn initial_threshold(
     // is chain pair (i, 0), so the scan rides the chain-incremental cursor.
     let kernel = ExploreKernel::new(g, cfg);
     let mut cursor = ChainCursor::new(&kernel);
+    // Scratch hoisted across the whole scan: the cursor's event mask is
+    // rewritten in place per pair, and the weight / popcount buffers are
+    // cleared rather than reallocated.
+    let mut weights: Vec<u64> = Vec::new();
+    let mut popcounts: Vec<u32> = Vec::new();
     let mut best: Option<u64> = None;
     for i in 0..n - 1 {
         let r = match &cfg.selector {
@@ -60,17 +64,23 @@ pub fn initial_threshold(
                 r
             }
             all => {
-                let told = TimeSet::point(n, TimePoint(i as u32));
-                let tnew = TimeSet::point(n, TimePoint((i + 1) as u32));
-                let mask = event_mask(g, cfg.event, &told, &tnew, SideTest::Any, SideTest::Any)?;
-                let agg = kernel
-                    .group_table()
-                    .aggregate_masked(g, &mask, AggMode::Distinct);
-                let weights: Vec<u64> = if all.is_edge() {
-                    agg.iter_edges().iter().map(|(_, w)| *w).collect()
+                // The consecutive pair ({𝒯ᵢ}, {𝒯ᵢ₊₁}) is chain pair (i, 0),
+                // and with single-point sides the Any and All membership
+                // tests coincide — so the cursor's reusable mask is exactly
+                // the event mask the aggregate needs.
+                cursor.evaluate_chain_pair(i, 0);
+                let agg = kernel.group_table().aggregate_masked_with(
+                    g,
+                    cursor.last_mask(),
+                    AggMode::Distinct,
+                    &mut popcounts,
+                );
+                weights.clear();
+                if all.is_edge() {
+                    weights.extend(agg.iter_edges().iter().map(|(_, w)| *w));
                 } else {
-                    agg.iter_nodes().iter().map(|(_, w)| *w).collect()
-                };
+                    weights.extend(agg.iter_nodes().iter().map(|(_, w)| *w));
+                }
                 let Some(w) = (match stat {
                     ThresholdStat::Min => weights.iter().min().copied(),
                     ThresholdStat::Max => weights.iter().max().copied(),

@@ -1,0 +1,209 @@
+//! Bit-identity of entity-space sharded exploration with the unsharded
+//! engine: `explore_sharded` / `explore_sharded_parallel` must return
+//! exactly the pairs and evaluation counts of `explore`, for every
+//! Table-1 strategy row, every selector shape, every group-table layout,
+//! and shard counts from the degenerate 1 through 64 (far beyond the
+//! entity count of the small random graphs, so trailing fragments are
+//! empty and every reduction path sees all-zero partials).
+
+use graphtempo::explore::{
+    explore, explore_budgeted, explore_sharded, explore_sharded_budgeted, explore_sharded_parallel,
+    Budget, ExploreConfig, ExtendSide, Selector, Semantics,
+};
+use graphtempo::ops::Event;
+use proptest::prelude::*;
+use tempo_columnar::Value;
+use tempo_datagen::RandomGraphConfig;
+use tempo_graph::{AttrId, GraphError, TemporalGraph};
+
+/// Strategy: a random evolving graph (same shape as `tests/properties.rs`).
+fn graph_strategy() -> impl Strategy<Value = TemporalGraph> {
+    (
+        10usize..40,  // pool
+        3usize..7,    // timepoints
+        5usize..15,   // active per tp
+        5usize..40,   // edges per tp
+        0u8..=10,     // node persistence (tenths)
+        0u8..=10,     // edge persistence (tenths)
+        1usize..4,    // kinds
+        1i64..5,      // levels
+        any::<u64>(), // seed
+    )
+        .prop_map(|(pool, tps, active, edges, np, ep, kinds, levels, seed)| {
+            RandomGraphConfig {
+                pool,
+                timepoints: tps,
+                active_per_tp: active.min(pool),
+                edges_per_tp: edges,
+                node_persistence: f64::from(np) / 10.0,
+                edge_persistence: f64::from(ep) / 10.0,
+                kinds,
+                levels,
+                seed,
+            }
+            .generate()
+            .expect("random generator produces valid graphs")
+        })
+}
+
+fn kind_attr(g: &TemporalGraph) -> AttrId {
+    g.schema().id("kind").expect("random graphs have `kind`")
+}
+
+fn level_attr(g: &TemporalGraph) -> AttrId {
+    g.schema().id("level").expect("random graphs have `level`")
+}
+
+const EVENTS: [Event; 3] = [Event::Stability, Event::Growth, Event::Shrinkage];
+const SHARDS: [usize; 4] = [1, 2, 7, 64];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharded exploration is bit-identical to the sequential engine over
+    /// all twelve strategy rows and all selector shapes — including
+    /// tuples absent from the graph (the all-zero fast path) — at every
+    /// shard count, with both static and time-varying attribute layouts.
+    #[test]
+    fn sharded_matches_unsharded(g in graph_strategy()) {
+        let kind = kind_attr(&g);
+        let level = level_attr(&g);
+        let known = vec![Value::Cat(0)];
+        let unknown = vec![Value::Cat(u32::MAX)];
+        let selectors = [
+            Selector::AllNodes,
+            Selector::AllEdges,
+            Selector::NodeTuple(known.clone()),
+            Selector::EdgeTuple(known.clone(), known),
+            Selector::NodeTuple(unknown.clone()),
+            Selector::EdgeTuple(unknown.clone(), unknown),
+        ];
+        for attrs in [vec![kind], vec![kind, level]] {
+            for event in EVENTS {
+                for extend in [ExtendSide::Old, ExtendSide::New] {
+                    for semantics in [Semantics::Union, Semantics::Intersection] {
+                        for selector in &selectors {
+                            let cfg = ExploreConfig {
+                                event,
+                                extend,
+                                semantics,
+                                k: 2,
+                                attrs: attrs.clone(),
+                                selector: selector.clone(),
+                            };
+                            let seq = explore(&g, &cfg).unwrap();
+                            for shards in SHARDS {
+                                let sh = explore_sharded(&g, &cfg, shards).unwrap();
+                                prop_assert_eq!(
+                                    &sh.pairs, &seq.pairs,
+                                    "S={} {:?}/{:?}/{:?} selector={:?} attrs={:?}",
+                                    shards, event, extend, semantics, selector, attrs
+                                );
+                                prop_assert_eq!(sh.evaluations, seq.evaluations);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Both parallel axes at once (chain groups × shards) still reproduce
+    /// the sequential outcome exactly.
+    #[test]
+    fn sharded_parallel_matches_unsharded(g in graph_strategy(), k in 1u64..20) {
+        let cfg = ExploreConfig {
+            event: Event::Growth,
+            extend: ExtendSide::New,
+            semantics: Semantics::Union,
+            k,
+            attrs: vec![kind_attr(&g), level_attr(&g)],
+            selector: Selector::AllNodes,
+        };
+        let seq = explore(&g, &cfg).unwrap();
+        for (shards, threads) in [(2, 4), (4, 4), (7, 14)] {
+            let sh = explore_sharded_parallel(&g, &cfg, shards, threads).unwrap();
+            prop_assert_eq!(&sh.pairs, &seq.pairs, "S={} T={}", shards, threads);
+            prop_assert_eq!(sh.evaluations, seq.evaluations);
+        }
+    }
+
+    /// Budget checkpoints still fire inside sharded evaluation: an
+    /// already-expired deadline cancels the sharded run just like the
+    /// sequential one, and every worker shuts down cleanly (the test
+    /// returning at all proves no participant deadlocks on a cancelled
+    /// round).
+    #[test]
+    fn sharded_budget_cancels_like_unsharded(g in graph_strategy()) {
+        let cfg = ExploreConfig {
+            event: Event::Stability,
+            extend: ExtendSide::New,
+            semantics: Semantics::Union,
+            k: 1,
+            attrs: vec![kind_attr(&g)],
+            selector: Selector::AllNodes,
+        };
+        let expired = Budget::unlimited().with_deadline_ms(0);
+        let seq = explore_budgeted(&g, &cfg, &expired);
+        prop_assert!(matches!(seq, Err(GraphError::Cancelled(_))));
+        for shards in SHARDS {
+            let sh = explore_sharded_budgeted(&g, &cfg, shards, &expired);
+            prop_assert!(
+                matches!(sh, Err(GraphError::Cancelled(_))),
+                "S={} expected cancellation, got {:?}", shards, sh
+            );
+        }
+        // And an unlimited budget through the same entry point agrees with
+        // the plain run.
+        let unlimited = Budget::unlimited();
+        let seq = explore_budgeted(&g, &cfg, &unlimited).unwrap();
+        for shards in SHARDS {
+            let sh = explore_sharded_budgeted(&g, &cfg, shards, &unlimited).unwrap();
+            prop_assert_eq!(&sh.pairs, &seq.pairs);
+        }
+    }
+}
+
+/// Shard counts far above the entity count degenerate gracefully: most
+/// fragments are empty, and the tiny two-node graph still reduces to the
+/// sequential outcome.
+#[test]
+fn more_shards_than_entities() {
+    use tempo_graph::{AttributeSchema, GraphBuilder, Temporality, TimeDomain, TimePoint};
+
+    let domain = TimeDomain::new(vec!["t0", "t1", "t2"]).unwrap();
+    let mut schema = AttributeSchema::new();
+    let kind = schema.declare("kind", Temporality::Static).unwrap();
+    let mut b = GraphBuilder::new(domain, schema);
+    let a = b.add_node("a").unwrap();
+    let c = b.add_node("c").unwrap();
+    let v = b.intern_category(kind, "k0");
+    b.set_static(a, kind, v.clone()).unwrap();
+    b.set_static(c, kind, v).unwrap();
+    for t in 0..3 {
+        b.set_presence(a, TimePoint(t)).unwrap();
+        b.set_presence(c, TimePoint(t)).unwrap();
+    }
+    b.add_edge_at(a, c, TimePoint(0)).unwrap();
+    b.add_edge_at(a, c, TimePoint(2)).unwrap();
+    let g = b.build().unwrap();
+
+    for selector in [Selector::AllNodes, Selector::AllEdges] {
+        for event in EVENTS {
+            let cfg = ExploreConfig {
+                event,
+                extend: ExtendSide::New,
+                semantics: Semantics::Union,
+                k: 1,
+                attrs: vec![kind],
+                selector: selector.clone(),
+            };
+            let seq = explore(&g, &cfg).unwrap();
+            for shards in [3, 64] {
+                let sh = explore_sharded(&g, &cfg, shards).unwrap();
+                assert_eq!(sh.pairs, seq.pairs, "S={shards} {event:?} {selector:?}");
+                assert_eq!(sh.evaluations, seq.evaluations);
+            }
+        }
+    }
+}

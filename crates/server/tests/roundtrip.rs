@@ -74,13 +74,23 @@ fn protocol_roundtrip_and_graceful_shutdown() {
         "stats payload: {payload:?}"
     );
 
-    let (status, _) =
-        c.request("explore g event=growth semantics=union extend=new k=2 attrs=grade");
+    let explore = "explore g event=growth semantics=union extend=new k=2 attrs=grade";
+    let (status, explore_payload) = c.request(explore);
     assert!(status.starts_with("OK "), "explore failed: {status}");
 
     // request-scoped timeout: a zero budget must error, not hang
-    let (status, _) =
-        c.request("explore g event=growth semantics=union extend=new k=2 attrs=grade timeout_ms=0");
+    let (status, _) = c.request(&format!("{explore} timeout_ms=0"));
+    assert!(status.starts_with("ERR timeout:"), "got {status}");
+
+    // request-scoped sharding: bit-identical payload through the sharded
+    // evaluator, and budget checkpoints still fire inside it
+    let (status, payload) = c.request(&format!("{explore} shards=4"));
+    assert!(
+        status.starts_with("OK "),
+        "sharded explore failed: {status}"
+    );
+    assert_eq!(payload, explore_payload, "sharded payload diverged");
+    let (status, _) = c.request(&format!("{explore} shards=4 timeout_ms=0"));
     assert!(status.starts_with("ERR timeout:"), "got {status}");
 
     // request-scoped row limit: payload truncated with a marker line

@@ -13,10 +13,13 @@
 
 use crate::attrs::{AttrId, AttributeSchema, Temporality};
 use crate::error::GraphError;
+use crate::shards::PresenceShards;
 use crate::time::{TimeDomain, TimePoint, TimeSet};
 use std::collections::HashMap;
-use std::sync::OnceLock;
-use tempo_columnar::{BitMatrix, Interner, SparseMode, TransposedBitMatrix, Value, ValueMatrix};
+use std::sync::{Arc, Mutex, OnceLock};
+use tempo_columnar::{
+    shard_ranges, BitMatrix, Interner, SparseMode, TransposedBitMatrix, Value, ValueMatrix,
+};
 
 /// Dense node identifier (row in the node arrays).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -68,6 +71,9 @@ pub struct TemporalGraph {
     /// across threads. A clone of the graph carries the cached value along.
     pub(crate) node_cols: OnceLock<TransposedBitMatrix>,
     pub(crate) edge_cols: OnceLock<TransposedBitMatrix>,
+    /// Lazily built entity-space shard fragments, keyed by shard count and
+    /// cached alongside the whole-graph columns (clones share the cache).
+    pub(crate) shard_cols: Arc<Mutex<HashMap<usize, Arc<PresenceShards>>>>,
 }
 
 impl TemporalGraph {
@@ -198,6 +204,7 @@ impl TemporalGraph {
             sparse_mode: SparseMode::Auto,
             node_cols: OnceLock::new(),
             edge_cols: OnceLock::new(),
+            shard_cols: Arc::new(Mutex::new(HashMap::new())),
         };
         g.validate()?;
         Ok(g)
@@ -490,21 +497,71 @@ impl TemporalGraph {
             self.sparse_mode = mode;
             self.node_cols = OnceLock::new();
             self.edge_cols = OnceLock::new();
+            self.shard_cols = Arc::new(Mutex::new(HashMap::new()));
         }
     }
 
     fn build_transposed(&self, m: &BitMatrix) -> TransposedBitMatrix {
+        self.build_transposed_rows(m, 0, m.nrows())
+    }
+
+    fn build_transposed_rows(&self, m: &BitMatrix, lo: usize, hi: usize) -> TransposedBitMatrix {
         let ins = tempo_instrument::global();
         let t = {
             let _span = ins.histogram("graph.transpose_build_ns").span();
             ins.counter("graph.transpose_builds").inc();
-            m.transposed_with(self.sparse_mode)
+            m.transposed_rows_with(lo, hi, self.sparse_mode)
         };
         ins.counter("columnar.presence.dense_cols")
             .add(t.n_dense_cols() as u64);
         ins.counter("columnar.presence.sparse_cols")
             .add(t.n_sparse_cols() as u64);
         t
+    }
+
+    /// Entity-space shard fragments of the presence indexes for the given
+    /// shard count: node and edge id spaces partitioned into `shards`
+    /// contiguous word-aligned ranges, with one transposed presence
+    /// fragment per shard and dimension (see [`PresenceShards`]).
+    ///
+    /// Built lazily on first use and cached per shard count for the
+    /// lifetime of the graph (clones share the cache); each fragment build
+    /// goes through the same cache-blocked transpose — and the same
+    /// `graph.transpose_build_ns` instrumentation — as the whole-graph
+    /// columns. The build itself is counted under `explore.shard.builds`
+    /// and `explore.shard.fragments`.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn presence_shards(&self, shards: usize) -> Arc<PresenceShards> {
+        let mut cache = self
+            .shard_cols
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(p) = cache.get(&shards) {
+            return Arc::clone(p);
+        }
+        let ins = tempo_instrument::global();
+        ins.counter("explore.shard.builds").inc();
+        ins.counter("explore.shard.fragments")
+            .add(2 * shards as u64);
+        let node_ranges = shard_ranges(self.n_nodes(), shards);
+        let edge_ranges = shard_ranges(self.n_edges(), shards);
+        let p = Arc::new(PresenceShards {
+            node_frags: node_ranges
+                .iter()
+                .map(|&(lo, hi)| self.build_transposed_rows(&self.node_presence, lo, hi))
+                .collect(),
+            edge_frags: edge_ranges
+                .iter()
+                .map(|&(lo, hi)| self.build_transposed_rows(&self.edge_presence, lo, hi))
+                .collect(),
+            node_ranges,
+            edge_ranges,
+        });
+        debug_assert_eq!(p.check_invariants(), Ok(()));
+        cache.insert(shards, Arc::clone(&p));
+        p
     }
 
     /// Raw static attribute table (the paper's array **S**).

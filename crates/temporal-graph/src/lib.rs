@@ -40,6 +40,7 @@ pub mod fixtures;
 mod graph;
 pub mod io;
 pub mod metrics;
+mod shards;
 mod stats;
 mod time;
 
@@ -47,5 +48,6 @@ pub use attrs::{AttrDef, AttrId, AttributeSchema, Temporality};
 pub use builder::GraphBuilder;
 pub use error::GraphError;
 pub use graph::{EdgeId, NodeId, TemporalGraph};
+pub use shards::PresenceShards;
 pub use stats::{attr_domain_size_at, GraphStats};
 pub use time::{require_non_empty, Interval, TimeDomain, TimePoint, TimeSet};

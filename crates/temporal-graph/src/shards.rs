@@ -1,0 +1,122 @@
+//! Entity-space shard fragments of the presence-column indexes.
+//!
+//! A [`PresenceShards`] partitions the node and edge id spaces into `S`
+//! contiguous, word-aligned ranges (via [`tempo_columnar::shard_ranges`])
+//! and holds one [`TransposedBitMatrix`] presence fragment per shard and
+//! dimension — the slice of the whole-graph column index covering just that
+//! shard's rows, built by the same cache-blocked transpose
+//! ([`tempo_columnar::BitMatrix::transposed_rows_with`]).
+//!
+//! Fragments let the exploration engine run one chain cursor per shard over
+//! an `S`-times-narrower accumulator and reduce the per-shard counts by a
+//! plain merge (sum, or vector add of per-group accumulators), so
+//! parallelism scales with shards × chains instead of chains only. Shard
+//! sets are built lazily and cached per graph and shard count; see
+//! [`crate::TemporalGraph::presence_shards`].
+
+use tempo_columnar::TransposedBitMatrix;
+
+/// Per-shard presence fragments of one graph for a fixed shard count.
+///
+/// Both entity dimensions are partitioned independently: shard `s` covers
+/// node rows `node_range(s)` and edge rows `edge_range(s)`. Ranges tile
+/// `0..n_nodes` / `0..n_edges` contiguously with word-aligned (multiple of
+/// 64) interior boundaries, so whole-graph masks slice into fragment-local
+/// masks by a word-range copy. Trailing shards may be empty when the shard
+/// count exceeds the entity count — their fragments have zero-width columns
+/// and contribute zero to every count.
+#[derive(Clone, Debug)]
+pub struct PresenceShards {
+    pub(crate) node_ranges: Vec<(usize, usize)>,
+    pub(crate) edge_ranges: Vec<(usize, usize)>,
+    pub(crate) node_frags: Vec<TransposedBitMatrix>,
+    pub(crate) edge_frags: Vec<TransposedBitMatrix>,
+}
+
+impl PresenceShards {
+    /// Number of shards (identical for the node and edge dimensions).
+    #[inline]
+    pub fn n_shards(&self) -> usize {
+        self.node_ranges.len()
+    }
+
+    /// Half-open node-id range `(lo, hi)` covered by shard `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn node_range(&self, s: usize) -> (usize, usize) {
+        self.node_ranges[s]
+    }
+
+    /// Half-open edge-id range `(lo, hi)` covered by shard `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn edge_range(&self, s: usize) -> (usize, usize) {
+        self.edge_ranges[s]
+    }
+
+    /// Node presence fragment of shard `s`: one column per time point over
+    /// the shard's node rows (`node_range(s)` width).
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn node_frag(&self, s: usize) -> &TransposedBitMatrix {
+        &self.node_frags[s]
+    }
+
+    /// Edge presence fragment of shard `s`; see
+    /// [`node_frag`](Self::node_frag).
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn edge_frag(&self, s: usize) -> &TransposedBitMatrix {
+        &self.edge_frags[s]
+    }
+
+    /// Validates the structural invariants: ranges tile the id spaces
+    /// contiguously, every fragment spans exactly its range's width, and
+    /// each fragment satisfies
+    /// [`TransposedBitMatrix::check_invariants`].
+    ///
+    /// # Errors
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (dim, ranges, frags) in [
+            ("node", &self.node_ranges, &self.node_frags),
+            ("edge", &self.edge_ranges, &self.edge_frags),
+        ] {
+            if ranges.len() != frags.len() {
+                return Err(format!(
+                    "{dim} dimension has {} ranges but {} fragments",
+                    ranges.len(),
+                    frags.len()
+                ));
+            }
+            for (s, w) in ranges.windows(2).enumerate() {
+                if w[0].1 != w[1].0 {
+                    return Err(format!(
+                        "{dim} shards {s} and {} do not tile contiguously",
+                        s + 1
+                    ));
+                }
+            }
+            for (s, (&(lo, hi), frag)) in ranges.iter().zip(frags).enumerate() {
+                if frag.source_rows() != hi - lo {
+                    return Err(format!(
+                        "{dim} fragment {s} spans {} rows, want {}",
+                        frag.source_rows(),
+                        hi - lo
+                    ));
+                }
+                frag.check_invariants()
+                    .map_err(|e| format!("{dim} fragment {s}: {e}"))?;
+            }
+        }
+        Ok(())
+    }
+}
