@@ -1,0 +1,384 @@
+//! Live-ingestion study for the versioned snapshot layer: measures the
+//! per-append cost of [`GraphVersions::append_timepoint`] as history grows
+//! (it must stay flat — amortized O(new column), never an O(T × entities)
+//! re-transpose), asserts every epoch is bit-identical to a from-scratch
+//! builder rebuild of the same history, and measures ingest rate against
+//! concurrent query latency with readers hammering the currently published
+//! epoch while the writer appends. Writes `BENCH_ingest.json`.
+
+use graphtempo::explore::{explore, ExploreConfig, ExtendSide, Selector, Semantics};
+use graphtempo::ops::Event;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use tempo_bench::datasets::scale;
+use tempo_bench::report::{metrics_json, secs, timed, Json};
+use tempo_datagen::RandomGraphConfig;
+use tempo_graph::{GraphBuilder, GraphVersions, TemporalGraph, TimePoint, TimepointPatch};
+
+/// Appends in the per-append-cost phase, scaled by `GRAPHTEMPO_SCALE`.
+fn n_appends() -> usize {
+    ((40.0 * (scale() / 0.1)) as usize).clamp(12, 200)
+}
+
+fn base_graph(pool: usize, timepoints: usize, seed: u64) -> TemporalGraph {
+    RandomGraphConfig {
+        pool,
+        timepoints,
+        active_per_tp: (pool / 2).max(4),
+        edges_per_tp: pool.max(8),
+        node_persistence: 0.6,
+        edge_persistence: 0.5,
+        kinds: 3,
+        levels: 3,
+        seed,
+    }
+    .generate()
+    .expect("random generator produces valid graphs")
+}
+
+/// A deterministic patch over the base entity pool: a handful of edges,
+/// one returning node, and one brand-new node per step.
+fn make_patch(base_names: &[String], i: usize, width: usize) -> TimepointPatch {
+    let mut p = TimepointPatch::new(format!("a{i}"));
+    let n = base_names.len();
+    for j in 0..width {
+        let u = &base_names[(i * 7 + j * 13) % n];
+        let v = &base_names[(i * 11 + j * 17 + 1) % n];
+        if u == v {
+            p.mark_node(u.clone());
+        } else {
+            p.add_edge(u.clone(), v.clone());
+        }
+    }
+    p.mark_node(base_names[i % n].clone());
+    p.mark_node(format!("ing{i}"));
+    p
+}
+
+fn median(sorted: &[Duration]) -> Duration {
+    sorted[sorted.len() / 2]
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Phase 1 — per-append cost versus history length. Returns (early median,
+/// late median, per-append durations).
+fn append_cost_phase(appends: usize) -> (Duration, Duration, Vec<Duration>) {
+    let pool = ((400.0 * (scale() / 0.1)) as usize).clamp(40, 4000);
+    let base = base_graph(pool, 4, 0xbeef);
+    let base_names: Vec<String> = base
+        .node_ids()
+        .map(|n| base.node_name(n).to_owned())
+        .collect();
+    // warm the transposed indexes once so every append exercises the
+    // incremental carry-forward
+    let _ = base.node_presence_columns();
+    let _ = base.edge_presence_columns();
+
+    let before = tempo_instrument::global().snapshot();
+    let mut versions = GraphVersions::new(base);
+    let mut durations = Vec::with_capacity(appends);
+    for i in 0..appends {
+        let patch = make_patch(&base_names, i, 8);
+        let prev = versions.current();
+        let (next, d) = timed(|| {
+            versions
+                .append_timepoint(&patch)
+                .expect("append over unique labels")
+        });
+        durations.push(d);
+        // structural sharing with the previous epoch, not a rebuild: every
+        // pre-existing transposed column is carried forward as the same Arc
+        // (word bands only become shareable once history exceeds one word,
+        // so the column check is the universal one)
+        for (which, next_cols, prev_cols) in [
+            (
+                "node",
+                next.node_presence_columns(),
+                prev.node_presence_columns(),
+            ),
+            (
+                "edge",
+                next.edge_presence_columns(),
+                prev.edge_presence_columns(),
+            ),
+        ] {
+            assert_eq!(
+                next_cols.shared_cols(prev_cols),
+                prev_cols.n_cols(),
+                "append {i} must carry every prior transposed {which} column forward"
+            );
+        }
+    }
+    let after = tempo_instrument::global().snapshot();
+    let transposes =
+        after.counter("graph.transpose_builds") - before.counter("graph.transpose_builds");
+    assert_eq!(
+        transposes, 0,
+        "appends must never re-transpose the presence history"
+    );
+    let append_cols =
+        after.counter("graph.index.append_cols") - before.counter("graph.index.append_cols");
+    assert_eq!(
+        append_cols,
+        2 * appends as u64,
+        "each append extends both transposed indexes by exactly one column"
+    );
+
+    let third = durations.len() / 3;
+    let mut early: Vec<Duration> = durations[..third].to_vec();
+    let mut late: Vec<Duration> = durations[durations.len() - third..].to_vec();
+    early.sort();
+    late.sort();
+    (median(&early), median(&late), durations)
+}
+
+/// All twelve Table-1 strategies on `attr`, compared pairwise.
+fn explore_outputs_match(a: &TemporalGraph, b: &TemporalGraph, ctx: &str) -> usize {
+    let attr = a.schema().id("kind").expect("random graphs have `kind`");
+    let mut checked = 0;
+    for event in [Event::Stability, Event::Growth, Event::Shrinkage] {
+        for extend in [ExtendSide::Old, ExtendSide::New] {
+            for semantics in [Semantics::Union, Semantics::Intersection] {
+                let cfg = ExploreConfig {
+                    event,
+                    extend,
+                    semantics,
+                    k: 1,
+                    attrs: vec![attr],
+                    selector: Selector::AllEdges,
+                };
+                let pa = explore(a, &cfg).expect("explore appended").pairs;
+                let pb = explore(b, &cfg).expect("explore rebuilt").pairs;
+                assert_eq!(
+                    pa, pb,
+                    "{ctx}: explore {event:?}/{extend:?}/{semantics:?} diverged"
+                );
+                checked += 1;
+            }
+        }
+    }
+    checked
+}
+
+/// Phase 2 — every epoch bit-identical to a from-scratch rebuild.
+fn identity_phase(appends: usize) -> usize {
+    let base = base_graph(40, 3, 0xfeed);
+    let base_names: Vec<String> = base
+        .node_ids()
+        .map(|n| base.node_name(n).to_owned())
+        .collect();
+    let patches: Vec<TimepointPatch> = (0..appends)
+        .map(|i| make_patch(&base_names, i, 5))
+        .collect();
+
+    let mut versions = GraphVersions::new(base.clone());
+    let mut checks = 0;
+    for (i, patch) in patches.iter().enumerate() {
+        let inc = versions.append_timepoint(patch).expect("append");
+
+        let labels: Vec<String> = (0..=i).map(|j| format!("a{j}")).collect();
+        let label_refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+        let mut b =
+            GraphBuilder::from_graph(base.clone(), &label_refs).expect("widen base for rebuild");
+        for (j, p) in patches.iter().take(i + 1).enumerate() {
+            p.apply_to_builder(&mut b, TimePoint((3 + j) as u32))
+                .expect("replay patch");
+        }
+        let reb = b.build().expect("rebuild");
+
+        let ctx = format!("epoch {}", i + 1);
+        assert_eq!(
+            inc.node_presence_matrix(),
+            reb.node_presence_matrix(),
+            "{ctx}: node presence"
+        );
+        assert_eq!(
+            inc.edge_presence_matrix(),
+            reb.edge_presence_matrix(),
+            "{ctx}: edge presence"
+        );
+        assert_eq!(
+            inc.node_presence_columns(),
+            reb.node_presence_columns(),
+            "{ctx}: transposed node columns"
+        );
+        assert_eq!(
+            inc.edge_presence_columns(),
+            reb.edge_presence_columns(),
+            "{ctx}: transposed edge columns"
+        );
+        checks += explore_outputs_match(&inc, &reb, &ctx);
+    }
+    checks
+}
+
+/// Phase 3 — ingest rate with concurrent readers. Returns
+/// (appends, writer wall, query latencies, queries served).
+fn concurrent_phase(appends: usize) -> (usize, Duration, Vec<Duration>, usize) {
+    let pool = ((200.0 * (scale() / 0.1)) as usize).clamp(30, 2000);
+    let base = base_graph(pool, 4, 0xcafe);
+    let base_names: Vec<String> = base
+        .node_ids()
+        .map(|n| base.node_name(n).to_owned())
+        .collect();
+    let attr = base.schema().id("kind").expect("random graphs have `kind`");
+    let _ = base.node_presence_columns();
+    let _ = base.edge_presence_columns();
+    let versions = Mutex::new(GraphVersions::new(base));
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut lat = Vec::new();
+                    let mut last_epoch = 0u64;
+                    let mut served = 0usize;
+                    loop {
+                        // grab the currently published epoch; the lock is
+                        // held only for the Arc clone, never the query
+                        let g = versions
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .current();
+                        assert!(g.epoch() >= last_epoch, "published epochs must be monotone");
+                        last_epoch = g.epoch();
+                        let cfg = ExploreConfig {
+                            event: Event::Growth,
+                            extend: ExtendSide::New,
+                            semantics: Semantics::Union,
+                            k: 1,
+                            attrs: vec![attr],
+                            selector: Selector::AllEdges,
+                        };
+                        let (out, d) = timed(|| explore(&g, &cfg).expect("concurrent explore"));
+                        assert!(out.evaluations > 0);
+                        lat.push(d);
+                        served += 1;
+                        if done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    (lat, served)
+                })
+            })
+            .collect();
+
+        let ((), ingest_wall) = timed(|| {
+            for i in 0..appends {
+                let patch = make_patch(&base_names, i, 8);
+                let mut v = versions
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                v.append_timepoint(&patch).expect("concurrent append");
+            }
+        });
+        done.store(true, Ordering::SeqCst);
+
+        let mut latencies = Vec::new();
+        let mut served = 0;
+        for r in readers {
+            let (lat, n) = r.join().expect("reader thread");
+            latencies.extend(lat);
+            served += n;
+        }
+        (appends, ingest_wall, latencies, served)
+    })
+}
+
+fn main() {
+    tempo_instrument::global().reset();
+    let appends = n_appends();
+    println!(
+        "ingest study: {appends} appends per phase (scale {})",
+        scale()
+    );
+
+    let (early, late, durations) = append_cost_phase(appends);
+    let ratio = secs(late) / secs(early).max(1e-9);
+    println!(
+        "per-append cost: early median {:.3} ms, late median {:.3} ms (ratio {ratio:.2})",
+        secs(early) * 1e3,
+        secs(late) * 1e3
+    );
+    assert!(
+        ratio < 5.0,
+        "per-append cost must stay flat as history grows, got ratio {ratio:.2}"
+    );
+
+    let identity_appends = appends.min(24);
+    let identity_checks = identity_phase(identity_appends);
+    println!(
+        "bit-identity: {identity_appends} epochs x 12 explore strategies = {identity_checks} checks, all equal"
+    );
+
+    let (ing, ingest_wall, mut latencies, served) = concurrent_phase(appends);
+    let ingest_rate = ing as f64 / secs(ingest_wall).max(1e-9);
+    assert!(ingest_rate > 0.0, "ingest rate must be nonzero");
+    assert!(served > 0, "readers must serve queries during ingest");
+    latencies.sort();
+    let (qp50, qp99) = (percentile(&latencies, 0.5), percentile(&latencies, 0.99));
+    println!(
+        "concurrent: {ing} appends in {:.2}s = {ingest_rate:.0} appends/s while {served} \
+         queries ran (p50 {:.3} ms, p99 {:.3} ms)",
+        secs(ingest_wall),
+        secs(qp50) * 1e3,
+        secs(qp99) * 1e3
+    );
+
+    let snap = tempo_instrument::global().snapshot();
+    let mut sorted = durations.clone();
+    sorted.sort();
+    let report = Json::Obj(vec![
+        ("experiment".into(), Json::str("ingest")),
+        ("dataset".into(), Json::str("random_synthetic")),
+        ("scale".into(), Json::Num(scale())),
+        ("appends".into(), Json::Int(appends as u64)),
+        (
+            "append_early_median_ns".into(),
+            Json::Int(early.as_nanos() as u64),
+        ),
+        (
+            "append_late_median_ns".into(),
+            Json::Int(late.as_nanos() as u64),
+        ),
+        ("append_cost_ratio".into(), Json::Num(ratio)),
+        ("append_cost_flat".into(), Json::Bool(ratio < 5.0)),
+        (
+            "append_p50_ns".into(),
+            Json::Int(median(&sorted).as_nanos() as u64),
+        ),
+        (
+            "append_p99_ns".into(),
+            Json::Int(percentile(&sorted, 0.99).as_nanos() as u64),
+        ),
+        ("retransposes_during_appends".into(), Json::Int(0)),
+        ("identity_epochs".into(), Json::Int(identity_appends as u64)),
+        ("identity_checks".into(), Json::Int(identity_checks as u64)),
+        ("bit_identical_to_rebuild".into(), Json::Bool(true)),
+        ("concurrent_appends".into(), Json::Int(ing as u64)),
+        ("ingest_wall_s".into(), Json::Num(secs(ingest_wall))),
+        ("ingest_rate_appends_per_s".into(), Json::Num(ingest_rate)),
+        ("concurrent_queries".into(), Json::Int(served as u64)),
+        (
+            "concurrent_query_p50_ns".into(),
+            Json::Int(qp50.as_nanos() as u64),
+        ),
+        (
+            "concurrent_query_p99_ns".into(),
+            Json::Int(qp99.as_nanos() as u64),
+        ),
+        ("metrics".into(), metrics_json(&snap)),
+    ]);
+
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_ingest.json".to_owned());
+    std::fs::write(&path, report.render()).expect("write ingest report");
+    println!("wrote {path}");
+}

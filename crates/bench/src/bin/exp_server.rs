@@ -51,8 +51,15 @@ impl Client {
         let mut status = String::new();
         self.reader.read_line(&mut status).expect("read status");
         let mut response = status.clone();
-        if let Some(n) = status.trim_end().strip_prefix("OK ") {
-            let n: usize = n.parse().expect("payload line count");
+        if let Some(rest) = status.trim_end().strip_prefix("OK ") {
+            // the count is the first token; snapshot-scoped responses
+            // append an `epoch=<e>` token after it
+            let n: usize = rest
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .parse()
+                .expect("payload line count");
             for _ in 0..n {
                 let mut l = String::new();
                 self.reader.read_line(&mut l).expect("read payload");

@@ -10,6 +10,7 @@
 
 pub mod error;
 pub mod parser;
+pub mod patch;
 pub mod session;
 
 pub use error::CliError;

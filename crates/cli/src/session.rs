@@ -35,6 +35,8 @@ GraphTempo interactive shell — commands:
           extend=<old|new> k=<n> attrs=<a> [edge=<v>-><v>] [node=<v>]
   suggest (same arguments as explore)  suggest a starting k (w_th, §3.5)
   zoom window=<n> semantics=<any|all>  rewrite the graph at coarser granularity
+  append <label> [node=N] [edge=U,V] [tv=N,ATTR,VAL] [static=N,ATTR,VAL] [edgeval=U,V,VAL]
+                                 append a timepoint copy-on-write (epoch +1)
   cube attrs=<a,b,..> level=<a,..> [t=<point>] [scope=<iv>]  OLAP query via the cube
   measure group=<a,..> node=<count|sum:attr|min:attr|max:attr|avg:attr>
           [edge=<count|sum|min|max|avg>]  aggregate measures beyond COUNT
@@ -161,6 +163,7 @@ impl Session {
             "explore" => self.cmd_explore(rest, false),
             "suggest" => self.cmd_explore(rest, true),
             "zoom" => self.cmd_zoom(rest),
+            "append" => self.cmd_append(rest),
             "cube" => self.cmd_cube(rest),
             "measure" => self.cmd_measure(rest),
             "solve" => self.cmd_solve(rest),
@@ -580,6 +583,34 @@ impl Session {
         Ok(msg)
     }
 
+    /// `append <label> [node=N] [edge=U,V] …`: appends one timepoint to the
+    /// working graph copy-on-write. Holders of the previous `Arc` snapshot
+    /// (e.g. a server registry) are undisturbed; the session moves to the
+    /// new epoch and drops results derived from the old one.
+    fn cmd_append(&mut self, args: &[String]) -> Result<String, CliError> {
+        let Some((label, rest)) = args.split_first() else {
+            return Err(CliError::Usage(format!(
+                "append <label> {}",
+                crate::patch::PATCH_USAGE
+            )));
+        };
+        let graph = self.graph.clone().ok_or(CliError::NoGraph)?;
+        let patch = crate::patch::parse_patch(&graph, label, rest)?;
+        let mut versions = tempo_graph::GraphVersions::from_arc(graph);
+        let next = versions.append_timepoint(&patch)?;
+        let msg = format!(
+            "appended {label}: {} nodes, {} edges, {} time points (epoch {})",
+            next.n_nodes(),
+            next.n_edges(),
+            next.domain().len(),
+            next.epoch()
+        );
+        self.graph = Some(next);
+        self.last_agg = None;
+        self.last_evo = None;
+        Ok(msg)
+    }
+
     fn cmd_cube(&mut self, args: &[String]) -> Result<String, CliError> {
         use graphtempo::cube::{GraphCube, Level};
         let g = self.graph()?;
@@ -883,6 +914,35 @@ mod tests {
         let out = s.exec("schema").unwrap();
         assert!(out.contains("kind"));
         assert!(out.contains("level"));
+    }
+
+    #[test]
+    fn append_moves_session_to_next_epoch() {
+        let mut s = Session::new();
+        assert!(matches!(
+            s.exec("append w1 node=za"),
+            Err(CliError::NoGraph)
+        ));
+        s.exec("generate random seed=7").unwrap();
+        let before = s.graph_arc().unwrap();
+        let points = before.domain().len();
+        let out = s
+            .exec("append w1 node=za node=zb edge=za,zb tv=za,level,3")
+            .unwrap();
+        assert!(out.contains("appended w1"), "got {out}");
+        assert!(out.contains("(epoch 1)"), "got {out}");
+        let after = s.graph_arc().unwrap();
+        assert_eq!(after.domain().len(), points + 1);
+        // the old snapshot is untouched for anyone still holding it
+        assert_eq!(before.domain().len(), points);
+        assert!(s.exec("stats").unwrap().contains("w1"));
+        // duplicate label and malformed tokens are rejected
+        assert!(s.exec("append w1").is_err());
+        assert!(matches!(
+            s.exec("append w2 frob=1"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(s.exec("append"), Err(CliError::Usage(_))));
     }
 
     #[test]

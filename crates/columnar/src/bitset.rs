@@ -6,6 +6,8 @@
 //! row per entity, which is exactly the paper's labeled arrays **V** and
 //! **E** (the labels themselves live with the caller).
 
+use std::sync::Arc;
+
 use crate::sparse::{PresenceColumn, SparseMode};
 
 /// Number of bits per storage word.
@@ -779,18 +781,46 @@ impl BitVec {
     }
 }
 
-/// A dense matrix of bits with a fixed number of columns.
+/// A matrix of bits with copy-on-write word-band storage.
 ///
 /// Rows are appended dynamically; this is the storage for the paper's
 /// labeled arrays **V** (node presence) and **E** (edge presence), where
 /// columns correspond to time points.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// Storage is *banded*: band `b` is an `Arc`-shared vector holding word `b`
+/// of every row (columns `64·b .. 64·b+63`), truncated at the last row with
+/// any bit set in that word — rows past `band.len()` are implicitly zero.
+/// Cloning the matrix (or [`widen`](Self::widen)ing it) only clones the
+/// band spine, so an appended snapshot shares every untouched band with its
+/// predecessor; mutation goes through `Arc::make_mut`, which deep-copies a
+/// band only when it is actually shared (copy-on-write). Appending a time
+/// point via [`push_col`](Self::push_col) therefore touches just the final
+/// band, leaving all full bands of the history physically shared.
+#[derive(Clone)]
 pub struct BitMatrix {
     ncols: usize,
-    words_per_row: usize,
     nrows: usize,
-    data: Vec<u64>,
+    bands: Vec<Arc<Vec<u64>>>,
 }
+
+impl PartialEq for BitMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        if self.ncols != other.ncols || self.nrows != other.nrows {
+            return false;
+        }
+        self.bands.iter().zip(&other.bands).all(|(a, b)| {
+            if Arc::ptr_eq(a, b) {
+                return true;
+            }
+            // bands truncate at their last nonzero row, so equality is
+            // semantic: common prefix equal, remainder all-zero
+            let n = a.len().min(b.len());
+            a[..n] == b[..n] && a[n..].iter().all(|&w| w == 0) && b[n..].iter().all(|&w| w == 0)
+        })
+    }
+}
+
+impl Eq for BitMatrix {}
 
 impl std::fmt::Debug for BitMatrix {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -811,22 +841,20 @@ impl BitMatrix {
     pub fn new(ncols: usize) -> Self {
         BitMatrix {
             ncols,
-            words_per_row: words_for(ncols),
             nrows: 0,
-            data: Vec::new(),
+            // all bands deliberately share one empty allocation;
+            // `Arc::make_mut` un-shares on first write
+            #[allow(clippy::rc_clone_in_vec_init)]
+            bands: vec![Arc::new(Vec::new()); words_for(ncols)],
         }
     }
 
     /// Creates an all-zero matrix with `nrows` rows.
     #[must_use]
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
-        let wpr = words_for(ncols);
-        BitMatrix {
-            ncols,
-            words_per_row: wpr,
-            nrows,
-            data: vec![0; nrows * wpr],
-        }
+        let mut m = BitMatrix::new(ncols);
+        m.nrows = nrows;
+        m
     }
 
     /// Number of rows.
@@ -841,63 +869,95 @@ impl BitMatrix {
         self.ncols
     }
 
-    /// Appends an all-zero row, returning its index.
+    /// Appends an all-zero row, returning its index. O(1): bands represent
+    /// trailing zero rows implicitly, so nothing allocates.
     pub fn push_empty_row(&mut self) -> usize {
-        self.data.extend(std::iter::repeat_n(0, self.words_per_row));
         self.nrows += 1;
         self.nrows - 1
     }
 
-    /// Appends a row copied from a [`BitVec`], returning its index.
+    /// Appends a row copied from a [`BitVec`], returning its index. Only
+    /// bands with a nonzero word in the new row are materialized (and
+    /// un-shared if copy-on-write shared); all-zero words stay implicit.
     ///
     /// # Panics
     /// Panics if the vector width differs from `ncols`.
     pub fn push_row(&mut self, row: &BitVec) -> usize {
         assert_eq!(row.len(), self.ncols, "row width mismatch");
-        self.data.extend_from_slice(&row.words);
+        for (band, &w) in self.bands.iter_mut().zip(row.words.iter()) {
+            if w != 0 {
+                let band = Arc::make_mut(band);
+                band.resize(self.nrows, 0);
+                band.push(w);
+            }
+        }
         self.nrows += 1;
         self.debug_validate();
         self.nrows - 1
     }
 
-    /// Validates the structural invariants of the packed storage: the row
-    /// stride matches the column count, the data length matches
-    /// `nrows * words_per_row`, and every row's final partial word is free
-    /// of bits beyond `ncols` (a dirty row tail corrupts
-    /// [`masked_popcounts`](Self::masked_popcounts) and every other
-    /// word-level row operator).
+    /// Appends one column, returning its index; `rows` lists the row
+    /// indices set in the new column. This is the copy-on-write append
+    /// behind versioned snapshots: only the final word-band is written
+    /// (a fresh empty band when the new column crosses a word boundary),
+    /// so every full band of the history stays physically shared with
+    /// prior epochs.
+    ///
+    /// # Panics
+    /// Panics if any row index is out of range — grow the row space first
+    /// ([`push_empty_row`](Self::push_empty_row) / [`push_row`](Self::push_row)).
+    pub fn push_col<I: IntoIterator<Item = usize>>(&mut self, rows: I) -> usize {
+        let c = self.ncols;
+        self.ncols += 1;
+        if self.bands.len() < words_for(self.ncols) {
+            self.bands.push(Arc::new(Vec::new()));
+        }
+        for r in rows {
+            self.set(r, c, true);
+        }
+        self.debug_validate();
+        c
+    }
+
+    /// Validates the structural invariants of the banded storage: the band
+    /// count matches the column count, no band extends past `nrows`, and
+    /// the final band is free of bits beyond `ncols` in its partial word (a
+    /// dirty tail corrupts [`masked_popcounts`](Self::masked_popcounts) and
+    /// every other word-level row operator, and would leak stale bits into
+    /// the next [`push_col`](Self::push_col) / [`widen`](Self::widen)).
     ///
     /// # Errors
     /// Returns a description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
-        if self.words_per_row != words_for(self.ncols) {
+        if self.bands.len() != words_for(self.ncols) {
             return Err(format!(
-                "BitMatrix stride is {} words, want {} for {} columns",
-                self.words_per_row,
+                "BitMatrix holds {} word-bands, want {} for {} columns",
+                self.bands.len(),
                 words_for(self.ncols),
                 self.ncols
             ));
         }
-        if self.data.len() != self.nrows * self.words_per_row {
-            return Err(format!(
-                "BitMatrix stores {} words, want {} ({} rows x {} words)",
-                self.data.len(),
-                self.nrows * self.words_per_row,
-                self.nrows,
-                self.words_per_row
-            ));
+        for (b, band) in self.bands.iter().enumerate() {
+            if band.len() > self.nrows {
+                return Err(format!(
+                    "BitMatrix band {b} spans {} rows, more than nrows {}",
+                    band.len(),
+                    self.nrows
+                ));
+            }
         }
         let tail = self.ncols % WORD_BITS;
-        if tail != 0 && self.words_per_row > 0 {
-            let keep = (1u64 << tail) - 1;
-            for r in 0..self.nrows {
-                let last = self.data[(r + 1) * self.words_per_row - 1];
-                if last & !keep != 0 {
-                    return Err(format!(
-                        "BitMatrix row {r} tail is dirty: bits beyond {} set ({:#x})",
-                        self.ncols,
-                        last & !keep
-                    ));
+        if tail != 0 {
+            if let Some(last) = self.bands.last() {
+                let keep = (1u64 << tail) - 1;
+                for (r, &w) in last.iter().enumerate() {
+                    if w & !keep != 0 {
+                        return Err(format!(
+                            "BitMatrix row {r} tail is dirty: bits beyond {} set ({:#x})",
+                            self.ncols,
+                            w & !keep
+                        ));
+                    }
                 }
             }
         }
@@ -910,16 +970,28 @@ impl BitMatrix {
         debug_assert_eq!(self.check_invariants(), Ok(()));
     }
 
+    /// Word `b` of row `r`, reading rows past the band's materialized
+    /// length as zero.
     #[inline]
-    fn row_words(&self, r: usize) -> &[u64] {
-        debug_assert!(r < self.nrows);
-        &self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    fn band_word(band: &[u64], r: usize) -> u64 {
+        band.get(r).copied().unwrap_or(0)
     }
 
+    /// Number of word-bands (the granularity of structural sharing).
     #[inline]
-    fn row_words_mut(&mut self, r: usize) -> &mut [u64] {
-        debug_assert!(r < self.nrows);
-        &mut self.data[r * self.words_per_row..(r + 1) * self.words_per_row]
+    pub fn n_bands(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Count of word-bands physically shared (same allocation) with
+    /// `other` — a test/bench hook for asserting that copy-on-write appends
+    /// actually share prior storage instead of deep-copying it.
+    pub fn shared_bands(&self, other: &BitMatrix) -> usize {
+        self.bands
+            .iter()
+            .zip(&other.bands)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
     }
 
     /// Reads cell `(r, c)`.
@@ -929,31 +1001,44 @@ impl BitMatrix {
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> bool {
         assert!(r < self.nrows && c < self.ncols, "index out of range");
-        (self.row_words(r)[c / WORD_BITS] >> (c % WORD_BITS)) & 1 == 1
+        (Self::band_word(&self.bands[c / WORD_BITS], r) >> (c % WORD_BITS)) & 1 == 1
     }
 
-    /// Writes cell `(r, c)`.
+    /// Writes cell `(r, c)`, un-sharing (copy-on-write) and growing the
+    /// band as needed.
     ///
     /// # Panics
     /// Panics if out of range.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: bool) {
         assert!(r < self.nrows && c < self.ncols, "index out of range");
-        let w = &mut self.row_words_mut(r)[c / WORD_BITS];
+        let band = &mut self.bands[c / WORD_BITS];
         let mask = 1u64 << (c % WORD_BITS);
         if value {
-            *w |= mask;
-        } else {
-            *w &= !mask;
+            let band = Arc::make_mut(band);
+            if band.len() <= r {
+                band.resize(r + 1, 0);
+            }
+            band[r] |= mask;
+        } else if band.len() > r {
+            Arc::make_mut(band)[r] &= !mask;
         }
     }
 
-    /// Copies row `r` out as a [`BitVec`].
+    /// Copies row `r` out as a [`BitVec`], gathering one word per band.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
     #[must_use]
     pub fn row(&self, r: usize) -> BitVec {
+        assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
         BitVec {
             nbits: self.ncols,
-            words: self.row_words(r).to_vec(),
+            words: self
+                .bands
+                .iter()
+                .map(|band| Self::band_word(band, r))
+                .collect(),
         }
     }
 
@@ -961,50 +1046,67 @@ impl BitMatrix {
     /// "any `V[v, t] = 1` for `t ∈ 𝒯`" test used by the union operator).
     pub fn row_any(&self, r: usize, mask: &BitVec) -> bool {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
-        kernels::intersects(self.row_words(r), &mask.words)
+        assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
+        self.bands
+            .iter()
+            .zip(mask.words.iter())
+            .any(|(band, &mw)| Self::band_word(band, r) & mw != 0)
     }
 
     /// True if row `r` has every bit of `mask` set (the projection test
     /// "`𝒯 ⊆ τ(u)`").
     pub fn row_all(&self, r: usize, mask: &BitVec) -> bool {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
-        kernels::contains_all(self.row_words(r), &mask.words)
+        assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
+        self.bands
+            .iter()
+            .zip(mask.words.iter())
+            .all(|(band, &mw)| Self::band_word(band, r) & mw == mw)
     }
 
     /// Count of set bits in row `r` restricted to `mask`.
     pub fn row_count_masked(&self, r: usize, mask: &BitVec) -> usize {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
-        kernels::count_ones_and(self.row_words(r), &mask.words)
+        assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
+        self.bands
+            .iter()
+            .zip(mask.words.iter())
+            .map(|(band, &mw)| (Self::band_word(band, r) & mw).count_ones() as usize)
+            .sum()
     }
 
     /// Returns row `r` restricted to `mask` (bits outside `mask` cleared).
     #[must_use]
     pub fn row_masked(&self, r: usize, mask: &BitVec) -> BitVec {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
+        assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
         BitVec {
             nbits: self.ncols,
             words: self
-                .row_words(r)
+                .bands
                 .iter()
                 .zip(&mask.words)
-                .map(|(a, b)| a & b)
+                .map(|(band, &mw)| Self::band_word(band, r) & mw)
                 .collect(),
         }
     }
 
-    /// Count of set bits in column `c`.
+    /// Count of set bits in column `c` (one pass over a single band).
     pub fn col_count(&self, c: usize) -> usize {
         assert!(c < self.ncols, "column out of range");
-        let wi = c / WORD_BITS;
         let mask = 1u64 << (c % WORD_BITS);
-        (0..self.nrows)
-            .filter(|&r| self.data[r * self.words_per_row + wi] & mask != 0)
+        self.bands[c / WORD_BITS]
+            .iter()
+            .filter(|&&w| w & mask != 0)
             .count()
     }
 
     /// Total number of set bits.
     pub fn count_ones(&self) -> usize {
-        self.data.iter().map(|w| w.count_ones() as usize).sum()
+        self.bands
+            .iter()
+            .map(|band| kernels::count_ones(band))
+            .sum()
     }
 
     /// Builds a new matrix keeping only the listed columns, in the given
@@ -1015,11 +1117,17 @@ impl BitMatrix {
             assert!(c < self.ncols, "column {c} out of range {}", self.ncols);
         }
         let mut out = BitMatrix::zeros(self.nrows, cols.len());
-        for r in 0..self.nrows {
-            let src = self.row_words(r);
-            for (new_c, &old_c) in cols.iter().enumerate() {
-                if (src[old_c / WORD_BITS] >> (old_c % WORD_BITS)) & 1 == 1 {
-                    out.set(r, new_c, true);
+        for (new_c, &old_c) in cols.iter().enumerate() {
+            let src = &self.bands[old_c / WORD_BITS];
+            let src_mask = 1u64 << (old_c % WORD_BITS);
+            let dst_mask = 1u64 << (new_c % WORD_BITS);
+            let dst = Arc::make_mut(&mut out.bands[new_c / WORD_BITS]);
+            if dst.len() < src.len() {
+                dst.resize(src.len(), 0);
+            }
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
+                if s & src_mask != 0 {
+                    *d |= dst_mask;
                 }
             }
         }
@@ -1031,6 +1139,11 @@ impl BitMatrix {
     /// their positions, new columns start clear (used when a temporal
     /// graph's domain is extended with fresh time points).
     ///
+    /// Copy-on-write: the existing bands are `Arc`-shared with `self`, and
+    /// the appended column range starts as empty bands — nothing about the
+    /// history is copied. (The old final band's clean tail is exactly what
+    /// makes its spare bits valid all-zero columns of the widened matrix.)
+    ///
     /// # Panics
     /// Panics if `new_ncols < ncols`.
     #[must_use]
@@ -1040,12 +1153,13 @@ impl BitMatrix {
             "widen cannot shrink: {} -> {new_ncols}",
             self.ncols
         );
-        let mut out = BitMatrix::zeros(self.nrows, new_ncols);
-        for r in 0..self.nrows {
-            for c in self.iter_row_ones(r) {
-                out.set(r, c, true);
-            }
-        }
+        let mut bands = self.bands.clone();
+        bands.resize_with(words_for(new_ncols), || Arc::new(Vec::new()));
+        let out = BitMatrix {
+            ncols: new_ncols,
+            nrows: self.nrows,
+            bands,
+        };
         out.debug_validate();
         out
     }
@@ -1053,22 +1167,37 @@ impl BitMatrix {
     /// Builds a new matrix keeping only the listed rows, in the given order.
     #[must_use]
     pub fn select_rows(&self, rows: &[usize]) -> BitMatrix {
-        let mut out = BitMatrix::new(self.ncols);
-        out.data.reserve(rows.len() * self.words_per_row);
         for &r in rows {
             assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
-            out.data.extend_from_slice(self.row_words(r));
-            out.nrows += 1;
         }
+        let bands = self
+            .bands
+            .iter()
+            .map(|band| {
+                Arc::new(
+                    rows.iter()
+                        .map(|&r| Self::band_word(band, r))
+                        .collect::<Vec<u64>>(),
+                )
+            })
+            .collect();
+        let out = BitMatrix {
+            ncols: self.ncols,
+            nrows: rows.len(),
+            bands,
+        };
         out.debug_validate();
         out
     }
 
     /// Iterates set-bit column positions of row `r`.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
     pub fn iter_row_ones(&self, r: usize) -> impl Iterator<Item = usize> + '_ {
-        let words = self.row_words(r);
-        words.iter().enumerate().flat_map(|(wi, &w)| {
-            let mut w = w;
+        assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
+        self.bands.iter().enumerate().flat_map(move |(wi, band)| {
+            let mut w = Self::band_word(band, r);
             std::iter::from_fn(move || {
                 if w == 0 {
                     None
@@ -1086,38 +1215,29 @@ impl BitMatrix {
     /// with [`row_masked`](Self::row_masked), which clones the row).
     ///
     /// # Panics
-    /// Panics if the mask width differs from `ncols`.
+    /// Panics if the mask width differs from `ncols` or `r` is out of
+    /// range.
     pub fn iter_row_ones_and<'a>(
         &'a self,
         r: usize,
         mask: &'a BitVec,
     ) -> impl Iterator<Item = usize> + 'a {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
-        let words = self.row_words(r);
-        words
-            .chunks(kernels::CHUNK)
-            .zip(mask.words.chunks(kernels::CHUNK))
+        assert!(r < self.nrows, "row {r} out of range {}", self.nrows);
+        self.bands
+            .iter()
+            .zip(mask.words.iter())
             .enumerate()
-            .flat_map(|(ci, (aw, bw))| {
-                // AND the whole chunk up front so the bit scan works off a
-                // register-resident block instead of two memory streams.
-                let mut block = [0u64; kernels::CHUNK];
-                for (o, (a, b)) in block.iter_mut().zip(aw.iter().zip(bw)) {
-                    *o = a & b;
-                }
-                let n = aw.len();
-                let base = ci * kernels::CHUNK;
-                (0..n).flat_map(move |wi| {
-                    let mut w = block[wi];
-                    std::iter::from_fn(move || {
-                        if w == 0 {
-                            None
-                        } else {
-                            let bit = w.trailing_zeros() as usize;
-                            w &= w - 1;
-                            Some((base + wi) * WORD_BITS + bit)
-                        }
-                    })
+            .flat_map(move |(wi, (band, &mw))| {
+                let mut w = Self::band_word(band, r) & mw;
+                std::iter::from_fn(move || {
+                    if w == 0 {
+                        None
+                    } else {
+                        let bit = w.trailing_zeros() as usize;
+                        w &= w - 1;
+                        Some(wi * WORD_BITS + bit)
+                    }
                 })
             })
     }
@@ -1183,17 +1303,26 @@ impl BitMatrix {
         let col_words = words_for(frag_rows);
         let mut col_data: Vec<Vec<u64>> = vec![vec![0u64; col_words]; self.ncols];
         let mut tile = [0u64; WORD_BITS];
-        // `rb` indexes word `rb` *inside* each per-column vector, not
-        // `col_data` itself, so there is nothing to iterate directly.
-        #[allow(clippy::needless_range_loop)]
-        for rb in 0..col_words {
-            let r0 = lo + rb * WORD_BITS;
-            let rows = (hi - r0).min(WORD_BITS);
-            for wb in 0..self.words_per_row {
+        // Band-major: each band is one contiguous word stream covering 64
+        // columns, so the gather reads sequentially.
+        for (wb, band) in self.bands.iter().enumerate() {
+            let c0 = wb * WORD_BITS;
+            let cols_here = (self.ncols - c0).min(WORD_BITS);
+            // `rb` both indexes `col_data` rows-of-words and derives `r0`,
+            // with an early break past the band's materialized length
+            #[allow(clippy::needless_range_loop)]
+            for rb in 0..col_words {
+                let r0 = lo + rb * WORD_BITS;
+                if r0 >= band.len() {
+                    // rows past the band's materialized length are all
+                    // zero, and `rb` only increases from here
+                    break;
+                }
+                let rows = (hi - r0).min(WORD_BITS);
                 // Gather: word `wb` of 64 consecutive rows.
                 let mut nonzero = 0u64;
                 for (i, t) in tile.iter_mut().take(rows).enumerate() {
-                    let w = self.data[(r0 + i) * self.words_per_row + wb];
+                    let w = Self::band_word(band, r0 + i);
                     *t = w;
                     nonzero |= w;
                 }
@@ -1206,8 +1335,6 @@ impl BitMatrix {
                     continue;
                 }
                 transpose64(&mut tile);
-                let c0 = wb * WORD_BITS;
-                let cols_here = (self.ncols - c0).min(WORD_BITS);
                 for (j, &t) in tile.iter().take(cols_here).enumerate() {
                     if t != 0 {
                         col_data[c0 + j][rb] = t;
@@ -1215,9 +1342,9 @@ impl BitMatrix {
                 }
             }
         }
-        let cols: Vec<PresenceColumn> = col_data
+        let cols: Vec<Arc<PresenceColumn>> = col_data
             .into_iter()
-            .map(|words| PresenceColumn::from_raw_words(frag_rows, words, mode))
+            .map(|words| Arc::new(PresenceColumn::from_raw_words(frag_rows, words, mode)))
             .collect();
         let t = TransposedBitMatrix {
             source_rows: frag_rows,
@@ -1262,13 +1389,18 @@ impl BitMatrix {
     pub fn masked_popcounts_into(&self, mask: &BitVec, out: &mut Vec<u32>) {
         assert_eq!(mask.len(), self.ncols, "mask width mismatch");
         out.clear();
-        out.reserve(self.nrows);
-        for chunk in self.data.chunks_exact(self.words_per_row.max(1)) {
-            out.push(kernels::count_ones_and(chunk, &mask.words) as u32);
-        }
-        // chunks_exact over empty rows-with-zero-width yields nothing; pad
-        // so the result always has one entry per row.
         out.resize(self.nrows, 0);
+        // Band-major accumulation: each band contributes its masked
+        // popcount to the rows it materializes (rows beyond are zero), and
+        // bands whose mask word is clear are skipped outright.
+        for (band, &mw) in self.bands.iter().zip(mask.words.iter()) {
+            if mw == 0 {
+                continue;
+            }
+            for (o, &w) in out.iter_mut().zip(band.iter()) {
+                *o += (w & mw).count_ones();
+            }
+        }
     }
 }
 
@@ -1281,11 +1413,34 @@ impl BitMatrix {
 /// chain-incremental exploration cursor folds with `acc |= col[t]` /
 /// `acc &= col[t]` in O(rows/64) words per extension step (or O(nnz) when
 /// the column chose the sparse representation).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Columns are individually `Arc`-shared, so cloning the transposed index
+/// for a new epoch copies only the column spine; appending a time point is
+/// [`push_col`](Self::push_col) + [`grow_rows`](Self::grow_rows), with
+/// every prior column left physically shared and read as zero-extended up
+/// to the new `source_rows` (entities created after a column's time point
+/// are absent at it by construction).
+#[derive(Clone, Debug)]
 pub struct TransposedBitMatrix {
     source_rows: usize,
-    cols: Vec<PresenceColumn>,
+    cols: Vec<Arc<PresenceColumn>>,
 }
+
+impl PartialEq for TransposedBitMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // semantic equality under zero-extension: carried-forward columns
+        // may be stored shorter than freshly transposed ones
+        self.source_rows == other.source_rows
+            && self.cols.len() == other.cols.len()
+            && self
+                .cols
+                .iter()
+                .zip(&other.cols)
+                .all(|(a, b)| Arc::ptr_eq(a, b) || a.bits_eq(b))
+    }
+}
+
+impl Eq for TransposedBitMatrix {}
 
 impl TransposedBitMatrix {
     /// Number of columns (source-matrix columns, e.g. time points).
@@ -1294,7 +1449,9 @@ impl TransposedBitMatrix {
         self.cols.len()
     }
 
-    /// Number of rows of the source matrix (= width of every column vector).
+    /// Number of rows of the source matrix. Columns may be stored shorter
+    /// (zero-extended): a column appended at an earlier epoch spans only
+    /// the entities that existed then.
     #[inline]
     pub fn source_rows(&self) -> usize {
         self.source_rows
@@ -1306,7 +1463,7 @@ impl TransposedBitMatrix {
     /// Panics if `c` is out of range.
     #[inline]
     pub fn col(&self, c: usize) -> &PresenceColumn {
-        &self.cols[c]
+        self.cols[c].as_ref()
     }
 
     /// Number of columns stored in the sparse sorted-ID representation.
@@ -1321,18 +1478,61 @@ impl TransposedBitMatrix {
         self.cols.len() - self.n_sparse_cols()
     }
 
-    /// Validates the structural invariants: every column spans exactly
-    /// `source_rows` bits and satisfies
-    /// [`PresenceColumn::check_invariants`] (the cursor's whole-column
-    /// OR/AND folds assume uniform clean widths).
+    /// Appends one presence column (the incremental-maintenance step for a
+    /// freshly appended time point). The column picks its own dense/sparse
+    /// representation upstream ([`PresenceColumn::from_bitvec`]); prior
+    /// columns are untouched and stay `Arc`-shared with earlier epochs.
+    ///
+    /// # Panics
+    /// Panics if the column spans more bits than `source_rows`.
+    pub fn push_col(&mut self, col: PresenceColumn) {
+        assert!(
+            col.len() <= self.source_rows,
+            "pushed column spans {} bits, more than source_rows {}",
+            col.len(),
+            self.source_rows
+        );
+        self.cols.push(Arc::new(col));
+    }
+
+    /// Declares a larger source-row span (entities appended since this
+    /// index was built). Existing columns keep their stored width and are
+    /// read as zero-extended — a new entity is absent at every old time
+    /// point.
+    ///
+    /// # Panics
+    /// Panics if `rows` is smaller than the current span.
+    pub fn grow_rows(&mut self, rows: usize) {
+        assert!(
+            rows >= self.source_rows,
+            "grow_rows cannot shrink: {} -> {rows}",
+            self.source_rows
+        );
+        self.source_rows = rows;
+    }
+
+    /// Count of columns physically shared (same allocation) with `other` —
+    /// a test/bench hook for asserting incremental maintenance shares
+    /// prior columns instead of re-transposing them.
+    pub fn shared_cols(&self, other: &TransposedBitMatrix) -> usize {
+        self.cols
+            .iter()
+            .zip(&other.cols)
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Validates the structural invariants: every column spans at most
+    /// `source_rows` bits (shorter columns are zero-extended) and
+    /// satisfies [`PresenceColumn::check_invariants`].
     ///
     /// # Errors
     /// Returns a description of the first violated invariant.
     pub fn check_invariants(&self) -> Result<(), String> {
         for (c, col) in self.cols.iter().enumerate() {
-            if col.len() != self.source_rows {
+            if col.len() > self.source_rows {
                 return Err(format!(
-                    "TransposedBitMatrix column {c} spans {} bits, want {}",
+                    "TransposedBitMatrix column {c} spans {} bits, more than source_rows {}",
                     col.len(),
                     self.source_rows
                 ));
@@ -1833,5 +2033,132 @@ mod tests {
             assert!(!t.col(c).get(64));
             assert_eq!(t.col(c).count_ones(), 64);
         }
+    }
+
+    #[test]
+    fn push_col_appends_column_and_matches_push_row_build() {
+        // build column-wise and row-wise; results must be equal
+        let mut by_col = BitMatrix::new(0);
+        for _ in 0..70 {
+            by_col.push_empty_row();
+        }
+        by_col.push_col((0..70).filter(|r| r % 3 == 0));
+        by_col.push_col((0..70).filter(|r| r % 7 == 0));
+        by_col.push_col(std::iter::empty());
+        assert_eq!(by_col.check_invariants(), Ok(()));
+        assert_eq!(by_col.ncols(), 3);
+
+        let mut by_row = BitMatrix::new(3);
+        for r in 0..70 {
+            let mut bits = Vec::new();
+            if r % 3 == 0 {
+                bits.push(0);
+            }
+            if r % 7 == 0 {
+                bits.push(1);
+            }
+            by_row.push_row(&BitVec::from_indices(3, bits));
+        }
+        assert_eq!(by_col, by_row);
+        assert_eq!(by_col.col_count(0), by_row.col_count(0));
+    }
+
+    #[test]
+    fn clone_then_push_col_shares_full_bands() {
+        // 130 columns = 3 bands; appending a 131st column touches only
+        // the final band — the first two stay physically shared
+        let mut m = BitMatrix::new(130);
+        for r in 0..50 {
+            m.push_row(&BitVec::from_indices(130, [r % 130, (r * 7) % 130]));
+        }
+        let snapshot = m.clone();
+        m.push_col([1, 3, 40]);
+        assert_eq!(m.ncols(), 131);
+        assert_eq!(m.check_invariants(), Ok(()));
+        assert_eq!(m.shared_bands(&snapshot), 2, "full bands must stay shared");
+        // the snapshot is unperturbed
+        assert_eq!(snapshot.ncols(), 130);
+        assert_eq!(snapshot.check_invariants(), Ok(()));
+        for r in 0..50 {
+            for c in 0..130 {
+                assert_eq!(snapshot.get(r, c), m.get(r, c), "({r},{c})");
+            }
+        }
+        assert!(m.get(1, 130) && m.get(3, 130) && m.get(40, 130));
+        assert!(!m.get(0, 130));
+    }
+
+    #[test]
+    fn widen_shares_all_bands_with_source() {
+        let mut m = BitMatrix::new(70);
+        for r in 0..20 {
+            m.push_row(&BitVec::from_indices(70, [r, 69 - r]));
+        }
+        let w = m.widen(200);
+        assert_eq!(w.ncols(), 200);
+        assert_eq!(w.check_invariants(), Ok(()));
+        assert_eq!(w.shared_bands(&m), m.n_bands());
+        assert_eq!(w.count_ones(), m.count_ones());
+    }
+
+    #[test]
+    fn push_empty_rows_are_implicit_and_semantically_equal() {
+        let mut a = BitMatrix::new(5);
+        a.push_row(&BitVec::from_indices(5, [1]));
+        a.push_empty_row();
+        a.push_empty_row();
+        let mut b = BitMatrix::new(5);
+        b.push_row(&BitVec::from_indices(5, [1]));
+        b.push_row(&BitVec::zeros(5));
+        b.push_row(&BitVec::zeros(5));
+        assert_eq!(a, b);
+        assert_eq!(a.row(2), BitVec::zeros(5));
+        assert_eq!(a.masked_popcounts(&BitVec::ones(5)), vec![1, 0, 0]);
+        // transposes agree too
+        assert_eq!(a.transposed(), b.transposed());
+    }
+
+    #[test]
+    fn transposed_push_col_and_grow_rows_match_full_rebuild() {
+        let mut m = BitMatrix::new(3);
+        for r in 0..70 {
+            m.push_row(&BitVec::from_indices(
+                3,
+                (0..3).filter(|c| (r + c) % (c + 2) == 0),
+            ));
+        }
+        let mut t = m.transposed();
+        // grow the entity space and append a time point incrementally
+        for _ in 0..10 {
+            m.push_empty_row();
+        }
+        m.push_col([0, 64, 75, 79]);
+        t.grow_rows(80);
+        t.push_col(PresenceColumn::from_bitvec(
+            BitVec::from_indices(80, [0, 64, 75, 79]),
+            SparseMode::Auto,
+        ));
+        assert_eq!(t.check_invariants(), Ok(()));
+        let rebuilt = m.transposed();
+        assert_eq!(t, rebuilt, "incremental must equal from-scratch");
+        // all prior columns stayed shared with... themselves (no rebuild)
+        assert_eq!(t.n_cols(), 4);
+        assert_eq!(t.source_rows(), 80);
+        // zero-extension: old columns read absent for new entities
+        for c in 0..3 {
+            for r in 70..80 {
+                assert!(!t.col(c).get(r));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more than source_rows")]
+    fn transposed_push_col_too_wide_panics() {
+        let mut t = BitMatrix::zeros(10, 2).transposed();
+        t.push_col(PresenceColumn::from_bitvec(
+            BitVec::zeros(11),
+            SparseMode::Auto,
+        ));
     }
 }

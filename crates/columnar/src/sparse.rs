@@ -10,6 +10,14 @@
 //! words. The op surface mirrors the dense accumulator kernels used by the
 //! chain-incremental cursor, so callers fold either representation into a
 //! dense accumulator without branching at every word.
+//!
+//! Columns are **zero-extended**: a column may be *shorter* than the dense
+//! operands it folds into, in which case its missing suffix reads as all
+//! zeros. This is what lets a versioned snapshot carry a time point's
+//! column forward unchanged while the entity space keeps growing —
+//! entities created after the column's epoch are absent at it by
+//! construction. Dense operands of one call must still agree with each
+//! other exactly; only the column itself may be short.
 
 use crate::bitset::{kernels, BitVec};
 
@@ -51,6 +59,22 @@ impl SparseMode {
 
 /// Widest bit-space a sparse column can address with `u32` entity IDs.
 const SPARSE_MAX_BITS: usize = u32::MAX as usize + 1;
+
+/// Asserts the column fits inside a dense operand (shorter columns are
+/// legal and read as zero-extended).
+#[inline]
+fn check_col_width(col: usize, operand: usize) {
+    assert!(
+        col <= operand,
+        "presence column wider than operand: {col} vs {operand}"
+    );
+}
+
+/// Asserts two dense operands of one call agree exactly.
+#[inline]
+fn check_same_width(a: usize, b: usize) {
+    assert_eq!(a, b, "bit vector width mismatch: {a} vs {b}");
+}
 
 /// Applies the `mode` policy and then vetoes the sparse representation for
 /// columns wider than the `u32` ID range. Returns `(sparse, vetoed)`;
@@ -160,18 +184,22 @@ impl PresenceColumn {
         }
     }
 
-    /// Reads bit `i`.
-    ///
-    /// # Panics
-    /// Panics if `i >= len()`.
+    /// Reads bit `i`; positions at or beyond `len()` read as zero (the
+    /// zero-extension contract — an entity created after this column's
+    /// epoch is absent at its time point).
     pub fn get(&self, i: usize) -> bool {
         match self {
-            PresenceColumn::Dense(bv) => bv.get(i),
-            PresenceColumn::Sparse(s) => {
-                assert!(i < s.nbits, "bit index {i} out of range {}", s.nbits);
-                s.ids.binary_search(&(i as u32)).is_ok()
-            }
+            PresenceColumn::Dense(bv) => i < bv.len() && bv.get(i),
+            PresenceColumn::Sparse(s) => i < s.nbits && s.ids.binary_search(&(i as u32)).is_ok(),
         }
+    }
+
+    /// True if both columns hold the same set of bits, ignoring stored
+    /// width (zero-extension) and representation. This is the equality an
+    /// incrementally maintained transposed index satisfies against a
+    /// from-scratch rebuild.
+    pub fn bits_eq(&self, other: &PresenceColumn) -> bool {
+        self.iter_ones().eq(other.iter_ones())
     }
 
     /// Iterates positions of set bits in increasing order.
@@ -228,13 +256,20 @@ impl PresenceColumn {
         }
     }
 
-    /// Overwrites `out` with this column's bits (`out = col`).
+    /// Overwrites `out` with this column's bits (`out = col`), zeroing any
+    /// suffix of `out` beyond the column's stored width.
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than `out`.
     pub fn copy_into(&self, out: &mut BitVec) {
         match self {
-            PresenceColumn::Dense(bv) => out.copy_from(bv),
+            PresenceColumn::Dense(bv) => {
+                check_col_width(bv.len(), out.len());
+                let wl = bv.words().len();
+                let words = out.words_mut();
+                words[..wl].copy_from_slice(bv.words());
+                words[wl..].fill(0);
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(out);
                 out.clear_all();
@@ -249,10 +284,14 @@ impl PresenceColumn {
     /// `acc |= col`, the cursor's union-extension fold.
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than `acc`.
     pub fn or_into(&self, acc: &mut BitVec) {
         match self {
-            PresenceColumn::Dense(bv) => acc.or_assign(bv),
+            PresenceColumn::Dense(bv) => {
+                check_col_width(bv.len(), acc.len());
+                let wl = bv.words().len();
+                kernels::or_assign(bv.words(), &mut acc.words_mut()[..wl]);
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(acc);
                 let words = acc.words_mut();
@@ -270,10 +309,17 @@ impl PresenceColumn {
     /// two-read-one-write AND, not just competitive with it.
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than `acc`.
     pub fn and_assign_into(&self, acc: &mut BitVec) {
         match self {
-            PresenceColumn::Dense(bv) => acc.and_assign(bv),
+            PresenceColumn::Dense(bv) => {
+                check_col_width(bv.len(), acc.len());
+                let wl = bv.words().len();
+                let words = acc.words_mut();
+                kernels::and_assign(bv.words(), &mut words[..wl]);
+                // zero-extension: the column is all-zero past its width
+                words[wl..].fill(0);
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(acc);
                 let words = acc.words_mut();
@@ -298,13 +344,19 @@ impl PresenceColumn {
     /// `out = col & other`.
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than the operands, or `other` and
+    /// `out` disagree in width.
     pub fn and_into(&self, other: &BitVec, out: &mut BitVec) {
+        check_same_width(other.len(), out.len());
         match self {
-            PresenceColumn::Dense(bv) => bv.and_into(other, out),
+            PresenceColumn::Dense(bv) => {
+                check_col_width(bv.len(), other.len());
+                let wl = bv.words().len();
+                kernels::and_into(bv.words(), &other.words()[..wl], &mut out.words_mut()[..wl]);
+                out.words_mut()[wl..].fill(0);
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(other);
-                s.check_width(out);
                 out.clear_all();
                 let ow = other.words();
                 let dst = out.words_mut();
@@ -319,13 +371,19 @@ impl PresenceColumn {
     /// `out = col & !other`.
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than the operands, or `other` and
+    /// `out` disagree in width.
     pub fn and_not_into(&self, other: &BitVec, out: &mut BitVec) {
+        check_same_width(other.len(), out.len());
         match self {
-            PresenceColumn::Dense(bv) => bv.and_not_into(other, out),
+            PresenceColumn::Dense(bv) => {
+                check_col_width(bv.len(), other.len());
+                let wl = bv.words().len();
+                kernels::and_not_into(bv.words(), &other.words()[..wl], &mut out.words_mut()[..wl]);
+                out.words_mut()[wl..].fill(0);
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(other);
-                s.check_width(out);
                 out.clear_all();
                 let ow = other.words();
                 let dst = out.words_mut();
@@ -338,16 +396,23 @@ impl PresenceColumn {
     }
 
     /// `out = other & !col` (the column as the *subtrahend*; difference
-    /// events need both orders).
+    /// events need both orders). Bits of `other` past the column's stored
+    /// width survive untouched (the column is zero there).
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than the operands, or `other` and
+    /// `out` disagree in width.
     pub fn and_not_from(&self, other: &BitVec, out: &mut BitVec) {
+        check_same_width(other.len(), out.len());
         match self {
-            PresenceColumn::Dense(bv) => other.and_not_into(bv, out),
+            PresenceColumn::Dense(bv) => {
+                check_col_width(bv.len(), other.len());
+                out.copy_from(other);
+                let wl = bv.words().len();
+                kernels::and_not_assign(bv.words(), &mut out.words_mut()[..wl]);
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(other);
-                s.check_width(out);
                 out.copy_from(other);
                 let dst = out.words_mut();
                 for &id in &s.ids {
@@ -360,13 +425,18 @@ impl PresenceColumn {
     /// `acc |= col & other`, the fused incident-endpoint fix-up fold.
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than the operands, or `other` and
+    /// `acc` disagree in width.
     pub fn or_and_into(&self, other: &BitVec, acc: &mut BitVec) {
+        check_same_width(other.len(), acc.len());
         match self {
-            PresenceColumn::Dense(bv) => acc.or_and_assign(bv, other),
+            PresenceColumn::Dense(bv) => {
+                check_col_width(bv.len(), other.len());
+                let wl = bv.words().len();
+                kernels::or_and_into(bv.words(), &other.words()[..wl], &mut acc.words_mut()[..wl]);
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(other);
-                s.check_width(acc);
                 let ow = other.words();
                 let dst = acc.words_mut();
                 for &id in &s.ids {
@@ -381,10 +451,14 @@ impl PresenceColumn {
     /// dense column, one bitmap probe per ID for a sparse one.
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than `other`.
     pub fn count_ones_and_dense(&self, other: &BitVec) -> usize {
         match self {
-            PresenceColumn::Dense(bv) => bv.count_ones_and(other),
+            PresenceColumn::Dense(bv) => {
+                check_col_width(bv.len(), other.len());
+                let wl = bv.words().len();
+                kernels::count_ones_and(bv.words(), &other.words()[..wl])
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(other);
                 let ow = other.words();
@@ -402,13 +476,18 @@ impl PresenceColumn {
     /// bitmap probes per ID for a sparse one.
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than the operands, or `a` and `b`
+    /// disagree in width.
     pub fn count_ones_and2(&self, a: &BitVec, b: &BitVec) -> usize {
+        check_same_width(a.len(), b.len());
         match self {
-            PresenceColumn::Dense(bv) => kernels::count_ones_and3(bv.words(), a.words(), b.words()),
+            PresenceColumn::Dense(bv) => {
+                check_col_width(bv.len(), a.len());
+                let wl = bv.words().len();
+                kernels::count_ones_and3(bv.words(), &a.words()[..wl], &b.words()[..wl])
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(a);
-                s.check_width(b);
                 let (aw, bw) = (a.words(), b.words());
                 let mut count = 0usize;
                 for &id in &s.ids {
@@ -427,26 +506,40 @@ impl PresenceColumn {
     /// bitmap probes per ID for a sparse one. No mask is materialized.
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than the operands, or the dense
+    /// operands disagree in width.
     pub fn count_difference_keep(
         &self,
         drop: &BitVec,
         rescue: &BitVec,
         sel: Option<&BitVec>,
     ) -> usize {
+        check_same_width(drop.len(), rescue.len());
+        if let Some(m) = sel {
+            check_same_width(drop.len(), m.len());
+        }
         match self {
-            PresenceColumn::Dense(bv) => match sel {
-                None => kernels::count_difference(bv.words(), drop.words(), rescue.words()),
-                Some(m) => kernels::count_difference_sel(
-                    bv.words(),
-                    drop.words(),
-                    rescue.words(),
-                    m.words(),
-                ),
-            },
+            PresenceColumn::Dense(bv) => {
+                // the column is the keep side: bits past its width are
+                // zero, so only the word prefix can contribute
+                check_col_width(bv.len(), drop.len());
+                let wl = bv.words().len();
+                match sel {
+                    None => kernels::count_difference(
+                        bv.words(),
+                        &drop.words()[..wl],
+                        &rescue.words()[..wl],
+                    ),
+                    Some(m) => kernels::count_difference_sel(
+                        bv.words(),
+                        &drop.words()[..wl],
+                        &rescue.words()[..wl],
+                        &m.words()[..wl],
+                    ),
+                }
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(drop);
-                s.check_width(rescue);
                 let (dw, rw) = (drop.words(), rescue.words());
                 let sw = sel.map(|m| {
                     s.check_width(m);
@@ -471,26 +564,43 @@ impl PresenceColumn {
     /// (`|keep ∩ sel| − |keep ∩ col ∩ !rescue ∩ sel|`).
     ///
     /// # Panics
-    /// Panics on width mismatch.
+    /// Panics if the column is wider than the operands, or the dense
+    /// operands disagree in width.
     pub fn count_difference_drop(
         &self,
         keep: &BitVec,
         rescue: &BitVec,
         sel: Option<&BitVec>,
     ) -> usize {
+        check_same_width(keep.len(), rescue.len());
+        if let Some(m) = sel {
+            check_same_width(keep.len(), m.len());
+        }
         match self {
-            PresenceColumn::Dense(bv) => match sel {
-                None => kernels::count_difference(keep.words(), bv.words(), rescue.words()),
-                Some(m) => kernels::count_difference_sel(
-                    keep.words(),
-                    bv.words(),
-                    rescue.words(),
-                    m.words(),
-                ),
-            },
+            PresenceColumn::Dense(bv) => {
+                // the column is the drop side: past its width `!col` is
+                // all ones, so every selected keep bit there survives —
+                // fused prefix count plus a plain popcount suffix
+                check_col_width(bv.len(), keep.len());
+                let wl = bv.words().len();
+                let kw = keep.words();
+                let prefix = match sel {
+                    None => kernels::count_difference(&kw[..wl], bv.words(), &rescue.words()[..wl]),
+                    Some(m) => kernels::count_difference_sel(
+                        &kw[..wl],
+                        bv.words(),
+                        &rescue.words()[..wl],
+                        &m.words()[..wl],
+                    ),
+                };
+                let suffix = match sel {
+                    None => kernels::count_ones(&kw[wl..]),
+                    Some(m) => kernels::count_ones_and(&kw[wl..], &m.words()[wl..]),
+                };
+                prefix + suffix
+            }
             PresenceColumn::Sparse(s) => {
                 s.check_width(keep);
-                s.check_width(rescue);
                 let (kw, rw) = (keep.words(), rescue.words());
                 let sw = sel.map(|m| {
                     s.check_width(m);
@@ -516,16 +626,9 @@ impl PresenceColumn {
     /// dense×dense, a bitmap probe per ID when exactly one side is sparse,
     /// and a galloping sorted-list intersection for sparse×sparse.
     ///
-    /// # Panics
-    /// Panics on width mismatch.
+    /// The columns may differ in stored width (zero-extension): the
+    /// intersection lives entirely in the common prefix.
     pub fn count_ones_and(&self, other: &PresenceColumn) -> usize {
-        assert_eq!(
-            self.len(),
-            other.len(),
-            "bit vector width mismatch: {} vs {}",
-            self.len(),
-            other.len()
-        );
         match (self, other) {
             (PresenceColumn::Sparse(a), PresenceColumn::Sparse(b)) => {
                 if a.ids.len() <= b.ids.len() {
@@ -534,27 +637,43 @@ impl PresenceColumn {
                     galloping_intersect_count(&b.ids, &a.ids)
                 }
             }
-            (PresenceColumn::Sparse(_), PresenceColumn::Dense(bv)) => self.count_ones_and_dense(bv),
-            (PresenceColumn::Dense(bv), PresenceColumn::Sparse(_)) => {
-                other.count_ones_and_dense(bv)
+            (PresenceColumn::Sparse(a), PresenceColumn::Dense(bv))
+            | (PresenceColumn::Dense(bv), PresenceColumn::Sparse(a)) => {
+                sparse_dense_intersect_count(&a.ids, bv)
             }
             (PresenceColumn::Dense(a), PresenceColumn::Dense(b)) => {
-                kernels::count_ones_and(a.words(), b.words())
+                let n = a.words().len().min(b.words().len());
+                // the shorter side's clean tail masks the longer side's
+                // partial boundary word
+                kernels::count_ones_and(&a.words()[..n], &b.words()[..n])
             }
         }
     }
 }
 
+/// Probe count of sorted IDs against a dense bitmap that may be *shorter*
+/// than the ID space: IDs past the bitmap's storage cannot intersect
+/// (zero-extension) and terminate the scan early since the list is sorted.
+fn sparse_dense_intersect_count(ids: &[u32], bv: &BitVec) -> usize {
+    let ow = bv.words();
+    let mut count = 0usize;
+    for &id in ids {
+        let (w, b) = (id as usize / WORD_BITS, id as usize % WORD_BITS);
+        match ow.get(w) {
+            Some(&x) => count += ((x >> b) & 1) as usize,
+            None => break,
+        }
+    }
+    count
+}
+
 impl SparseIds {
+    /// Sparse columns only require the operand to cover the ID space
+    /// (zero-extension lets the column be shorter than the operand; every
+    /// stored ID is below `nbits`, hence in range for the operand too).
     #[inline]
     fn check_width(&self, other: &BitVec) {
-        assert_eq!(
-            self.nbits,
-            other.len(),
-            "bit vector width mismatch: {} vs {}",
-            self.nbits,
-            other.len()
-        );
+        check_col_width(self.nbits, other.len());
     }
 }
 
@@ -766,10 +885,133 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "width mismatch")]
-    fn sparse_width_mismatch_panics() {
-        let s = sparse(10, &[3]);
+    #[should_panic(expected = "wider than operand")]
+    fn column_wider_than_operand_panics() {
+        let s = sparse(12, &[3]);
         let mut acc = BitVec::zeros(11);
         s.or_into(&mut acc);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than operand")]
+    fn dense_column_wider_than_operand_panics() {
+        let d = dense(12, &[3]);
+        let mut acc = BitVec::zeros(11);
+        d.and_assign_into(&mut acc);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn dense_operand_pair_mismatch_panics() {
+        let d = dense(10, &[3]);
+        let other = BitVec::zeros(12);
+        let mut out = BitVec::zeros(11);
+        d.and_into(&other, &mut out);
+    }
+
+    /// Every op on a short column against wider operands must agree with
+    /// the same op on the column explicitly zero-extended to full width.
+    #[test]
+    fn short_columns_fold_as_zero_extended() {
+        let col_ids = [1usize, 63, 64, 69];
+        let wide = 130usize;
+        let other = BitVec::from_indices(wide, [1, 64, 69, 99, 129]);
+        let acc0 = BitVec::from_indices(wide, [2, 63, 69, 100, 128]);
+        for short in [sparse(70, &col_ids), dense(70, &col_ids)] {
+            // oracle: same bits stored at the full operand width
+            let full = PresenceColumn::from_bitvec(
+                BitVec::from_indices(wide, col_ids.iter().copied()),
+                if short.is_sparse() {
+                    SparseMode::ForceSparse
+                } else {
+                    SparseMode::ForceDense
+                },
+            );
+            let mut got = BitVec::zeros(wide);
+            let mut want = BitVec::zeros(wide);
+
+            short.copy_into(&mut got);
+            full.copy_into(&mut want);
+            assert_eq!(got, want, "copy_into");
+
+            short.and_into(&other, &mut got);
+            full.and_into(&other, &mut want);
+            assert_eq!(got, want, "and_into");
+
+            short.and_not_into(&other, &mut got);
+            full.and_not_into(&other, &mut want);
+            assert_eq!(got, want, "and_not_into");
+
+            short.and_not_from(&other, &mut got);
+            full.and_not_from(&other, &mut want);
+            assert_eq!(got, want, "and_not_from");
+
+            got.copy_from(&acc0);
+            want.copy_from(&acc0);
+            short.or_into(&mut got);
+            full.or_into(&mut want);
+            assert_eq!(got, want, "or_into");
+
+            got.copy_from(&acc0);
+            want.copy_from(&acc0);
+            short.and_assign_into(&mut got);
+            full.and_assign_into(&mut want);
+            assert_eq!(got, want, "and_assign_into");
+
+            got.copy_from(&acc0);
+            want.copy_from(&acc0);
+            short.or_and_into(&other, &mut got);
+            full.or_and_into(&other, &mut want);
+            assert_eq!(got, want, "or_and_into");
+
+            assert_eq!(
+                short.count_ones_and_dense(&other),
+                full.count_ones_and_dense(&other),
+                "count_ones_and_dense"
+            );
+            assert_eq!(
+                short.count_ones_and2(&other, &acc0),
+                full.count_ones_and2(&other, &acc0),
+                "count_ones_and2"
+            );
+            for sel in [None, Some(&acc0)] {
+                assert_eq!(
+                    short.count_difference_keep(&other, &acc0, sel),
+                    full.count_difference_keep(&other, &acc0, sel),
+                    "count_difference_keep sel={}",
+                    sel.is_some()
+                );
+                assert_eq!(
+                    short.count_difference_drop(&other, &acc0, sel),
+                    full.count_difference_drop(&other, &acc0, sel),
+                    "count_difference_drop sel={}",
+                    sel.is_some()
+                );
+            }
+            assert!(short.bits_eq(&full), "bits_eq across widths");
+        }
+    }
+
+    #[test]
+    fn count_ones_and_mixed_widths_all_representation_pairs() {
+        // short column {1, 64} x long column {1, 64, 100}: intersection 2
+        let a_ids = [1usize, 64];
+        let b_ids = [1usize, 64, 100];
+        for a in [sparse(70, &a_ids), dense(70, &a_ids)] {
+            for b in [sparse(130, &b_ids), dense(130, &b_ids)] {
+                assert_eq!(a.count_ones_and(&b), 2, "{a:?} x {b:?}");
+                assert_eq!(b.count_ones_and(&a), 2, "{b:?} x {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn get_reads_past_len_as_zero() {
+        let s = sparse(10, &[3, 9]);
+        let d = dense(10, &[3, 9]);
+        for col in [s, d] {
+            assert!(col.get(3) && col.get(9));
+            assert!(!col.get(10) && !col.get(1000));
+        }
     }
 }

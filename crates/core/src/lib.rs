@@ -64,7 +64,9 @@ pub mod zoom;
 
 pub use aggregate::{AggMode, AggregateGraph, CountTarget, GroupTable};
 pub use cube::{GraphCube, Level};
-pub use evolution::{EvolutionAggregate, EvolutionClass, EvolutionGraph, EvolutionWeights};
+pub use evolution::{
+    EvolutionAggregate, EvolutionCache, EvolutionClass, EvolutionGraph, EvolutionWeights,
+};
 pub use explore::{
     explore, explore_materializing, explore_naive, suggest_k, Direction, ExploreConfig,
     ExploreKernel, ExploreOutcome, ExtendSide, IntervalPair, Selector, Semantics, ThresholdStat,

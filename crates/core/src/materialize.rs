@@ -223,36 +223,59 @@ impl TimepointStore {
     }
 }
 
-/// A lazy, thread-safe cache of [`TimepointStore`]s keyed by attribute set.
-pub struct MaterializationCache<'g> {
-    g: &'g TemporalGraph,
+/// A lazy, thread-safe cache of [`TimepointStore`]s keyed by attribute set
+/// and stamped with the graph epoch they were built at.
+///
+/// The cache follows one graph *lineage* across
+/// [`tempo_graph::GraphVersions`] appends: every entry records
+/// [`TemporalGraph::epoch`] at build time, and a lookup against a graph
+/// with a different stamp is a miss that rebuilds and replaces the entry.
+/// Keying on the attribute set alone used to silently return stores built
+/// on a pre-append epoch — missing the appended timepoints entirely.
+pub struct MaterializationCache {
     threads: usize,
-    stores: Mutex<HashMap<Vec<AttrId>, Arc<TimepointStore>>>,
+    stores: Mutex<HashMap<Vec<AttrId>, StampedStore>>,
 }
 
-impl<'g> MaterializationCache<'g> {
-    /// Creates a cache over `g`; stores are built with `threads` workers.
-    pub fn new(g: &'g TemporalGraph, threads: usize) -> Self {
+/// A cached store and the epoch it was built at.
+type StampedStore = (u64, Arc<TimepointStore>);
+
+impl MaterializationCache {
+    /// Creates an empty cache; stores are built with `threads` workers.
+    pub fn new(threads: usize) -> Self {
         MaterializationCache {
-            g,
             threads: threads.max(1),
             stores: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Returns the store for `attrs`, building it on first use.
-    pub fn store_for(&self, attrs: &[AttrId]) -> Arc<TimepointStore> {
+    /// Returns the store for `attrs` on the epoch of `g`, building it on
+    /// first use or when the cached entry was built at a different epoch.
+    pub fn store_for(&self, g: &TemporalGraph, attrs: &[AttrId]) -> Arc<TimepointStore> {
         let ins = tempo_instrument::global();
-        if let Some(s) = self.stores.lock().get(attrs) {
-            ins.counter("materialize.cache.hits").inc();
-            return Arc::clone(s);
+        let epoch = g.epoch();
+        if let Some((stamp, s)) = self.stores.lock().get(attrs) {
+            if *stamp == epoch {
+                ins.counter("materialize.cache.hits").inc();
+                return Arc::clone(s);
+            }
+            ins.counter("materialize.cache.epoch_evictions").inc();
         }
         ins.counter("materialize.cache.misses").inc();
         // Build outside the lock so concurrent misses don't serialize the
-        // aggregation work; last writer wins harmlessly (stores are equal).
-        let built = Arc::new(TimepointStore::build_parallel(self.g, attrs, self.threads));
+        // aggregation work; last writer wins harmlessly (same-epoch stores
+        // are equal, and a racing newer epoch simply re-misses).
+        let built = Arc::new(TimepointStore::build_parallel(g, attrs, self.threads));
         let mut guard = self.stores.lock();
-        let store = Arc::clone(guard.entry(attrs.to_vec()).or_insert(built));
+        let entry = guard
+            .entry(attrs.to_vec())
+            .and_modify(|e| {
+                if e.0 != epoch {
+                    *e = (epoch, Arc::clone(&built));
+                }
+            })
+            .or_insert((epoch, built));
+        let store = Arc::clone(&entry.1);
         ins.gauge("materialize.cache.entries")
             .set(guard.len() as i64);
         store
@@ -382,15 +405,50 @@ mod tests {
     #[test]
     fn cache_builds_once_per_attr_set() {
         let g = fig1();
-        let cache = MaterializationCache::new(&g, 2);
+        let cache = MaterializationCache::new(2);
         assert!(cache.is_empty());
         let ga = attrs(&g, &["gender"]);
-        let s1 = cache.store_for(&ga);
-        let s2 = cache.store_for(&ga);
+        let s1 = cache.store_for(&g, &ga);
+        let s2 = cache.store_for(&g, &ga);
         assert!(Arc::ptr_eq(&s1, &s2));
         assert_eq!(cache.len(), 1);
         let gp = attrs(&g, &["gender", "publications"]);
-        let _ = cache.store_for(&gp);
+        let _ = cache.store_for(&g, &gp);
         assert_eq!(cache.len(), 2);
+    }
+
+    // Regression: the cache used to key on the attribute set alone, so a
+    // lookup after an append returned the pre-append store (3 timepoints)
+    // forever. The epoch stamp turns that into a miss + rebuild.
+    #[test]
+    fn cache_rebuilds_on_epoch_mismatch() {
+        use tempo_graph::{GraphVersions, TimepointPatch};
+        let mut v = GraphVersions::new(fig1());
+        let g0 = v.current();
+        let ga = attrs(&g0, &["gender", "publications"]);
+        let cache = MaterializationCache::new(1);
+        let stale = cache.store_for(&g0, &ga);
+        assert_eq!(stale.len(), 3);
+
+        let pubs = g0.schema().id("publications").unwrap();
+        let mut p = TimepointPatch::new("t3");
+        p.add_edge("u2", "u5")
+            .set_time_varying("u2", pubs, tempo_columnar::Value::Int(9));
+        let g1 = v.append_timepoint(&p).unwrap();
+
+        let fresh = cache.store_for(&g1, &ga);
+        assert!(
+            !Arc::ptr_eq(&stale, &fresh),
+            "stale store served after append"
+        );
+        assert_eq!(fresh.len(), 4);
+        assert_eq!(cache.len(), 1, "rebuild replaces, not accumulates");
+        let rebuilt = TimepointStore::build(&g1, &ga);
+        for t in g1.domain().iter() {
+            assert_eq!(fresh.at(t), rebuilt.at(t), "point {t:?}");
+        }
+        // same epoch again is a hit; the old epoch re-misses
+        assert!(Arc::ptr_eq(&fresh, &cache.store_for(&g1, &ga)));
+        assert_eq!(cache.store_for(&g0, &ga).len(), 3);
     }
 }

@@ -96,10 +96,10 @@ fn registry_matches_reported_outcomes() {
 
     // -- materialization: cache hits/misses and build latency --
     let before = ins.snapshot();
-    let cache = MaterializationCache::new(&g, 1);
+    let cache = MaterializationCache::new(1);
     let attrs = vec![kind];
-    let a = cache.store_for(&attrs);
-    let b = cache.store_for(&attrs);
+    let a = cache.store_for(&g, &attrs);
+    let b = cache.store_for(&g, &attrs);
     assert!(std::sync::Arc::ptr_eq(&a, &b));
     let after = ins.snapshot();
     let delta = |name: &str| after.counter(name) - before.counter(name);

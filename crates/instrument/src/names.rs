@@ -17,6 +17,8 @@ pub const ALL: &[&str] = &[
     "columnar.presence.dense_cols",
     "columnar.presence.sparse_cols",
     "columnar.presence.sparse_overflow_forced_dense",
+    "evolution.cache.hits",
+    "evolution.cache.misses",
     "explore.count_ns",
     "explore.cursor.builds",
     "explore.cursor.chains",
@@ -35,6 +37,7 @@ pub const ALL: &[&str] = &[
     "explore.shard.fragments",
     "explore.shard.merge_ns",
     "explore.shard.worker_idle_ns",
+    "graph.index.append_cols",
     "graph.transpose_build_ns",
     "graph.transpose_builds",
     "io.load_ns",
@@ -44,6 +47,7 @@ pub const ALL: &[&str] = &[
     "io.write.cells",
     "io.write.rows",
     "materialize.cache.entries",
+    "materialize.cache.epoch_evictions",
     "materialize.cache.hits",
     "materialize.cache.misses",
     "materialize.points_appended",

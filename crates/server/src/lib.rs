@@ -13,19 +13,34 @@
 //! Requests are single lines, `\n`-terminated. Responses are
 //!
 //! ```text
-//! OK <n>\n        followed by exactly n payload lines, or
+//! OK <n> [epoch=<e>]\n   followed by exactly n payload lines, or
 //! ERR <message>\n
 //! ```
 //!
+//! Snapshot-scoped responses append an `epoch=<e>` token to the status
+//! line: every snapshot name carries a monotonically increasing epoch id
+//! (starting at 1, bumped on every `load`/`generate` replacement and every
+//! `append`), so a client can always tell which version of the graph
+//! answered. Clients should split the status line on whitespace — the
+//! payload count is the second token.
+//!
 //! Server-level commands: `ping`, `help`, `snapshots`, `generate <name> …`,
-//! `load <name> <dir>`, `drop <name>`, `zoom <src> as=<dst> …`, `metrics`,
-//! `shutdown`. Query commands are addressed to a snapshot:
-//! `<cmd> <snapshot> [args…]`, e.g. `stats g` or
+//! `load <name> <dir>`, `drop <name>`, `zoom <src> as=<dst> …`,
+//! `append <name> <label> …`, `metrics`, `shutdown`. Query commands are
+//! addressed to a snapshot: `<cmd> <snapshot> [args…]`, e.g. `stats g` or
 //! `explore g event=growth k=5 attrs=gender timeout_ms=500 limit=100`.
 //! The `timeout_ms=`, `limit=`, and `shards=` kwargs are request-scoped
 //! limits enforced by the server (they override the configured defaults);
 //! `shards=` routes `explore` through the entity-space sharded evaluator,
 //! clamped to [`MAX_SHARDS`].
+//!
+//! `append <name> <label> [node=N]… [edge=U,V]… [tv=N,ATTR,VAL]…
+//! [static=N,ATTR,VAL]… [edgeval=U,V,VAL]…` appends one timepoint to a
+//! registered snapshot copy-on-write ([`tempo_graph::GraphVersions`]): the
+//! new epoch is assembled **outside** the registry lock while in-flight
+//! queries keep reading the old epoch, then swapped in atomically (a
+//! concurrent replacement of the same name loses the race and errors
+//! rather than clobbering).
 
 #![warn(missing_docs)]
 
@@ -35,6 +50,7 @@ pub use registry::SnapshotRegistry;
 
 use graphtempo_cli::error::CliError;
 use graphtempo_cli::parser::tokenize;
+use graphtempo_cli::patch::parse_patch;
 use graphtempo_cli::{QueryLimits, Session};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -43,7 +59,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use tempo_columnar::SparseMode;
-use tempo_graph::GraphError;
+use tempo_graph::{GraphError, GraphVersions};
 
 /// How long a blocked read waits before re-checking the shutdown flag.
 const READ_POLL: Duration = Duration::from_millis(200);
@@ -243,9 +259,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServiceState>) {
     }
 }
 
-/// Wire encoding of a successful response.
-fn ok(lines: &[String]) -> String {
-    let mut out = format!("OK {}\n", lines.len());
+/// Wire encoding of a successful response. Snapshot-scoped responses carry
+/// the answering epoch as a trailing `epoch=<e>` token on the status line.
+fn ok(lines: &[String], epoch: Option<u64>) -> String {
+    let mut out = match epoch {
+        Some(e) => format!("OK {} epoch={e}\n", lines.len()),
+        None => format!("OK {}\n", lines.len()),
+    };
     for l in lines {
         out.push_str(l);
         out.push('\n');
@@ -305,25 +325,31 @@ fn handle_request(state: &Arc<ServiceState>, request: &str) -> (String, bool) {
         .histogram(&format!("server.cmd.{cmd}_ns"))
         .span();
     let rest = &tokens[1..];
-    let result = match cmd {
-        "ping" => Ok(vec!["pong".to_owned()]),
-        "help" => Ok(help_lines()),
-        "snapshots" => Ok(list_snapshots(state)),
-        "generate" | "load" => build_snapshot(state, cmd, rest),
-        "drop" => drop_snapshot(state, rest),
-        "zoom" => zoom_snapshot(state, rest),
-        "metrics" => Ok(payload_lines(
-            tempo_instrument::global()
-                .snapshot()
-                .render_prometheus()
-                .trim_end(),
+    let result: Result<(Vec<String>, Option<u64>), CliError> = match cmd {
+        "ping" => Ok((vec!["pong".to_owned()], None)),
+        "help" => Ok((help_lines(), None)),
+        "snapshots" => Ok((list_snapshots(state), None)),
+        "generate" | "load" => build_snapshot(state, cmd, rest).map(|(l, e)| (l, Some(e))),
+        "drop" => drop_snapshot(state, rest).map(|l| (l, None)),
+        "zoom" => zoom_snapshot(state, rest).map(|(l, e)| (l, Some(e))),
+        "append" => append_snapshot(state, rest).map(|(l, e)| (l, Some(e))),
+        "metrics" => Ok((
+            payload_lines(
+                tempo_instrument::global()
+                    .snapshot()
+                    .render_prometheus()
+                    .trim_end(),
+            ),
+            None,
         )),
-        "shutdown" => return (ok(&["shutting down".to_owned()]), true),
-        c if SNAPSHOT_COMMANDS.contains(&c) => query_snapshot(state, cmd, rest),
+        "shutdown" => return (ok(&["shutting down".to_owned()], None), true),
+        c if SNAPSHOT_COMMANDS.contains(&c) => {
+            query_snapshot(state, cmd, rest).map(|(l, e)| (l, Some(e)))
+        }
         other => Err(CliError::Unknown(format!("command {other:?} (try `help`)"))),
     };
     match result {
-        Ok(lines) => (ok(&lines), false),
+        Ok((lines, epoch)) => (ok(&lines, epoch), false),
         Err(CliError::Graph(GraphError::Cancelled(m))) => {
             tempo_instrument::global().counter("server.timeouts").inc();
             (err(&format!("timeout: {m}")), false)
@@ -342,7 +368,11 @@ fn help_lines() -> Vec<String> {
         "  generate <name> <dblp|movielens|school|random> [scale=] [seed=]".to_owned(),
         "  load <name> <dir> | drop <name>".to_owned(),
         "  zoom <src> as=<name> <zoom args>".to_owned(),
+        "  append <name> <label> [node=N] [edge=U,V] [tv=N,ATTR,VAL] [static=N,ATTR,VAL] \
+         [edgeval=U,V,VAL]"
+            .to_owned(),
         "snapshot queries: <cmd> <snapshot> [args…] [timeout_ms=] [limit=] [shards=]".to_owned(),
+        "snapshot-scoped responses carry `epoch=<e>` on the OK line".to_owned(),
         String::new(),
     ];
     lines.extend(graphtempo_cli::HELP.lines().map(str::to_owned));
@@ -356,9 +386,9 @@ fn list_snapshots(state: &Arc<ServiceState>) -> Vec<String> {
     }
     snaps
         .into_iter()
-        .map(|(name, g)| {
+        .map(|(name, g, epoch)| {
             format!(
-                "{name}  nodes={} edges={} timepoints={}",
+                "{name}  nodes={} edges={} timepoints={} epoch={epoch}",
                 g.n_nodes(),
                 g.n_edges(),
                 g.domain().len()
@@ -373,7 +403,7 @@ fn build_snapshot(
     state: &Arc<ServiceState>,
     cmd: &str,
     rest: &[String],
-) -> Result<Vec<String>, CliError> {
+) -> Result<(Vec<String>, u64), CliError> {
     let Some((name, args)) = rest.split_first() else {
         return Err(CliError::Usage(format!("{cmd} <name> <args…>")));
     };
@@ -384,10 +414,10 @@ fn build_snapshot(
     let graph = session
         .graph_arc()
         .ok_or_else(|| CliError::Unknown(format!("{cmd} produced no graph")))?;
-    state.registry.insert(name, graph);
+    let epoch = state.registry.insert(name, graph);
     let mut lines = vec![format!("snapshot {name} registered")];
     lines.extend(payload_lines(&summary));
-    Ok(lines)
+    Ok((lines, epoch))
 }
 
 fn drop_snapshot(state: &Arc<ServiceState>, rest: &[String]) -> Result<Vec<String>, CliError> {
@@ -403,11 +433,14 @@ fn drop_snapshot(state: &Arc<ServiceState>, rest: &[String]) -> Result<Vec<Strin
 
 /// `zoom <src> as=<dst> <args…>`: runs zoom on a session seeded with the
 /// source snapshot and registers the result under the destination name.
-fn zoom_snapshot(state: &Arc<ServiceState>, rest: &[String]) -> Result<Vec<String>, CliError> {
+fn zoom_snapshot(
+    state: &Arc<ServiceState>,
+    rest: &[String],
+) -> Result<(Vec<String>, u64), CliError> {
     let Some((src, args)) = rest.split_first() else {
         return Err(CliError::Usage("zoom <src> as=<name> <zoom args>".into()));
     };
-    let graph = state
+    let (graph, _) = state
         .registry
         .get(src)
         .ok_or_else(|| CliError::Unknown(format!("snapshot {src:?}")))?;
@@ -427,10 +460,56 @@ fn zoom_snapshot(state: &Arc<ServiceState>, rest: &[String]) -> Result<Vec<Strin
     let zoomed = session
         .graph_arc()
         .ok_or_else(|| CliError::Unknown("zoom produced no graph".into()))?;
-    state.registry.insert(&dst, zoomed);
+    let epoch = state.registry.insert(&dst, zoomed);
     let mut lines = vec![format!("snapshot {dst} registered")];
     lines.extend(payload_lines(&summary));
-    Ok(lines)
+    Ok((lines, epoch))
+}
+
+/// `append <snapshot> <label> [node=N]… [edge=U,V]… [tv=N,ATTR,VAL]…
+/// [static=N,ATTR,VAL]… [edgeval=U,V,VAL]…`: appends one timepoint to a
+/// registered snapshot copy-on-write and atomically swaps the registry
+/// entry. The next epoch is assembled with [`GraphVersions`] **after** the
+/// registry lock is released, so in-flight queries keep reading the old
+/// `Arc` undisturbed; the final swap is a compare-and-swap that refuses to
+/// clobber a concurrent replacement of the same name.
+fn append_snapshot(
+    state: &Arc<ServiceState>,
+    rest: &[String],
+) -> Result<(Vec<String>, u64), CliError> {
+    let usage = "append <snapshot> <label> [node=N] [edge=U,V] [tv=N,ATTR,VAL] \
+                 [static=N,ATTR,VAL] [edgeval=U,V,VAL]";
+    let Some((name, rest)) = rest.split_first() else {
+        return Err(CliError::Usage(usage.into()));
+    };
+    let Some((label, args)) = rest.split_first() else {
+        return Err(CliError::Usage(usage.into()));
+    };
+    let (graph, _) = state
+        .registry
+        .get(name)
+        .ok_or_else(|| CliError::Unknown(format!("snapshot {name:?}")))?;
+    let patch = parse_patch(&graph, label, args)?;
+    let mut versions = GraphVersions::from_arc(Arc::clone(&graph));
+    let next = versions.append_timepoint(&patch)?;
+    let epoch = state
+        .registry
+        .replace_if_current(name, &graph, Arc::clone(&next))
+        .ok_or_else(|| {
+            CliError::Unknown(format!(
+                "snapshot {name:?} was replaced or dropped during append — retry against the \
+                 current epoch"
+            ))
+        })?;
+    Ok((
+        vec![format!(
+            "snapshot {name} appended {label}: nodes={} edges={} timepoints={}",
+            next.n_nodes(),
+            next.n_edges(),
+            next.domain().len()
+        )],
+        epoch,
+    ))
 }
 
 /// `<cmd> <snapshot> [args…]`: forwards to a request-scoped session over the
@@ -439,11 +518,11 @@ fn query_snapshot(
     state: &Arc<ServiceState>,
     cmd: &str,
     rest: &[String],
-) -> Result<Vec<String>, CliError> {
+) -> Result<(Vec<String>, u64), CliError> {
     let Some((name, args)) = rest.split_first() else {
         return Err(CliError::Usage(format!("{cmd} <snapshot> [args…]")));
     };
-    let graph = state
+    let (graph, epoch) = state
         .registry
         .get(name)
         .ok_or_else(|| CliError::Unknown(format!("snapshot {name:?}")))?;
@@ -488,7 +567,7 @@ fn query_snapshot(
                 .add(dropped as u64);
         }
     }
-    Ok(lines)
+    Ok((lines, epoch))
 }
 
 /// Rebuilds a command line from tokens, re-quoting any token with spaces.
@@ -528,8 +607,9 @@ mod tests {
 
     #[test]
     fn wire_encoding_shapes() {
-        assert_eq!(ok(&[]), "OK 0\n");
-        assert_eq!(ok(&["a".into(), "b".into()]), "OK 2\na\nb\n");
+        assert_eq!(ok(&[], None), "OK 0\n");
+        assert_eq!(ok(&["a".into(), "b".into()], None), "OK 2\na\nb\n");
+        assert_eq!(ok(&["a".into()], Some(3)), "OK 1 epoch=3\na\n");
         assert_eq!(err("boom\nsecond"), "ERR boom second\n");
     }
 
@@ -563,10 +643,58 @@ mod tests {
 
         let (resp, _) = handle_request(&state, "generate g school seed=3");
         assert!(resp.starts_with("OK "), "unexpected: {resp}");
+        assert!(
+            resp.lines()
+                .next()
+                .expect("status line")
+                .ends_with("epoch=1"),
+            "missing epoch: {resp}"
+        );
         let (resp, _) = handle_request(&state, "snapshots");
         assert!(resp.contains("g  nodes="), "unexpected: {resp}");
+        assert!(resp.contains("epoch=1"), "unexpected: {resp}");
         let (resp, _) = handle_request(&state, "stats g");
         assert!(resp.starts_with("OK "), "unexpected: {resp}");
+        assert!(
+            resp.lines()
+                .next()
+                .expect("status line")
+                .ends_with("epoch=1"),
+            "missing epoch: {resp}"
+        );
+
+        // append a timepoint copy-on-write: the epoch bumps and the new
+        // point is visible to subsequent queries
+        let (resp, _) = handle_request(&state, "append g extra node=za node=zb edge=za,zb");
+        assert!(resp.starts_with("OK 1 epoch=2"), "append failed: {resp}");
+        assert!(resp.contains("appended extra"), "unexpected: {resp}");
+        let (resp, _) = handle_request(&state, "snapshots");
+        assert!(resp.contains("epoch=2"), "unexpected: {resp}");
+        let (resp, _) = handle_request(&state, "stats g");
+        assert!(
+            resp.lines()
+                .next()
+                .expect("status line")
+                .ends_with("epoch=2"),
+            "missing epoch: {resp}"
+        );
+        assert!(resp.contains("extra"), "new timepoint missing: {resp}");
+        // regenerating over the same name keeps the epoch line monotone
+        let (resp, _) = handle_request(&state, "generate g school seed=3");
+        assert!(
+            resp.lines()
+                .next()
+                .expect("status line")
+                .ends_with("epoch=3"),
+            "unexpected: {resp}"
+        );
+        // append argument errors surface as ERR, not panics
+        let (resp, _) = handle_request(&state, "append missing t9 node=x");
+        assert!(resp.starts_with("ERR "), "unexpected: {resp}");
+        let (resp, _) = handle_request(&state, "append g t9 frob=1");
+        assert!(resp.starts_with("ERR "), "unexpected: {resp}");
+        let (resp, _) = handle_request(&state, "append g");
+        assert!(resp.starts_with("ERR usage"), "unexpected: {resp}");
 
         // a zero budget must surface as a timeout error, not a hang
         let (resp, _) = handle_request(

@@ -22,7 +22,9 @@ impl Client {
         }
     }
 
-    /// Sends one request and returns `(status_line, payload_lines)`.
+    /// Sends one request and returns `(status_line, payload_lines)`. The
+    /// status line is `OK <n> [epoch=<e>]` or `ERR <message>`; the payload
+    /// count is the second whitespace-separated token.
     fn request(&mut self, line: &str) -> (String, Vec<String>) {
         writeln!(self.writer, "{line}").expect("write request");
         self.writer.flush().expect("flush request");
@@ -30,8 +32,13 @@ impl Client {
         self.reader.read_line(&mut status).expect("read status");
         let status = status.trim_end().to_owned();
         let mut payload = Vec::new();
-        if let Some(n) = status.strip_prefix("OK ") {
-            let n: usize = n.parse().unwrap_or_else(|_| panic!("bad count: {status}"));
+        if let Some(rest) = status.strip_prefix("OK ") {
+            let n: usize = rest
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .parse()
+                .unwrap_or_else(|_| panic!("bad count: {status}"));
             for _ in 0..n {
                 let mut l = String::new();
                 self.reader.read_line(&mut l).expect("read payload line");
@@ -39,6 +46,14 @@ impl Client {
             }
         }
         (status, payload)
+    }
+
+    /// The `epoch=<e>` token of an `OK` status line, if present.
+    fn epoch_of(status: &str) -> Option<u64> {
+        status
+            .split_whitespace()
+            .find_map(|t| t.strip_prefix("epoch="))
+            .map(|e| e.parse().expect("epoch parses"))
     }
 }
 
@@ -62,13 +77,16 @@ fn protocol_roundtrip_and_graceful_shutdown() {
     let (status, payload) = c.request("generate g school seed=7");
     assert!(status.starts_with("OK "), "generate failed: {status}");
     assert_eq!(payload[0], "snapshot g registered");
+    assert_eq!(Client::epoch_of(&status), Some(1));
 
     let (status, payload) = c.request("snapshots");
     assert_eq!(status, "OK 1");
     assert!(payload[0].starts_with("g  nodes="), "got {payload:?}");
+    assert!(payload[0].ends_with("epoch=1"), "got {payload:?}");
 
     let (status, payload) = c.request("stats g");
     assert!(status.starts_with("OK "), "got {status}");
+    assert_eq!(Client::epoch_of(&status), Some(1));
     assert!(
         payload.iter().any(|l| l.contains("odes")),
         "stats payload: {payload:?}"
@@ -95,7 +113,7 @@ fn protocol_roundtrip_and_graceful_shutdown() {
 
     // request-scoped row limit: payload truncated with a marker line
     let (status, payload) = c.request("stats g limit=1");
-    assert_eq!(status, "OK 2", "got {status}");
+    assert_eq!(status, "OK 2 epoch=1", "got {status}");
     assert!(
         payload[1].contains("more rows (limit 1)"),
         "got {payload:?}"
@@ -176,6 +194,87 @@ fn concurrent_clients_get_identical_answers() {
             let want = &reference[j % queries.len()];
             assert_eq!(got, want, "client {i} request {j} diverged");
         }
+    }
+
+    server.shutdown();
+}
+
+/// The tentpole's live-ingest contract: `append` swaps the registry entry
+/// atomically while other clients keep querying — every concurrent query
+/// succeeds against *some* published epoch, the epochs each client observes
+/// are monotone, and afterwards the snapshot has all appended timepoints.
+#[test]
+fn append_roundtrip_while_queries_continue() {
+    const APPENDS: usize = 6;
+    let server = spawn(test_config()).expect("spawn server");
+    let addr = server.addr();
+
+    let mut setup = Client::connect(addr);
+    let (status, _) = setup.request("generate g school seed=5");
+    assert!(status.starts_with("OK "), "generate failed: {status}");
+    let (_, payload) = setup.request("snapshots");
+    let timepoints_of = |line: &str| -> usize {
+        line.split_whitespace()
+            .find_map(|t| t.strip_prefix("timepoints="))
+            .expect("snapshots line has timepoints=")
+            .parse()
+            .expect("timepoints parses")
+    };
+    let base_points = timepoints_of(&payload[0]);
+
+    std::thread::scope(|s| {
+        // writer: append new timepoints one by one, each bumping the epoch
+        let writer = s.spawn(move || {
+            let mut w = Client::connect(addr);
+            for i in 0..APPENDS {
+                let line =
+                    format!("append g live{i} node=ing{i}a node=ing{i}b edge=ing{i}a,ing{i}b");
+                let (status, payload) = w.request(&line);
+                assert!(status.starts_with("OK "), "append {i} failed: {status}");
+                assert_eq!(Client::epoch_of(&status), Some(2 + i as u64));
+                assert!(payload[0].contains(&format!("appended live{i}")));
+            }
+        });
+        // readers: hammer queries the whole time; every answer must come
+        // from a published epoch, observed in monotone order per client
+        let readers: Vec<_> = (0..4)
+            .map(|_| {
+                s.spawn(move || {
+                    let mut c = Client::connect(addr);
+                    let mut last_epoch = 0;
+                    for _ in 0..30 {
+                        let (status, payload) = c.request("stats g");
+                        assert!(status.starts_with("OK "), "query failed: {status}");
+                        assert!(!payload.is_empty());
+                        let e = Client::epoch_of(&status).expect("query carries epoch");
+                        assert!(e >= last_epoch, "epoch went backwards: {e} < {last_epoch}");
+                        last_epoch = e;
+                    }
+                })
+            })
+            .collect();
+        writer.join().expect("writer thread");
+        for r in readers {
+            r.join().expect("reader thread");
+        }
+    });
+
+    // all appended points landed, exactly once each
+    let (status, payload) = setup.request("snapshots");
+    assert_eq!(status, "OK 1");
+    assert_eq!(timepoints_of(&payload[0]), base_points + APPENDS);
+    assert!(
+        payload[0].ends_with(&format!("epoch={}", 1 + APPENDS)),
+        "got {payload:?}"
+    );
+    let (status, payload) = setup.request("stats g");
+    assert_eq!(Client::epoch_of(&status), Some(1 + APPENDS as u64));
+    let text = payload.join("\n");
+    for i in 0..APPENDS {
+        assert!(
+            text.contains(&format!("live{i}")),
+            "missing live{i}:\n{text}"
+        );
     }
 
     server.shutdown();

@@ -74,6 +74,10 @@ pub struct TemporalGraph {
     /// Lazily built entity-space shard fragments, keyed by shard count and
     /// cached alongside the whole-graph columns (clones share the cache).
     pub(crate) shard_cols: Arc<Mutex<HashMap<usize, Arc<PresenceShards>>>>,
+    /// Monotonic version stamp: `0` for a freshly built graph, bumped by
+    /// [`crate::GraphVersions::append_timepoint`] for every published
+    /// epoch. Epoch-aware caches downstream compare this on lookup.
+    pub(crate) epoch: u64,
 }
 
 impl TemporalGraph {
@@ -205,6 +209,7 @@ impl TemporalGraph {
             node_cols: OnceLock::new(),
             edge_cols: OnceLock::new(),
             shard_cols: Arc::new(Mutex::new(HashMap::new())),
+            epoch: 0,
         };
         g.validate()?;
         Ok(g)
@@ -294,6 +299,15 @@ impl TemporalGraph {
     /// The attribute schema.
     pub fn schema(&self) -> &AttributeSchema {
         &self.schema
+    }
+
+    /// Monotonic version stamp of this snapshot: `0` for a freshly built
+    /// graph, incremented by [`crate::GraphVersions::append_timepoint`] for
+    /// every published epoch. Caches that can outlive a snapshot (the
+    /// materialization and evolution caches in `tempo-core`) store this
+    /// stamp and treat a mismatch on lookup as a miss.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Number of node rows (nodes that exist at any point in the domain).
@@ -495,10 +509,25 @@ impl TemporalGraph {
     pub fn set_sparse_mode(&mut self, mode: SparseMode) {
         if self.sparse_mode != mode {
             self.sparse_mode = mode;
-            self.node_cols = OnceLock::new();
-            self.edge_cols = OnceLock::new();
-            self.shard_cols = Arc::new(Mutex::new(HashMap::new()));
+            self.invalidate_index_caches();
         }
+    }
+
+    /// Drops — and, crucially, *un-shares* — every lazily built index
+    /// cache: the `node_cols`/`edge_cols` transposed-presence locks and the
+    /// shard-fragment cache, exactly as
+    /// [`set_sparse_mode`](Self::set_sparse_mode) does on a policy change.
+    ///
+    /// A clone shares `shard_cols` through its `Arc`, so every mutation
+    /// seam (the builder and append paths) must call this — or install
+    /// freshly built indexes into fresh locks — before publishing mutated
+    /// matrices; otherwise a mutated clone keeps serving fragments built
+    /// from the pre-mutation data, and inserting new fragments would
+    /// poison the pristine original's cache too.
+    pub(crate) fn invalidate_index_caches(&mut self) {
+        self.node_cols = OnceLock::new();
+        self.edge_cols = OnceLock::new();
+        self.shard_cols = Arc::new(Mutex::new(HashMap::new()));
     }
 
     fn build_transposed(&self, m: &BitMatrix) -> TransposedBitMatrix {
@@ -644,6 +673,31 @@ mod tests {
         // a clone carries the cache along without rebuilding
         let g2 = g.clone();
         assert_eq!(g2.node_presence_columns(), nc);
+    }
+
+    // Regression: the shard-fragment cache is shared through an `Arc`, so
+    // a clone that is about to mutate its matrices must un-share it (the
+    // same way `set_sparse_mode` does) or it keeps serving fragments built
+    // from the pre-mutation data.
+    #[test]
+    fn invalidated_clone_serves_fresh_fragments_and_columns() {
+        let g = fig1_graph();
+        let warm = g.presence_shards(2);
+        let warm_cols = g.node_presence_columns() as *const _;
+        let mut c = g.clone();
+        c.invalidate_index_caches();
+        let fresh = c.presence_shards(2);
+        assert!(
+            !Arc::ptr_eq(&warm, &fresh),
+            "mutation seam must not serve the shared pre-mutation fragments"
+        );
+        assert!(!std::ptr::eq(warm_cols, c.node_presence_columns()));
+        // the pristine original keeps its own warm caches…
+        assert!(Arc::ptr_eq(&warm, &g.presence_shards(2)));
+        assert!(std::ptr::eq(warm_cols, g.node_presence_columns()));
+        // …and the invalidated clone's inserts no longer reach it
+        let _ = c.presence_shards(4);
+        assert_eq!(g.shard_cols.lock().unwrap().len(), 1);
     }
 
     // Regression for the env-driven policy: building one graph used to

@@ -43,6 +43,7 @@ pub mod metrics;
 mod shards;
 mod stats;
 mod time;
+mod versions;
 
 pub use attrs::{AttrDef, AttrId, AttributeSchema, Temporality};
 pub use builder::GraphBuilder;
@@ -51,3 +52,4 @@ pub use graph::{EdgeId, NodeId, TemporalGraph};
 pub use shards::PresenceShards;
 pub use stats::{attr_domain_size_at, GraphStats};
 pub use time::{require_non_empty, Interval, TimeDomain, TimePoint, TimeSet};
+pub use versions::{GraphVersions, TimepointPatch};

@@ -40,7 +40,7 @@ pub mod prelude {
     pub use tempo_columnar::{Frame, Value};
     pub use tempo_datagen::{DblpConfig, MovieLensConfig, RandomGraphConfig, SchoolConfig};
     pub use tempo_graph::{
-        AttrId, AttributeSchema, GraphBuilder, GraphStats, TemporalGraph, Temporality, TimeDomain,
-        TimePoint, TimeSet,
+        AttrId, AttributeSchema, GraphBuilder, GraphStats, GraphVersions, TemporalGraph,
+        Temporality, TimeDomain, TimePoint, TimeSet, TimepointPatch,
     };
 }

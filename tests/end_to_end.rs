@@ -60,8 +60,8 @@ fn movielens_pipeline_materialized_rollup() {
         .collect();
 
     // materialization cache builds per-attribute-set stores lazily
-    let cache = MaterializationCache::new(&g, 4);
-    let store = cache.store_for(&attrs);
+    let cache = MaterializationCache::new(4);
+    let store = cache.store_for(&g, &attrs);
     assert_eq!(store.len(), 6);
     assert_eq!(cache.len(), 1);
 
