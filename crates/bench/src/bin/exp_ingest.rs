@@ -260,7 +260,9 @@ fn concurrent_phase(appends: usize) -> (usize, Duration, Vec<Duration>, usize) {
                         assert!(out.evaluations > 0);
                         lat.push(d);
                         served += 1;
-                        if done.load(Ordering::SeqCst) {
+                        // ordering: pure stop flag for the benchmark's
+                        // reader loop; all data flows through the mutex.
+                        if done.load(Ordering::Relaxed) {
                             break;
                         }
                     }
@@ -278,7 +280,8 @@ fn concurrent_phase(appends: usize) -> (usize, Duration, Vec<Duration>, usize) {
                 v.append_timepoint(&patch).expect("concurrent append");
             }
         });
-        done.store(true, Ordering::SeqCst);
+        // ordering: see the reader-side load; join() below synchronizes.
+        done.store(true, Ordering::Relaxed);
 
         let mut latencies = Vec::new();
         let mut served = 0;

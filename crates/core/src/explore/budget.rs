@@ -61,6 +61,9 @@ impl Budget {
     #[inline]
     pub fn check(&self) -> Result<(), GraphError> {
         if let Some(flag) = &self.cancel {
+            // ordering: cancellation is advisory — raising the flag
+            // publishes no data, and a checkpoint observing it one round
+            // late is harmless.
             if flag.load(Ordering::Relaxed) {
                 return Err(GraphError::Cancelled("cancel flag raised".to_owned()));
             }

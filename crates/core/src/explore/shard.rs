@@ -48,10 +48,11 @@ use super::{explore_budgeted, explore_parallel, explore_prepared_budgeted};
 use super::{ExploreConfig, ExtendSide, Semantics};
 use crate::aggregate::CountTarget;
 use crate::ops::Event;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use tempo_columnar::BitVec;
 use tempo_graph::{EdgeId, GraphError, PresenceShards, TemporalGraph, TimePoint, TimeSet};
+use tempo_race::{RoundChannel, RoundMsg, SpinBarrier};
 
 const WORD_BITS: usize = 64;
 
@@ -153,68 +154,20 @@ impl ShardMode {
     }
 }
 
-/// Spin-then-yield backoff for the round-trip waits. Evaluations are
-/// microseconds, so waiting must not fall into a futex sleep — but on an
-/// oversubscribed machine (more participants than cores) pure spinning
-/// would starve the very thread being waited for, hence the yield.
-#[inline]
-fn backoff(spins: &mut u32) {
-    *spins += 1;
-    if *spins < 1 << 10 {
-        std::hint::spin_loop();
-    } else {
-        std::thread::yield_now();
-    }
-}
-
-/// Sense-reversing spin barrier for the incident-exchange phases. All `n`
-/// participants of a chain group hit every barrier of a round or none
-/// (the phase structure is fixed per run by [`ShardMode`]), so a plain
-/// generation counter suffices.
-struct SpinBarrier {
-    n: usize,
-    count: AtomicUsize,
-    generation: AtomicUsize,
-}
-
-impl SpinBarrier {
-    fn new(n: usize) -> SpinBarrier {
-        SpinBarrier {
-            n,
-            count: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
-        }
-    }
-
-    fn wait(&self) {
-        let gen = self.generation.load(Ordering::Acquire);
-        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
-            self.count.store(0, Ordering::Relaxed);
-            self.generation.fetch_add(1, Ordering::Release);
-        } else {
-            let mut spins = 0;
-            while self.generation.load(Ordering::Acquire) == gen {
-                backoff(&mut spins);
-            }
-        }
-    }
-}
-
 /// Shared round state of one chain group: the driver broadcasts chain
-/// coordinates, workers publish partials, and difference/node-target
-/// rounds exchange incident-endpoint bits through the shared bitmap.
+/// coordinates through the [`RoundChannel`], workers publish partials
+/// back over its sum/done reduction, and difference/node-target rounds
+/// exchange incident-endpoint bits through the shared bitmap between two
+/// [`SpinBarrier`] phases. Both protocols live in `tempo-race`, where
+/// every interleaving of their virtual-atomics instantiation is
+/// exhaustively model-checked (`cargo run -p tempo-race`).
 struct GroupComms {
     shards: usize,
-    /// Round generation; a bump (`Release`) publishes `op`/`stop`.
-    round: AtomicU64,
-    /// Chain coordinate of the current round, packed `i << 32 | j`.
-    op: AtomicU64,
-    /// Raised (before the final bump) to shut the group's workers down.
-    stop: AtomicBool,
-    /// Scalar partial accumulator, reset by the driver between rounds.
-    sum: AtomicU64,
-    /// Workers done with the current round; the driver's merge gate.
-    done: AtomicUsize,
+    /// Round broadcast + sum/done reduction (chain coordinates packed
+    /// `i << 32 | j`; all participants of a chain group hit every barrier
+    /// of a round or none — the phase structure is fixed per run by
+    /// [`ShardMode`] — so a plain generation barrier suffices).
+    chan: RoundChannel,
     barrier: SpinBarrier,
     /// Whole-graph incident-endpoint bitmap (one word per 64 node ids);
     /// empty unless the run's mode uses the incident exchange.
@@ -228,11 +181,7 @@ impl GroupComms {
     fn new(shards: usize, mode: &ShardMode, node_words: usize, n_groups: usize) -> GroupComms {
         GroupComms {
             shards,
-            round: AtomicU64::new(0),
-            op: AtomicU64::new(0),
-            stop: AtomicBool::new(false),
-            sum: AtomicU64::new(0),
-            done: AtomicUsize::new(0),
+            chan: RoundChannel::new(),
             barrier: SpinBarrier::new(shards),
             incident: if mode.uses_incident {
                 (0..node_words).map(|_| AtomicU64::new(0)).collect()
@@ -248,8 +197,7 @@ impl GroupComms {
     }
 
     fn publish_stop(&self) {
-        self.stop.store(true, Ordering::Relaxed);
-        self.round.fetch_add(1, Ordering::Release);
+        self.chan.publish_stop();
     }
 }
 
@@ -405,6 +353,9 @@ impl<'k, 'g, 'p> ShardCursor<'k, 'g, 'p> {
     /// rescue fragment.
     fn exchange_incident(&mut self, comms: &GroupComms) {
         for w in self.node_word_lo..self.node_word_hi {
+            // ordering: each phase is separated by a full barrier, which
+            // supplies the acquire/release edges; the bitmap accesses
+            // themselves never order anything.
             comms.incident[w].store(0, Ordering::Relaxed);
         }
         comms.barrier.wait();
@@ -412,6 +363,8 @@ impl<'k, 'g, 'p> ShardCursor<'k, 'g, 'p> {
         for le in self.keep_edges.iter_ones() {
             let (u, v) = g.edge_endpoints(EdgeId((self.edge_lo + le) as u32));
             for id in [u.index(), v.index()] {
+                // ordering: scatter phase is barrier-fenced on both sides;
+                // the RMW only needs atomicity against sibling scatters.
                 comms.incident[id / WORD_BITS].fetch_or(1 << (id % WORD_BITS), Ordering::Relaxed);
             }
         }
@@ -419,6 +372,7 @@ impl<'k, 'g, 'p> ShardCursor<'k, 'g, 'p> {
         self.gather.clear();
         self.gather.extend(
             (self.node_word_lo..self.node_word_hi)
+                // ordering: all scatters happened-before the barrier above.
                 .map(|w| comms.incident[w].load(Ordering::Relaxed)),
         );
         self.incident.copy_from_words(&self.gather);
@@ -592,18 +546,14 @@ fn shard_worker(
     let mut cursor = ShardCursor::new(kernel, frags, mode, s);
     let mut seen_round = 0u64;
     loop {
-        {
+        let msg = {
             let _idle = idle.span();
-            let mut spins = 0;
-            while comms.round.load(Ordering::Acquire) == seen_round {
-                backoff(&mut spins);
-            }
-        }
-        seen_round += 1;
-        if comms.stop.load(Ordering::Relaxed) {
-            return;
-        }
-        let (i, j) = unpack(comms.op.load(Ordering::Relaxed));
+            comms.chan.next(&mut seen_round)
+        };
+        let (i, j) = match msg {
+            RoundMsg::Stop => return,
+            RoundMsg::Op(op) => unpack(op),
+        };
         let partial = if mode.table_nodes() {
             let mut slot = comms.acc_slots[s - 1]
                 .lock()
@@ -612,10 +562,7 @@ fn shard_worker(
         } else {
             cursor.eval_round(i, j, comms, None)
         };
-        if partial != 0 {
-            comms.sum.fetch_add(partial, Ordering::Relaxed);
-        }
-        comms.done.fetch_add(1, Ordering::Release);
+        comms.chan.finish(partial);
     }
 }
 
@@ -664,23 +611,16 @@ impl ChainEvaluator for ShardedEvaluator<'_, '_, '_, '_> {
         kernel.ins_evals.inc();
         let c = self.comms;
         // Workers from the previous round are all past their publishes
-        // (the driver waited for `done`), so resetting before the bump
+        // (the driver waited in `collect`), so `begin`'s reduction reset
         // cannot race them.
-        c.sum.store(0, Ordering::Relaxed);
-        c.done.store(0, Ordering::Relaxed);
-        c.op.store(pack(i, j), Ordering::Relaxed);
-        c.round.fetch_add(1, Ordering::Release);
+        c.chan.begin(pack(i, j));
         let own = if self.table_nodes {
             self.cursor.eval_round(i, j, c, Some(&mut self.acc))
         } else {
             self.cursor.eval_round(i, j, c, None)
         };
         let _merge_span = self.merge_ns.span();
-        let mut spins = 0;
-        while c.done.load(Ordering::Acquire) != c.shards - 1 {
-            backoff(&mut spins);
-        }
-        let mut total = c.sum.load(Ordering::Relaxed) + own;
+        let mut total = c.chan.collect(c.shards - 1) + own;
         if self.table_nodes {
             // Merge-by-gid: one vector add per shard slot, then derive the
             // scalar from the merged accumulator and re-zero everything for

@@ -45,6 +45,14 @@ pub const RULE_NO_PRINT: &str = "no-print";
 pub const RULE_METRIC_REGISTRY: &str = "metric-registry";
 /// See [`RULE_NO_PANIC`].
 pub const RULE_MUST_USE: &str = "must-use";
+/// See [`RULE_NO_PANIC`].
+pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
+/// See [`RULE_NO_PANIC`].
+pub const RULE_LOCK_SCOPE: &str = "lock-scope";
+/// See [`RULE_NO_PANIC`].
+pub const RULE_CACHE_SEAM: &str = "cache-seam";
+/// See [`RULE_NO_PANIC`].
+pub const RULE_ENV_READ: &str = "env-read";
 
 /// Expect messages beginning with this prefix document an invariant that
 /// makes the failure impossible, and are therefore exempt from `no-panic`.
@@ -97,6 +105,9 @@ pub struct FileView {
     pub strings: Vec<StrLit>,
     /// `exempt[i]` is true when line `i+1` lies in a `#[cfg(test)]` item.
     pub exempt: Vec<bool>,
+    /// Raw source lines (comments intact) — `atomic-ordering` looks for
+    /// `// ordering:` rationale comments here, which the code view blanks.
+    pub raw: Vec<String>,
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -113,7 +124,10 @@ enum State {
 /// structure, and records every string literal with its position.
 pub fn preprocess(source: &str) -> FileView {
     let chars: Vec<char> = source.chars().collect();
-    let mut view = FileView::default();
+    let mut view = FileView {
+        raw: source.lines().map(str::to_owned).collect(),
+        ..FileView::default()
+    };
     let mut code = String::new();
     let mut line_no = 1usize;
     let mut col = 0usize;
@@ -416,6 +430,13 @@ impl Scope {
             RULE_NO_INSTANT => !has_prefix(rel, &["crates/instrument/src"]),
             RULE_METRIC_REGISTRY => true,
             RULE_MUST_USE => has_prefix(rel, MUST_USE_PREFIXES),
+            // The race crate's protocols take their orderings from spec
+            // structs (so the checker can mutate them); literal-`Ordering`
+            // matching cannot apply there.
+            RULE_ATOMIC_ORDERING => !has_prefix(rel, &["crates/race/src"]),
+            RULE_LOCK_SCOPE => true,
+            RULE_CACHE_SEAM => has_prefix(rel, &["crates/temporal-graph/src"]),
+            RULE_ENV_READ => true,
             _ => false,
         }
     }
@@ -431,8 +452,16 @@ const MUST_USE_TYPES: &[&str] = &[
     "GroupTable",
 ];
 
-/// Lints one preprocessed file. `registry` holds the known metric names.
-pub fn lint_file(rel: &str, view: &FileView, registry: &[String], scope: Scope) -> Vec<Diagnostic> {
+/// Lints one preprocessed file. `registry` holds the known metric names;
+/// `seams` the cache-seam-exempt function names
+/// (`crates/temporal-graph/src/seams.rs`).
+pub fn lint_file(
+    rel: &str,
+    view: &FileView,
+    registry: &[String],
+    seams: &[String],
+    scope: Scope,
+) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let diag = |out: &mut Vec<Diagnostic>, line: usize, rule: &'static str, message: String| {
         out.push(Diagnostic {
@@ -447,6 +476,11 @@ pub fn lint_file(rel: &str, view: &FileView, registry: &[String], scope: Scope) 
     let no_print = scope.applies(RULE_NO_PRINT, rel);
     let no_instant = scope.applies(RULE_NO_INSTANT, rel);
     let metric = scope.applies(RULE_METRIC_REGISTRY, rel);
+    let atomic = scope.applies(RULE_ATOMIC_ORDERING, rel);
+    // Binaries read configuration at startup; everything else takes it as
+    // arguments so behavior is reproducible from the call site alone.
+    let env_read =
+        scope.applies(RULE_ENV_READ, rel) && !rel.ends_with("/main.rs") && !rel.contains("/bin/");
 
     for (idx, code) in view.code.iter().enumerate() {
         if view.exempt.get(idx).copied().unwrap_or(false) {
@@ -505,6 +539,50 @@ pub fn lint_file(rel: &str, view: &FileView, registry: &[String], scope: Scope) 
                     .into(),
             );
         }
+        if atomic && ATOMIC_OPS.iter().any(|t| code.contains(t)) {
+            match nearby_atomic_ordering(view, idx) {
+                None => diag(
+                    &mut out,
+                    line,
+                    RULE_ATOMIC_ORDERING,
+                    "atomic operation without an explicit `Ordering::` at the \
+                     call site: spell the ordering out where the access happens"
+                        .into(),
+                ),
+                Some(ord) => {
+                    // tempo-instrument is the designated relaxed-counter
+                    // surface: bare `Relaxed` is its contract. Everywhere
+                    // else (and for anything stronger than `Relaxed` even
+                    // there) the choice must be justified in an adjacent
+                    // `// ordering:` comment.
+                    let instrument = rel.starts_with("crates/instrument/src");
+                    let free = instrument && ord == "Relaxed";
+                    if !free && !has_ordering_rationale(view, idx) {
+                        diag(
+                            &mut out,
+                            line,
+                            RULE_ATOMIC_ORDERING,
+                            format!(
+                                "`Ordering::{ord}` without an adjacent `// ordering:` \
+                                 rationale comment: state which data this edge \
+                                 publishes/acquires (or why none)"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        if env_read && ENV_OPS.iter().any(|t| code.contains(t)) {
+            diag(
+                &mut out,
+                line,
+                RULE_ENV_READ,
+                "`std::env` read outside binary startup: thread the \
+                 configuration through arguments/config structs so behavior \
+                 is reproducible"
+                    .into(),
+            );
+        }
         if metric {
             for pat in [".counter(", ".gauge(", ".histogram("] {
                 for col in find_all(code, pat) {
@@ -532,9 +610,299 @@ pub fn lint_file(rel: &str, view: &FileView, registry: &[String], scope: Scope) 
     if scope.applies(RULE_MUST_USE, rel) {
         lint_must_use(rel, view, &mut out);
     }
+    if scope.applies(RULE_LOCK_SCOPE, rel) {
+        lint_lock_scope(rel, view, &mut out);
+    }
+    if scope.applies(RULE_CACHE_SEAM, rel) {
+        lint_cache_seam(rel, view, seams, &mut out);
+    }
     out.sort();
     out.dedup();
     out
+}
+
+/// Method tokens of the `std::sync::atomic` API surface.
+const ATOMIC_OPS: &[&str] = &[
+    ".load(",
+    ".store(",
+    ".swap(",
+    ".fetch_",
+    ".compare_exchange(",
+    ".compare_exchange_weak(",
+];
+
+/// `std::env` process-environment accessors.
+const ENV_OPS: &[&str] = &[
+    "env::var(",
+    "env::var_os(",
+    "env::set_var(",
+    "env::remove_var(",
+];
+
+/// Atomic memory orderings (so `std::cmp::Ordering::Less` never matches).
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// The atomic `Ordering::` variant named on this line or the next two
+/// (rustfmt may wrap the argument), if any.
+fn nearby_atomic_ordering(view: &FileView, idx: usize) -> Option<&'static str> {
+    (idx..idx + 3)
+        .filter_map(|j| view.code.get(j))
+        .find_map(|l| {
+            find_all(l, "Ordering::").into_iter().find_map(|off| {
+                let rest = &l[off + "Ordering::".len()..];
+                ATOMIC_ORDERINGS
+                    .iter()
+                    .find(|o| {
+                        rest.starts_with(**o)
+                            && !rest[o.len()..]
+                                .starts_with(|c: char| c.is_alphanumeric() || c == '_')
+                    })
+                    .copied()
+            })
+        })
+}
+
+/// Whether a `// ordering:` rationale comment sits on the site line or one
+/// of the three lines above it (raw view — comments are blanked in code).
+fn has_ordering_rationale(view: &FileView, idx: usize) -> bool {
+    (idx.saturating_sub(3)..=idx)
+        .filter_map(|j| view.raw.get(j))
+        .any(|l| l.contains("// ordering:"))
+}
+
+/// Calls that park, block on IO, or wait on another thread: holding a lock
+/// guard across one turns every other acquirer into a hostage of that
+/// wait (and of the remote peer, for socket IO).
+const BLOCKING_CALLS: &[&str] = &[
+    "thread::spawn(",
+    ".join()",
+    ".write_all(",
+    ".read_line(",
+    ".flush()",
+    "TcpStream::connect",
+    ".accept(",
+];
+
+/// Methods through which a `.lock()` call still yields the guard itself.
+fn is_guard_adapter(name: &str) -> bool {
+    matches!(name, "unwrap" | "expect" | "unwrap_or_else")
+}
+
+/// Skips one balanced `(..)` group; `s` must start at the open paren.
+fn skip_balanced_parens(s: &str) -> Option<&str> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&s[i + 1..]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// If `stmt` is `let [mut] NAME = <recv>.lock()[.unwrap…()];`, i.e. binds a
+/// live guard, returns `NAME`. A chain that keeps going past the unwrap
+/// adapters (`.lock().unwrap().clone()`) consumes the guard within the
+/// statement — the clone-and-release idiom — and binds no guard. Stdio
+/// locks (`stdin.lock()`) are not mutexes and are skipped.
+fn lock_guard_binding(stmt: &str) -> Option<String> {
+    let t = stmt.trim_start().strip_prefix("let ")?.trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    let name: String = t
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let rest = t[name.len()..].trim_start().strip_prefix('=')?;
+    let lock_at = rest.find(".lock(")?;
+    let recv = rest[..lock_at].trim_end();
+    if ["stdin", "stdout", "stderr"]
+        .iter()
+        .any(|s| recv.ends_with(s))
+    {
+        return None;
+    }
+    let mut after = skip_balanced_parens(&rest[lock_at + ".lock".len()..])?;
+    loop {
+        let t = after.trim_start();
+        if t.is_empty() || t.starts_with(';') || t.starts_with('?') {
+            return Some(name);
+        }
+        let t = t.strip_prefix('.')?;
+        let method: String = t
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !is_guard_adapter(&method) {
+            return None;
+        }
+        after = skip_balanced_parens(t[method.len()..].trim_start())?;
+    }
+}
+
+/// Flags blocking calls made while a `let`-bound lock guard is live: from
+/// the binding statement to the end of its block scope or an explicit
+/// `drop(guard)`, whichever comes first.
+fn lint_lock_scope(rel: &str, view: &FileView, out: &mut Vec<Diagnostic>) {
+    let n = view.code.len();
+    for idx in 0..n {
+        if view.exempt.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        let code = &view.code[idx];
+        if !code.contains("let ") {
+            continue;
+        }
+        // Gather the whole (possibly rustfmt-wrapped) statement.
+        let mut stmt = String::new();
+        let mut stmt_end = idx;
+        for j in idx..n.min(idx + 6) {
+            stmt.push_str(&view.code[j]);
+            stmt.push(' ');
+            stmt_end = j;
+            if view.code[j].contains(';') {
+                break;
+            }
+        }
+        let Some(guard) = lock_guard_binding(&stmt) else {
+            continue;
+        };
+        let dropped = format!("drop({guard})");
+        let mut depth = 0i64;
+        for j in (stmt_end + 1)..n {
+            let l = &view.code[j];
+            if l.contains(&dropped) {
+                break;
+            }
+            for call in BLOCKING_CALLS {
+                if l.contains(call) {
+                    let what = call.trim_end_matches('(');
+                    let bind = idx + 1;
+                    out.push(Diagnostic {
+                        path: rel.to_owned(),
+                        line: j + 1,
+                        rule: RULE_LOCK_SCOPE,
+                        message: format!(
+                            "`{what}` while MutexGuard `{guard}` (bound on line {bind}) \
+                             is live: clone the data out and release the lock first, \
+                             or drop the guard explicitly"
+                        ),
+                    });
+                }
+            }
+            for c in l.chars() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if depth < 0 || j > stmt_end + 400 {
+                break;
+            }
+        }
+    }
+}
+
+/// Presence-matrix mutating calls (the index caches derive from these
+/// matrices, so every mutation is a cache seam).
+fn is_presence_mutation(code: &str) -> bool {
+    (code.contains("node_presence") || code.contains("edge_presence"))
+        && [".set(", ".push_empty_row(", ".push_col(", ".widen("]
+            .iter()
+            .any(|t| code.contains(t))
+}
+
+/// First function name declared on this line, if any.
+fn fn_decl_name(code: &str) -> Option<String> {
+    for off in find_all(code, "fn ") {
+        let before_ok = off == 0 || {
+            let b = code.as_bytes()[off - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if !before_ok {
+            continue;
+        }
+        let name: String = code[off + 3..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() {
+            return Some(name);
+        }
+    }
+    None
+}
+
+/// Flags functions that mutate a presence matrix without calling
+/// `invalidate_index_caches` and without an entry in the seam registry
+/// (`crates/temporal-graph/src/seams.rs`) documenting why the caches are
+/// safe (builder paths where no cache exists yet, append paths that carry
+/// caches forward explicitly).
+fn lint_cache_seam(rel: &str, view: &FileView, seams: &[String], out: &mut Vec<Diagnostic>) {
+    // (depth at which the fn's body opened, name, saw invalidate, mutation lines)
+    let mut stack: Vec<(i64, String, bool, Vec<usize>)> = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut depth = 0i64;
+    for (idx, code) in view.code.iter().enumerate() {
+        let exempt = view.exempt.get(idx).copied().unwrap_or(false);
+        if !exempt {
+            if let Some(name) = fn_decl_name(code) {
+                pending = Some(name);
+            }
+            if let Some(top) = stack.last_mut() {
+                if code.contains("invalidate_index_caches") {
+                    top.2 = true;
+                }
+                if is_presence_mutation(code) {
+                    top.3.push(idx + 1);
+                }
+            }
+        }
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if let Some(name) = pending.take() {
+                        stack.push((depth, name, false, Vec::new()));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if stack.last().is_some_and(|(d, _, _, _)| *d == depth) {
+                        let (_, name, saw, muts) =
+                            stack.pop().unwrap_or((0, String::new(), false, Vec::new()));
+                        if let Some(&first) = muts.first() {
+                            if !saw && !seams.iter().any(|s| s == &name) {
+                                out.push(Diagnostic {
+                                    path: rel.to_owned(),
+                                    line: first,
+                                    rule: RULE_CACHE_SEAM,
+                                    message: format!(
+                                        "`{name}` mutates a presence matrix without \
+                                         `invalidate_index_caches()` and is not in the \
+                                         seam registry (crates/temporal-graph/src/seams.rs)"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                // `fn f();` — declaration without a body.
+                ';' => pending = None,
+                _ => {}
+            }
+        }
+    }
 }
 
 /// All start offsets of `pat` within `hay`.
@@ -971,7 +1339,8 @@ pub fn rel_path(root: &Path, path: &Path) -> String {
 }
 
 /// Runs the linter over `roots` (workspace-relative scoping against `root`),
-/// with `registry` metric names and `allow` entries.
+/// with `registry` metric names, `seams` cache-seam-exempt function names,
+/// and `allow` entries.
 ///
 /// # Errors
 /// Returns a message when a source file cannot be read.
@@ -980,6 +1349,7 @@ pub fn run(
     roots: &[PathBuf],
     scope: Scope,
     registry: &[String],
+    seams: &[String],
     allow: &[AllowEntry],
 ) -> Result<Outcome, String> {
     let files = collect_files(roots);
@@ -990,7 +1360,7 @@ pub fn run(
             .map_err(|e| format!("cannot read {}: {e}", file.display()))?;
         let rel = rel_path(root, &file);
         let view = preprocess(&src);
-        diags.extend(lint_file(&rel, &view, registry, scope));
+        diags.extend(lint_file(&rel, &view, registry, seams, scope));
     }
     let mut outcome = apply_allowlist(diags, allow);
     outcome.files_scanned = n_files;
@@ -1003,7 +1373,7 @@ mod tests {
 
     fn lint_src(src: &str) -> Vec<Diagnostic> {
         let view = preprocess(src);
-        lint_file("f.rs", &view, &[], Scope { explicit: true })
+        lint_file("f.rs", &view, &[], &[], Scope { explicit: true })
     }
 
     #[test]
@@ -1062,7 +1432,7 @@ mod tests {
             "fn a() { ins.counter(\"known.name\").inc(); ins.histogram(\"bad.name\"); }",
         );
         let reg = vec!["known.name".to_owned()];
-        let ds = lint_file("f.rs", &view, &reg, Scope { explicit: true });
+        let ds = lint_file("f.rs", &view, &reg, &[], Scope { explicit: true });
         assert_eq!(ds.len(), 1);
         assert!(ds[0].message.contains("bad.name"));
     }
@@ -1070,13 +1440,13 @@ mod tests {
     #[test]
     fn computed_metric_name_is_skipped() {
         let view = preprocess("fn a() { ins.histogram(&format!(\"dyn.{x}\", x = 1)).span(); }");
-        assert!(lint_file("f.rs", &view, &[], Scope { explicit: true }).is_empty());
+        assert!(lint_file("f.rs", &view, &[], &[], Scope { explicit: true }).is_empty());
     }
 
     #[test]
     fn metric_literal_on_next_line_checked() {
         let view = preprocess("fn a() {\n    ins.counter(\n        \"bad.name\",\n    );\n}");
-        let ds = lint_file("f.rs", &view, &[], Scope { explicit: true });
+        let ds = lint_file("f.rs", &view, &[], &[], Scope { explicit: true });
         assert_eq!(ds.len(), 1);
     }
 
@@ -1154,5 +1524,50 @@ mod tests {
         assert!(s.applies(RULE_MUST_USE, "crates/core/src/ops.rs"));
         assert!(!s.applies(RULE_MUST_USE, "crates/cli/src/main.rs"));
         assert!(s.applies(RULE_METRIC_REGISTRY, "crates/bench/src/bin/exp_explore.rs"));
+        // The race crate implements orderings under a virtual-atomics
+        // abstraction; every other crate must justify each one.
+        assert!(s.applies(RULE_ATOMIC_ORDERING, "crates/core/src/explore/shard.rs"));
+        assert!(s.applies(RULE_ATOMIC_ORDERING, "crates/instrument/src/lib.rs"));
+        assert!(!s.applies(RULE_ATOMIC_ORDERING, "crates/race/src/check.rs"));
+        assert!(s.applies(RULE_LOCK_SCOPE, "crates/server/src/lib.rs"));
+        assert!(s.applies(RULE_LOCK_SCOPE, "crates/race/src/check.rs"));
+        assert!(s.applies(RULE_CACHE_SEAM, "crates/temporal-graph/src/builder.rs"));
+        assert!(!s.applies(RULE_CACHE_SEAM, "crates/core/src/ops.rs"));
+        assert!(s.applies(RULE_ENV_READ, "crates/core/src/ops.rs"));
+    }
+
+    #[test]
+    fn lock_guard_binding_recognizes_guards_and_idioms() {
+        assert_eq!(
+            lock_guard_binding("let guard = self.state.lock().unwrap();"),
+            Some("guard".to_owned())
+        );
+        assert_eq!(
+            lock_guard_binding("let mut g = m.lock().unwrap_or_else(|e| e.into_inner());"),
+            Some("g".to_owned())
+        );
+        // Clone-and-release consumes the guard within the statement.
+        assert_eq!(
+            lock_guard_binding("let v = m.lock().unwrap().clone();"),
+            None
+        );
+        assert_eq!(
+            lock_guard_binding("let v = m.lock().unwrap().current();"),
+            None
+        );
+        // Stdio locks are not mutexes.
+        assert_eq!(lock_guard_binding("let h = stdin.lock();"), None);
+        // No lock call at all.
+        assert_eq!(lock_guard_binding("let x = compute();"), None);
+    }
+
+    #[test]
+    fn atomic_ordering_sees_wrapped_arguments() {
+        let src = "fn a(f: &AtomicU64) {\n    f.store(\n        1,\n        Ordering::Release,\n    );\n}";
+        let view = preprocess(src);
+        // The ordering sits two lines below the op: found, but unjustified.
+        let ds = lint_file("f.rs", &view, &[], &[], Scope { explicit: true });
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].message.contains("Ordering::Release"));
     }
 }

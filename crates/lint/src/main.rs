@@ -1,6 +1,6 @@
 //! CLI for `tempo-lint`.
 //!
-//! Usage: `cargo run -p tempo-lint [-- [--allowlist FILE] [--registry FILE] [PATHS...]]`
+//! Usage: `cargo run -p tempo-lint [-- [--allowlist FILE] [--registry FILE] [--seams FILE] [PATHS...]]`
 //!
 //! With no `PATHS`, lints the whole workspace (crate `src/` trees, scoped
 //! per rule). With explicit `PATHS` (files or directories), every rule is
@@ -26,6 +26,7 @@ fn main() -> ExitCode {
 
     let mut allowlist_path = root.join("crates/lint/allowlist.txt");
     let mut registry_path = root.join("crates/instrument/src/names.rs");
+    let mut seams_path = root.join("crates/temporal-graph/src/seams.rs");
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -38,8 +39,14 @@ fn main() -> ExitCode {
                 Some(v) => registry_path = PathBuf::from(v),
                 None => return usage("--registry needs a file argument"),
             },
+            "--seams" => match args.next() {
+                Some(v) => seams_path = PathBuf::from(v),
+                None => return usage("--seams needs a file argument"),
+            },
             "--help" | "-h" => {
-                eprintln!("usage: tempo-lint [--allowlist FILE] [--registry FILE] [PATHS...]");
+                eprintln!(
+                    "usage: tempo-lint [--allowlist FILE] [--registry FILE] [--seams FILE] [PATHS...]"
+                );
                 return ExitCode::SUCCESS;
             }
             other if other.starts_with('-') => {
@@ -83,6 +90,20 @@ fn main() -> ExitCode {
         }
     };
 
+    // The seam registry exempts named mutators from the cache-seam rule.
+    // Fixture mode runs without it so seeded violations always surface.
+    let seams = if explicit {
+        Vec::new()
+    } else {
+        match tempo_lint::load_registry(&seams_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tempo-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
     // The allowlist only applies to workspace mode; explicit fixture paths
     // are judged raw so seeded violations always surface.
     let allow = if explicit {
@@ -100,7 +121,7 @@ fn main() -> ExitCode {
         }
     };
 
-    match run(&root, &roots, scope, &registry, &allow) {
+    match run(&root, &roots, scope, &registry, &seams, &allow) {
         Ok(outcome) => {
             for d in &outcome.diagnostics {
                 println!("{d}");
@@ -137,6 +158,6 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("tempo-lint: {msg}");
-    eprintln!("usage: tempo-lint [--allowlist FILE] [--registry FILE] [PATHS...]");
+    eprintln!("usage: tempo-lint [--allowlist FILE] [--registry FILE] [--seams FILE] [PATHS...]");
     ExitCode::from(2)
 }

@@ -1,0 +1,19 @@
+//! Seeded `atomic-ordering` violations: unjustified and implicit orderings.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified_relaxed(flag: &AtomicU64) {
+    flag.store(1, Ordering::Relaxed);
+}
+
+pub fn unjustified_release(flag: &AtomicU64) -> u64 {
+    flag.fetch_add(1, Ordering::Release)
+}
+
+pub fn implicit_ordering(flag: &AtomicU64, ord: Ordering) -> u64 {
+    flag.load(ord)
+}
+
+pub fn justified(flag: &AtomicU64) -> u64 {
+    // ordering: acquires the value published by `unjustified_relaxed`.
+    flag.load(Ordering::Acquire)
+}

@@ -1,0 +1,13 @@
+//! Seeded `cache-seam` violation: a presence-matrix mutation that leaves
+//! the derived index caches stale.
+
+impl Graph {
+    pub fn flip(&mut self, i: usize, t: usize) {
+        self.node_presence.set(i, t);
+    }
+
+    pub fn flip_and_invalidate(&mut self, i: usize, t: usize) {
+        self.edge_presence.set(i, t);
+        self.invalidate_index_caches();
+    }
+}

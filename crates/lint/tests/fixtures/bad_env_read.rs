@@ -1,0 +1,4 @@
+//! Seeded `env-read` violation: configuration read outside binary startup.
+pub fn scale() -> u64 {
+    std::env::var("GRAPHTEMPO_SCALE").map_or(1, |v| v.len() as u64)
+}

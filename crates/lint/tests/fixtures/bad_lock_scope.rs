@@ -1,0 +1,21 @@
+//! Seeded `lock-scope` violations: blocking calls under a live guard.
+use std::sync::Mutex;
+
+pub fn blocks_under_guard(m: &Mutex<Vec<u64>>) {
+    let guard = m.lock().unwrap_or_else(|e| e.into_inner());
+    let t = std::thread::spawn(|| 1u64);
+    let _ = t.join();
+    drop(guard);
+}
+
+pub fn io_under_guard(m: &Mutex<String>, w: &mut impl std::io::Write) {
+    let held = m.lock().unwrap_or_else(|e| e.into_inner());
+    let _ = w.write_all(held.as_bytes());
+    let _ = w.flush();
+    drop(held);
+}
+
+pub fn clone_and_release(m: &Mutex<Vec<u64>>) -> Vec<u64> {
+    let copy = m.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    copy
+}

@@ -78,6 +78,33 @@ fn bad_must_use_fixture_fails() {
 }
 
 #[test]
+fn bad_atomic_fixture_fails() {
+    // lines 5 and 9: explicit orderings without a `// ordering:` rationale;
+    // line 13: ordering passed as a variable — the commented Acquire on
+    // line 18 must NOT be flagged.
+    assert_fails("bad_atomic.rs", "atomic-ordering", &[5, 9, 13]);
+}
+
+#[test]
+fn bad_lock_scope_fixture_fails() {
+    // spawn/join and write_all/flush while a guard is live; the
+    // clone-and-release idiom on line 19 must NOT be flagged.
+    assert_fails("bad_lock_scope.rs", "lock-scope", &[6, 7, 13, 14]);
+}
+
+#[test]
+fn bad_cache_seam_fixture_fails() {
+    // `flip` mutates node_presence without invalidating; the sibling that
+    // calls `invalidate_index_caches()` must NOT be flagged.
+    assert_fails("bad_cache_seam.rs", "cache-seam", &[6]);
+}
+
+#[test]
+fn bad_env_read_fixture_fails() {
+    assert_fails("bad_env_read.rs", "env-read", &[3]);
+}
+
+#[test]
 fn clean_fixture_passes() {
     let (code, stdout, _) = run_lint(&[fixture("clean.rs")]);
     assert_eq!(code, 0, "clean fixture should pass, got:\n{stdout}");
@@ -94,6 +121,10 @@ fn directory_of_fixtures_fails_with_many_diagnostics() {
         "no-print",
         "metric-registry",
         "must-use",
+        "atomic-ordering",
+        "lock-scope",
+        "cache-seam",
+        "env-read",
     ] {
         assert!(
             stdout.contains(&format!("[{rule}]")),

@@ -1,0 +1,115 @@
+//! The `Atomics` abstraction the shared protocols are written against.
+//!
+//! Production instantiates the protocols with [`crate::RealAtomics`]
+//! (plain `std::sync::atomic` types, zero-cost after monomorphization);
+//! the checker instantiates them with [`crate::VirtualAtomics`], whose
+//! every operation is a scheduling point with vector-clock bookkeeping.
+//!
+//! Orderings are passed explicitly at every call site — protocol structs
+//! carry them in a `*Spec` so the mutation self-tests can weaken a single
+//! site and prove the checker notices.
+
+use std::ops::DerefMut;
+
+pub use std::sync::atomic::Ordering;
+
+/// A `u64` atomic cell.
+pub trait AtomicU64T: Send + Sync {
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomic store.
+    fn store(&self, value: u64, order: Ordering);
+    /// Atomic add; returns the previous value.
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64;
+    /// Atomic bitwise or; returns the previous value.
+    fn fetch_or(&self, value: u64, order: Ordering) -> u64;
+    /// Atomic compare-and-swap; `Ok(previous)` on success.
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64>;
+    /// Blocks (spinning in production, parking under the checker) until
+    /// `pred` holds for a value loaded with `order`; returns that value.
+    ///
+    /// This is the one primitive the checker cannot express as a plain
+    /// load: a raw spin loop under an exhaustive scheduler is a livelock,
+    /// so the virtual implementation parks the thread and re-loads only
+    /// after the location has actually been written.
+    fn wait_until<F: FnMut(u64) -> bool>(&self, order: Ordering, pred: F) -> u64;
+}
+
+/// A `usize` atomic cell (counter-shaped subset).
+pub trait AtomicUsizeT: Send + Sync {
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> usize;
+    /// Atomic store.
+    fn store(&self, value: usize, order: Ordering);
+    /// Atomic add; returns the previous value.
+    fn fetch_add(&self, value: usize, order: Ordering) -> usize;
+    /// Blocking predicate wait; see [`AtomicU64T::wait_until`].
+    fn wait_until<F: FnMut(usize) -> bool>(&self, order: Ordering, pred: F) -> usize;
+}
+
+/// A `bool` atomic cell.
+pub trait AtomicBoolT: Send + Sync {
+    /// Atomic load.
+    fn load(&self, order: Ordering) -> bool;
+    /// Atomic store.
+    fn store(&self, value: bool, order: Ordering);
+}
+
+/// A mutual-exclusion lock over `T`.
+pub trait MutexT<T>: Send + Sync {
+    /// The RAII guard type.
+    type Guard<'a>: DerefMut<Target = T>
+    where
+        Self: 'a,
+        T: 'a;
+    /// Acquires the lock (recovering from poison in production; the
+    /// checker models a poisoned lock as a reported thread panic).
+    fn lock(&self) -> Self::Guard<'_>;
+}
+
+/// Factory for the atomic family a protocol is instantiated over.
+///
+/// `name` parameters label locations in checker diagnostics and are
+/// ignored by the production implementation.
+pub trait Atomics: Send + Sync + Sized {
+    /// `u64` atomic type.
+    type U64: AtomicU64T;
+    /// `usize` atomic type.
+    type Usize: AtomicUsizeT;
+    /// `bool` atomic type.
+    type Bool: AtomicBoolT;
+    /// Mutex type.
+    type Mutex<T: Send>: MutexT<T>;
+    /// Creates a `u64` atomic.
+    fn u64(&self, init: u64, name: &'static str) -> Self::U64;
+    /// Creates a `usize` atomic.
+    fn usize(&self, init: usize, name: &'static str) -> Self::Usize;
+    /// Creates a `bool` atomic.
+    fn boolean(&self, init: bool, name: &'static str) -> Self::Bool;
+    /// Creates a mutex.
+    fn mutex<T: Send>(&self, init: T, name: &'static str) -> Self::Mutex<T>;
+}
+
+/// Whether `order` has acquire semantics on a load/RMW.
+#[must_use]
+pub fn acquires(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// Whether `order` has release semantics on a store/RMW.
+#[must_use]
+pub fn releases(order: Ordering) -> bool {
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}

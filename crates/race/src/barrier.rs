@@ -1,0 +1,80 @@
+//! Sense-reversing spin barrier, extracted from the sharded evaluator.
+//!
+//! `count` tracks arrivals; the last arriver resets it and bumps
+//! `generation`, releasing the spinners of this round. The generation
+//! bump doubles as the round's publication edge: everything the arriving
+//! threads did before `wait()` happens-before everything any thread does
+//! after leaving it, because every arrival joins the `count` release
+//! sequence (AcqRel RMW) and the winner's release bump carries that
+//! accumulated clock to the acquire spinners.
+
+use crate::atomics::{AtomicUsizeT, Atomics, Ordering};
+use crate::real::RealAtomics;
+
+/// Memory orderings of the four barrier sites. Production uses
+/// [`BarrierSpec::default`]; the checker's mutation tests weaken single
+/// fields and assert the protocol breaks observably.
+#[derive(Clone, Copy, Debug)]
+pub struct BarrierSpec {
+    /// Initial generation observation (before arrival).
+    pub observe: Ordering,
+    /// Arrival `fetch_add` on `count`.
+    pub arrive: Ordering,
+    /// Winner's `count` reset (protected by the generation edge).
+    pub reset: Ordering,
+    /// Winner's generation bump (the release edge of the round).
+    pub publish: Ordering,
+    /// Spinners' generation re-load (the acquire edge of the round).
+    pub spin: Ordering,
+}
+
+impl Default for BarrierSpec {
+    fn default() -> Self {
+        BarrierSpec {
+            observe: Ordering::Acquire,
+            arrive: Ordering::AcqRel,
+            reset: Ordering::Relaxed,
+            publish: Ordering::Release,
+            spin: Ordering::Acquire,
+        }
+    }
+}
+
+/// Reusable spin barrier for `n` participants.
+pub struct SpinBarrier<A: Atomics = RealAtomics> {
+    n: usize,
+    count: A::Usize,
+    generation: A::Usize,
+    spec: BarrierSpec,
+}
+
+impl SpinBarrier<RealAtomics> {
+    /// Production barrier with the default (audited) orderings.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self::with(&RealAtomics, n, BarrierSpec::default())
+    }
+}
+
+impl<A: Atomics> SpinBarrier<A> {
+    /// Builds a barrier over `env`'s atomics with explicit orderings.
+    pub fn with(env: &A, n: usize, spec: BarrierSpec) -> Self {
+        SpinBarrier {
+            n,
+            count: env.usize(0, "barrier.count"),
+            generation: env.usize(0, "barrier.generation"),
+            spec,
+        }
+    }
+
+    /// Blocks until all `n` participants have called `wait` this round.
+    pub fn wait(&self) {
+        let gen = self.generation.load(self.spec.observe);
+        if self.count.fetch_add(1, self.spec.arrive) + 1 == self.n {
+            self.count.store(0, self.spec.reset);
+            self.generation.fetch_add(1, self.spec.publish);
+        } else {
+            self.generation.wait_until(self.spec.spin, |g| g != gen);
+        }
+    }
+}

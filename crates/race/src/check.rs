@@ -1,0 +1,1187 @@
+//! Bounded exhaustive interleaving checker.
+//!
+//! A scenario is run many times, once per distinct thread interleaving.
+//! Virtual threads are real OS threads (reused across executions through
+//! a small worker pool) coordinated turn-by-turn: every operation on a
+//! [`VirtualAtomics`] atomic or mutex is a *scheduling point* — the
+//! thread announces the operation, parks, and performs it only when the
+//! controller hands it the baton. The controller enumerates schedules by
+//! depth-first search over the choices at each scheduling point, pruned
+//! with sleep sets (two adjacent independent steps commute, so only one
+//! order is explored).
+//!
+//! Correctness conditions checked on every explored schedule:
+//!
+//! * **data-race freedom** — non-atomic [`VCell`] accesses are validated
+//!   with FastTrack-style vector clocks. Happens-before edges come from
+//!   acquire loads reading release stores (with release sequences: an RMW
+//!   continues the sequence, a relaxed store breaks it), mutex unlock →
+//!   lock pairs, spawn, and join-at-exit. A weakened ordering in a
+//!   protocol shows up here even though the exploration itself is
+//!   sequentially consistent.
+//! * **deadlock / lost-wakeup freedom** — a state where every unfinished
+//!   thread is parked on a condition nobody can satisfy is reported with
+//!   the list of waiting operations.
+//! * **scenario assertions** — thread bodies and the scenario's `finally`
+//!   closure may `assert!`; a panic on any schedule is a violation and
+//!   the offending schedule is reported.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::{BTreeMap, BTreeSet};
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+
+use crate::atomics::{acquires, releases, AtomicBoolT, AtomicU64T, AtomicUsizeT, Atomics, MutexT};
+
+/// Virtual thread id of the controller (setup / `finally` run here).
+const ROOT: usize = 0;
+
+type Clock = Vec<u64>;
+
+fn join_clock(into: &mut Clock, other: &[u64]) {
+    if into.len() < other.len() {
+        into.resize(other.len(), 0);
+    }
+    for (a, &b) in into.iter_mut().zip(other) {
+        if *a < b {
+            *a = b;
+        }
+    }
+}
+
+/// Whether the event `(owner, stamp)` happened-before a thread with `clock`.
+fn hb(owner: usize, stamp: u64, clock: &[u64]) -> bool {
+    clock.get(owner).copied().unwrap_or(0) >= stamp
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum OpKind {
+    Read,
+    Write,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Site {
+    Atomic(usize),
+    Mutex(usize),
+}
+
+/// The operation a parked thread will perform when scheduled; the unit of
+/// the independence relation used by sleep-set pruning.
+#[derive(Clone, Copy, Debug)]
+struct PendingOp {
+    site: Site,
+    kind: OpKind,
+    name: &'static str,
+}
+
+/// Two pending operations are dependent when they touch the same site and
+/// at least one mutates it (mutex lock/unlock always mutates).
+fn dependent(a: &PendingOp, b: &PendingOp) -> bool {
+    a.site == b.site && (a.kind == OpKind::Write || b.kind == OpKind::Write)
+}
+
+/// Why a parked thread is not currently schedulable.
+#[derive(Clone, Copy, Debug)]
+enum Cond {
+    /// Schedulable now.
+    None,
+    /// Re-loads only after the location has been written again.
+    LocChanged { loc: usize, version: u64 },
+    /// Acquires only once the mutex is free.
+    MutexFree { m: usize },
+}
+
+#[derive(Debug)]
+enum Status {
+    /// Job dispatched; the thread has not yet reached its first operation.
+    Spawning,
+    /// Parked at a scheduling point, waiting for the baton.
+    Waiting { op: PendingOp, cond: Cond },
+    /// Holds or recently returned the baton; executing scenario code.
+    Running,
+    /// Body returned (or unwound).
+    Finished,
+}
+
+struct LocState {
+    value: u64,
+    /// Clock a subsequent acquire load synchronizes with, if the latest
+    /// write is (part of) a release sequence; `None` after a relaxed
+    /// store, which breaks the sequence.
+    release: Option<Clock>,
+    version: u64,
+}
+
+struct MutexState {
+    held_by: Option<usize>,
+    /// Clock of the last unlock; joined by the next lock.
+    clock: Clock,
+}
+
+struct CellState {
+    name: &'static str,
+    last_write: (usize, u64),
+    /// Per-thread stamp of the latest read since the last write.
+    reads: Vec<(usize, u64)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Baton {
+    Controller,
+    Thread(usize),
+}
+
+/// The kind of property a reported violation breaks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// Conflicting non-atomic accesses without a happens-before edge.
+    DataRace,
+    /// Every unfinished thread parked with no possible waker.
+    Deadlock,
+    /// A thread body panicked (failed `assert!`, poisoned invariant, …).
+    ThreadPanic,
+    /// The scenario's `finally` check panicked after a clean run.
+    FinalCheck,
+    /// The step bound was exceeded (runaway schedule).
+    BoundExceeded,
+}
+
+/// One counterexample: what broke and on which schedule.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Property class.
+    pub kind: ViolationKind,
+    /// Human-readable description.
+    pub message: String,
+    /// The schedule as executed: one `thread:operation` entry per step.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:?}: {}", self.kind, self.message)?;
+        writeln!(f, "  schedule ({} steps):", self.trace.len())?;
+        for step in &self.trace {
+            writeln!(f, "    {step}")?;
+        }
+        Ok(())
+    }
+}
+
+struct Central {
+    locs: Vec<LocState>,
+    mutexes: Vec<MutexState>,
+    cells: Vec<CellState>,
+    /// Index 0 is the controller/root; virtual threads are 1-based.
+    threads: Vec<ThreadStateEntry>,
+    baton: Baton,
+    abort: bool,
+    violation: Option<Violation>,
+    trace: Vec<String>,
+    steps: u64,
+}
+
+struct ThreadStateEntry {
+    status: Status,
+    clock: Clock,
+}
+
+impl Central {
+    fn record_violation(&mut self, kind: ViolationKind, message: String) {
+        if self.violation.is_none() {
+            self.violation = Some(Violation {
+                kind,
+                message,
+                trace: self.trace.clone(),
+            });
+        }
+        self.abort = true;
+    }
+}
+
+/// One execution's shared state; every virtual atomic holds an `Arc` to it.
+pub struct ExecState {
+    central: Mutex<Central>,
+    cv: Condvar,
+}
+
+/// Panic payload used to unwind virtual threads when an execution is
+/// cancelled (violation found, redundant schedule, teardown).
+struct Aborted;
+
+fn abort_now() -> ! {
+    std::panic::panic_any(Aborted);
+}
+
+/// Depth of nested "expected panic" regions: while positive, the process
+/// panic hook stays silent (the unwind is caught and reported through
+/// [`Report`], so the default backtrace spew is pure noise).
+static QUIET_PANICS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+struct QuietPanics;
+
+impl QuietPanics {
+    fn enter() -> Self {
+        static ONCE: std::sync::Once = std::sync::Once::new();
+        ONCE.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if QUIET_PANICS.load(Ordering::Relaxed) == 0 {
+                    prev(info);
+                }
+            }));
+        });
+        QUIET_PANICS.fetch_add(1, Ordering::Relaxed);
+        QuietPanics
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        QUIET_PANICS.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+thread_local! {
+    static TID: Cell<usize> = const { Cell::new(ROOT) };
+}
+
+impl ExecState {
+    fn new() -> Self {
+        ExecState {
+            central: Mutex::new(Central {
+                locs: Vec::new(),
+                mutexes: Vec::new(),
+                cells: Vec::new(),
+                threads: vec![ThreadStateEntry {
+                    status: Status::Running,
+                    clock: vec![1],
+                }],
+                baton: Baton::Controller,
+                abort: false,
+                violation: None,
+                trace: Vec::new(),
+                steps: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Central> {
+        self.central.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Takes one scheduled turn: announce `op`, park until the controller
+    /// hands over the baton, apply `f` to the central state, return the
+    /// baton. Every visible effect of a virtual operation happens inside
+    /// `f`, under the central lock, so executions are fully serialized.
+    fn turn<R>(&self, op: PendingOp, cond: Cond, f: impl FnOnce(&mut Central, usize) -> R) -> R {
+        let tid = TID.with(Cell::get);
+        if tid == ROOT {
+            // Setup / `finally` run on the controller while no virtual
+            // thread is active: apply the operation directly, no baton.
+            let mut c = self.lock();
+            c.threads[ROOT].clock[ROOT] += 1;
+            return f(&mut c, ROOT);
+        }
+        let mut c = self.lock();
+        if c.abort {
+            drop(c);
+            abort_now();
+        }
+        c.threads[tid].status = Status::Waiting { op, cond };
+        self.cv.notify_all();
+        loop {
+            if c.abort {
+                drop(c);
+                abort_now();
+            }
+            if c.baton == Baton::Thread(tid) {
+                break;
+            }
+            c = self.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+        }
+        c.threads[tid].status = Status::Running;
+        c.steps += 1;
+        c.trace.push(format!("t{tid}:{}", op.name));
+        c.threads[tid].clock[tid] += 1;
+        let r = f(&mut c, tid);
+        c.baton = Baton::Controller;
+        self.cv.notify_all();
+        r
+    }
+
+    fn atomic_load(
+        &self,
+        loc: usize,
+        order: Ordering,
+        cond: Cond,
+        name: &'static str,
+    ) -> (u64, u64) {
+        self.turn(
+            PendingOp {
+                site: Site::Atomic(loc),
+                kind: OpKind::Read,
+                name,
+            },
+            cond,
+            |c, tid| {
+                if acquires(order) {
+                    if let Some(rel) = c.locs[loc].release.clone() {
+                        join_clock(&mut c.threads[tid].clock, &rel);
+                    }
+                }
+                (c.locs[loc].value, c.locs[loc].version)
+            },
+        )
+    }
+
+    fn atomic_store(&self, loc: usize, value: u64, order: Ordering, name: &'static str) {
+        self.turn(
+            PendingOp {
+                site: Site::Atomic(loc),
+                kind: OpKind::Write,
+                name,
+            },
+            Cond::None,
+            |c, tid| {
+                let release = releases(order).then(|| c.threads[tid].clock.clone());
+                let l = &mut c.locs[loc];
+                l.value = value;
+                l.version += 1;
+                // A plain store replaces the head of the release sequence:
+                // relaxed breaks it, release restarts it at this thread.
+                l.release = release;
+            },
+        )
+    }
+
+    fn atomic_rmw(
+        &self,
+        loc: usize,
+        order: Ordering,
+        f: impl FnOnce(u64) -> u64,
+        name: &'static str,
+    ) -> u64 {
+        self.turn(
+            PendingOp {
+                site: Site::Atomic(loc),
+                kind: OpKind::Write,
+                name,
+            },
+            Cond::None,
+            |c, tid| {
+                if acquires(order) {
+                    if let Some(rel) = c.locs[loc].release.clone() {
+                        join_clock(&mut c.threads[tid].clock, &rel);
+                    }
+                }
+                let thread_clock = c.threads[tid].clock.clone();
+                let l = &mut c.locs[loc];
+                let old = l.value;
+                l.value = f(old);
+                l.version += 1;
+                // An RMW always continues an existing release sequence; a
+                // release RMW additionally joins its own clock into it.
+                if releases(order) {
+                    let mut rel = l.release.take().unwrap_or_default();
+                    join_clock(&mut rel, &thread_clock);
+                    l.release = Some(rel);
+                }
+                old
+            },
+        )
+    }
+
+    fn atomic_cas(
+        &self,
+        loc: usize,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+        name: &'static str,
+    ) -> Result<u64, u64> {
+        self.turn(
+            PendingOp {
+                site: Site::Atomic(loc),
+                kind: OpKind::Write,
+                name,
+            },
+            Cond::None,
+            |c, tid| {
+                let old = c.locs[loc].value;
+                let order = if old == current { success } else { failure };
+                if acquires(order) {
+                    if let Some(rel) = c.locs[loc].release.clone() {
+                        join_clock(&mut c.threads[tid].clock, &rel);
+                    }
+                }
+                if old != current {
+                    return Err(old);
+                }
+                let thread_clock = c.threads[tid].clock.clone();
+                let l = &mut c.locs[loc];
+                l.value = new;
+                l.version += 1;
+                if releases(success) {
+                    let mut rel = l.release.take().unwrap_or_default();
+                    join_clock(&mut rel, &thread_clock);
+                    l.release = Some(rel);
+                }
+                Ok(old)
+            },
+        )
+    }
+
+    fn wait_until(
+        &self,
+        loc: usize,
+        order: Ordering,
+        mut pred: impl FnMut(u64) -> bool,
+        name: &'static str,
+    ) -> u64 {
+        let mut cond = Cond::None;
+        loop {
+            let (v, version) = self.atomic_load(loc, order, cond, name);
+            if pred(v) {
+                return v;
+            }
+            cond = Cond::LocChanged { loc, version };
+        }
+    }
+
+    fn mutex_lock(&self, m: usize, name: &'static str) {
+        self.turn(
+            PendingOp {
+                site: Site::Mutex(m),
+                kind: OpKind::Write,
+                name,
+            },
+            Cond::MutexFree { m },
+            |c, tid| {
+                debug_assert!(c.mutexes[m].held_by.is_none());
+                c.mutexes[m].held_by = Some(tid);
+                let rel = c.mutexes[m].clock.clone();
+                join_clock(&mut c.threads[tid].clock, &rel);
+            },
+        );
+    }
+
+    fn mutex_unlock(&self, m: usize, name: &'static str) {
+        self.turn(
+            PendingOp {
+                site: Site::Mutex(m),
+                kind: OpKind::Write,
+                name,
+            },
+            Cond::None,
+            |c, tid| {
+                debug_assert_eq!(c.mutexes[m].held_by, Some(tid));
+                c.mutexes[m].held_by = None;
+                c.mutexes[m].clock = c.threads[tid].clock.clone();
+            },
+        );
+    }
+
+    /// Non-atomic access bookkeeping. Cell accesses are not scheduling
+    /// points (they create no happens-before edges), but they are checked
+    /// against the vector clocks: a pair of conflicting accesses with
+    /// neither ordered before the other is a data race regardless of the
+    /// interleaving that exposed it.
+    fn cell_access(&self, id: usize, kind: OpKind) {
+        let tid = TID.with(Cell::get);
+        let mut c = self.lock();
+        if c.abort {
+            drop(c);
+            if std::thread::panicking() {
+                return;
+            }
+            abort_now();
+        }
+        c.threads[tid].clock[tid] += 1;
+        let clock = c.threads[tid].clock.clone();
+        let stamp = clock[tid];
+        let cell = &mut c.cells[id];
+        let (wt, ws) = cell.last_write;
+        let name = cell.name;
+        let mut race: Option<String> = None;
+        if wt != tid && !hb(wt, ws, &clock) {
+            race = Some(format!(
+                "{} of non-atomic cell `{name}` by t{tid} races with write by t{wt}",
+                if kind == OpKind::Write {
+                    "write"
+                } else {
+                    "read"
+                },
+            ));
+        }
+        if kind == OpKind::Write && race.is_none() {
+            for &(rt, rs) in &cell.reads {
+                if rt != tid && !hb(rt, rs, &clock) {
+                    race = Some(format!(
+                        "write of non-atomic cell `{name}` by t{tid} races with read by t{rt}",
+                    ));
+                    break;
+                }
+            }
+        }
+        if race.is_none() {
+            match kind {
+                OpKind::Write => {
+                    cell.last_write = (tid, stamp);
+                    cell.reads.clear();
+                }
+                OpKind::Read => {
+                    if let Some(e) = cell.reads.iter_mut().find(|(rt, _)| *rt == tid) {
+                        e.1 = stamp;
+                    } else {
+                        cell.reads.push((tid, stamp));
+                    }
+                }
+            }
+        }
+        if let Some(msg) = race {
+            c.record_violation(ViolationKind::DataRace, msg);
+            self.cv.notify_all();
+            drop(c);
+            abort_now();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Virtual atomic handles
+// ---------------------------------------------------------------------------
+
+/// Checker-instrumented implementation of the [`Atomics`] family.
+///
+/// Create one per execution via [`Checker::check`]'s setup closure; all
+/// atomics built from it share that execution's scheduler state.
+#[derive(Clone)]
+pub struct VirtualAtomics {
+    exec: Arc<ExecState>,
+}
+
+/// Virtual `u64` atomic.
+pub struct VU64 {
+    exec: Arc<ExecState>,
+    loc: usize,
+    name: &'static str,
+}
+
+/// Virtual `usize` atomic.
+pub struct VUsize(VU64);
+
+/// Virtual `bool` atomic.
+pub struct VBool(VU64);
+
+impl AtomicU64T for VU64 {
+    fn load(&self, order: Ordering) -> u64 {
+        self.exec
+            .atomic_load(self.loc, order, Cond::None, self.name)
+            .0
+    }
+    fn store(&self, value: u64, order: Ordering) {
+        self.exec.atomic_store(self.loc, value, order, self.name);
+    }
+    fn fetch_add(&self, value: u64, order: Ordering) -> u64 {
+        self.exec
+            .atomic_rmw(self.loc, order, |v| v.wrapping_add(value), self.name)
+    }
+    fn fetch_or(&self, value: u64, order: Ordering) -> u64 {
+        self.exec
+            .atomic_rmw(self.loc, order, |v| v | value, self.name)
+    }
+    fn compare_exchange(
+        &self,
+        current: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        self.exec
+            .atomic_cas(self.loc, current, new, success, failure, self.name)
+    }
+    fn wait_until<F: FnMut(u64) -> bool>(&self, order: Ordering, pred: F) -> u64 {
+        self.exec.wait_until(self.loc, order, pred, self.name)
+    }
+}
+
+impl AtomicUsizeT for VUsize {
+    fn load(&self, order: Ordering) -> usize {
+        self.0.load(order) as usize
+    }
+    fn store(&self, value: usize, order: Ordering) {
+        self.0.store(value as u64, order);
+    }
+    fn fetch_add(&self, value: usize, order: Ordering) -> usize {
+        self.0.fetch_add(value as u64, order) as usize
+    }
+    fn wait_until<F: FnMut(usize) -> bool>(&self, order: Ordering, mut pred: F) -> usize {
+        self.0.wait_until(order, |v| pred(v as usize)) as usize
+    }
+}
+
+impl AtomicBoolT for VBool {
+    fn load(&self, order: Ordering) -> bool {
+        self.0.load(order) != 0
+    }
+    fn store(&self, value: bool, order: Ordering) {
+        self.0.store(u64::from(value), order);
+    }
+}
+
+/// Virtual mutex; mutual exclusion is enforced by the scheduler (a lock
+/// operation is only schedulable while the mutex is free), which makes
+/// the interior `UnsafeCell` access sound: at most one thread runs at a
+/// time and at most one holds the lock.
+pub struct VMutex<T> {
+    exec: Arc<ExecState>,
+    id: usize,
+    name: &'static str,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: access to `data` is confined to lock holders, and the turn
+// scheduler serializes all virtual threads.
+unsafe impl<T: Send> Send for VMutex<T> {}
+unsafe impl<T: Send> Sync for VMutex<T> {}
+
+/// RAII guard for [`VMutex`]; unlocking is a scheduling point.
+pub struct VMutexGuard<'a, T> {
+    m: &'a VMutex<T>,
+}
+
+impl<T> std::ops::Deref for VMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: guard existence implies the virtual lock is held.
+        unsafe { &*self.m.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for VMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: guard existence implies the virtual lock is held.
+        unsafe { &mut *self.m.data.get() }
+    }
+}
+
+impl<T> Drop for VMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Unwinding through an abort: the execution is over, do not
+            // take another turn (it would never be scheduled).
+            return;
+        }
+        self.m.exec.mutex_unlock(self.m.id, self.m.name);
+    }
+}
+
+impl<T: Send> MutexT<T> for VMutex<T> {
+    type Guard<'a>
+        = VMutexGuard<'a, T>
+    where
+        T: 'a;
+    fn lock(&self) -> VMutexGuard<'_, T> {
+        self.exec.mutex_lock(self.id, self.name);
+        VMutexGuard { m: self }
+    }
+}
+
+impl Atomics for VirtualAtomics {
+    type U64 = VU64;
+    type Usize = VUsize;
+    type Bool = VBool;
+    type Mutex<T: Send> = VMutex<T>;
+    fn u64(&self, init: u64, name: &'static str) -> VU64 {
+        let loc = self.new_loc(init, name);
+        VU64 {
+            exec: Arc::clone(&self.exec),
+            loc,
+            name,
+        }
+    }
+    fn usize(&self, init: usize, name: &'static str) -> VUsize {
+        VUsize(self.u64(init as u64, name))
+    }
+    fn boolean(&self, init: bool, name: &'static str) -> VBool {
+        VBool(self.u64(u64::from(init), name))
+    }
+    fn mutex<T: Send>(&self, init: T, name: &'static str) -> VMutex<T> {
+        let mut c = self.exec.lock();
+        let id = c.mutexes.len();
+        c.mutexes.push(MutexState {
+            held_by: None,
+            clock: Vec::new(),
+        });
+        VMutex {
+            exec: Arc::clone(&self.exec),
+            id,
+            name,
+            data: UnsafeCell::new(init),
+        }
+    }
+}
+
+impl VirtualAtomics {
+    fn new_loc(&self, init: u64, _name: &'static str) -> usize {
+        let mut c = self.exec.lock();
+        let loc = c.locs.len();
+        c.locs.push(LocState {
+            value: init,
+            release: None,
+            version: 0,
+        });
+        loc
+    }
+
+    /// Creates a checked non-atomic cell (models plain shared data whose
+    /// safety rests on the protocol's happens-before edges).
+    pub fn cell<T>(&self, init: T, name: &'static str) -> VCell<T> {
+        let mut c = self.exec.lock();
+        let id = c.cells.len();
+        let stamp = c.threads[ROOT].clock[ROOT];
+        c.cells.push(CellState {
+            name,
+            last_write: (ROOT, stamp),
+            reads: Vec::new(),
+        });
+        VCell {
+            exec: Arc::clone(&self.exec),
+            id,
+            data: UnsafeCell::new(init),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// A non-atomic shared cell whose accesses are race-checked with vector
+/// clocks. Reads and writes are *not* scheduling points.
+pub struct VCell<T> {
+    exec: Arc<ExecState>,
+    id: usize,
+    data: UnsafeCell<T>,
+    _marker: PhantomData<T>,
+}
+
+// SAFETY: the turn scheduler serializes all virtual threads, so the
+// UnsafeCell is never accessed concurrently; ordering bugs are reported
+// via the clock check instead of being undefined behavior.
+unsafe impl<T: Send> Send for VCell<T> {}
+unsafe impl<T: Send> Sync for VCell<T> {}
+
+impl<T: Copy> VCell<T> {
+    /// Race-checked read.
+    pub fn read(&self) -> T {
+        self.exec.cell_access(self.id, OpKind::Read);
+        // SAFETY: threads are serialized by the scheduler.
+        unsafe { *self.data.get() }
+    }
+}
+
+impl<T> VCell<T> {
+    /// Race-checked write.
+    pub fn write(&self, value: T) {
+        self.exec.cell_access(self.id, OpKind::Write);
+        // SAFETY: threads are serialized by the scheduler.
+        unsafe { *self.data.get() = value };
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario + checker driver
+// ---------------------------------------------------------------------------
+
+/// One concurrent test case: thread bodies plus an optional post-hoc
+/// check run after all threads finished on a clean schedule.
+pub struct Scenario {
+    /// Thread bodies; thread `i` runs as virtual thread `i + 1`.
+    pub threads: Vec<Box<dyn FnOnce() + Send>>,
+    /// Final consistency check (runs on the controller, sees all effects).
+    pub finally: Option<Box<dyn FnOnce()>>,
+}
+
+/// DFS frame: one scheduling decision and the alternatives still to try.
+struct Frame {
+    enabled: Vec<usize>,
+    ops: BTreeMap<usize, PendingOp>,
+    sleep: BTreeMap<usize, PendingOp>,
+    explored: BTreeSet<usize>,
+    chosen: usize,
+}
+
+enum ExecEnd {
+    Completed,
+    SleepBlocked,
+    Violated,
+}
+
+/// Result of checking one scenario.
+#[derive(Debug)]
+pub struct Report {
+    /// Scenario name.
+    pub name: String,
+    /// Number of schedules executed (including sleep-set-blocked stubs).
+    pub executions: u64,
+    /// True when the schedule space was fully enumerated within bounds.
+    pub complete: bool,
+    /// First violation found, if any.
+    pub violation: Option<Violation>,
+}
+
+impl Report {
+    /// True when exploration finished with no violation.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.complete && self.violation.is_none()
+    }
+}
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolWorker {
+    tx: Sender<Job>,
+    done_rx: Receiver<()>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Reusable OS threads hosting the virtual threads; spawning once per
+/// checker (not per execution) keeps exhaustive runs fast.
+struct Pool {
+    workers: Vec<PoolWorker>,
+}
+
+impl Pool {
+    fn new() -> Self {
+        Pool {
+            workers: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, n: usize) {
+        while self.workers.len() < n {
+            let (tx, rx) = channel::<Job>();
+            let (done_tx, done_rx) = channel::<()>();
+            let handle = std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    job();
+                    if done_tx.send(()).is_err() {
+                        break;
+                    }
+                }
+            });
+            self.workers.push(PoolWorker {
+                tx,
+                done_rx,
+                handle: Some(handle),
+            });
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            // Close the job channel so the worker loop exits.
+            let (dead_tx, _) = channel::<Job>();
+            let _ = std::mem::replace(&mut w.tx, dead_tx);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Bounded exhaustive schedule explorer.
+pub struct Checker {
+    /// Upper bound on executed schedules (default 1,000,000).
+    pub max_executions: u64,
+    /// Upper bound on steps within one execution (default 100,000).
+    pub max_steps: u64,
+}
+
+impl Default for Checker {
+    fn default() -> Self {
+        Checker {
+            max_executions: 1_000_000,
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl Checker {
+    /// Explores every interleaving of the scenario built by `setup`.
+    ///
+    /// `setup` runs once per execution with a fresh [`VirtualAtomics`]
+    /// environment and must deterministically rebuild the same scenario;
+    /// the DFS replays schedule prefixes, so any nondeterminism in setup
+    /// would desynchronize the search.
+    pub fn check<S>(&self, name: &str, setup: S) -> Report
+    where
+        S: Fn(&VirtualAtomics) -> Scenario,
+    {
+        let mut pool = Pool::new();
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut executions = 0u64;
+        let mut complete = true;
+        loop {
+            executions += 1;
+            let (end, violation) = self.run_one(&setup, &mut stack, &mut pool);
+            if let Some(v) = violation {
+                return Report {
+                    name: name.to_owned(),
+                    executions,
+                    complete: false,
+                    violation: Some(v),
+                };
+            }
+            debug_assert!(!matches!(end, ExecEnd::Violated));
+            if executions >= self.max_executions {
+                complete = false;
+                break;
+            }
+            if !advance(&mut stack) {
+                break;
+            }
+        }
+        Report {
+            name: name.to_owned(),
+            executions,
+            complete,
+            violation: None,
+        }
+    }
+
+    fn run_one<S>(
+        &self,
+        setup: &S,
+        stack: &mut Vec<Frame>,
+        pool: &mut Pool,
+    ) -> (ExecEnd, Option<Violation>)
+    where
+        S: Fn(&VirtualAtomics) -> Scenario,
+    {
+        let exec = Arc::new(ExecState::new());
+        let env = VirtualAtomics {
+            exec: Arc::clone(&exec),
+        };
+        let scenario = setup(&env);
+        let n = scenario.threads.len();
+        pool.ensure(n);
+        {
+            let mut c = exec.lock();
+            let root_clock = c.threads[ROOT].clock.clone();
+            for t in 1..=n {
+                let mut clock = vec![0; n + 1];
+                join_clock(&mut clock, &root_clock);
+                clock[t] = 1;
+                c.threads.push(ThreadStateEntry {
+                    status: Status::Spawning,
+                    clock,
+                });
+            }
+            c.threads[ROOT].clock.resize(n + 1, 0);
+        }
+        for (i, body) in scenario.threads.into_iter().enumerate() {
+            let vtid = i + 1;
+            let exec = Arc::clone(&exec);
+            let job: Job = Box::new(move || {
+                TID.with(|t| t.set(vtid));
+                let quiet = QuietPanics::enter();
+                let result = catch_unwind(AssertUnwindSafe(body));
+                drop(quiet);
+                let mut c = exec.lock();
+                if let Err(payload) = result {
+                    if !payload.is::<Aborted>() {
+                        let msg = panic_message(payload.as_ref());
+                        c.record_violation(
+                            ViolationKind::ThreadPanic,
+                            format!("virtual thread t{vtid} panicked: {msg}"),
+                        );
+                    }
+                }
+                c.threads[vtid].status = Status::Finished;
+                exec.cv.notify_all();
+            });
+            // The worker loop only dies if the process is exiting.
+            let _ = pool.workers[i].tx.send(job);
+        }
+
+        let mut sleep: BTreeMap<usize, PendingOp> = BTreeMap::new();
+        let mut depth = 0usize;
+        let end = loop {
+            let mut c = exec.lock();
+            loop {
+                if c.baton == Baton::Controller && quiescent(&c) {
+                    break;
+                }
+                c = exec.cv.wait(c).unwrap_or_else(PoisonError::into_inner);
+            }
+            if c.violation.is_some() {
+                break ExecEnd::Violated;
+            }
+            if all_finished(&c) {
+                break ExecEnd::Completed;
+            }
+            if c.steps >= self.max_steps {
+                c.record_violation(
+                    ViolationKind::BoundExceeded,
+                    format!("execution exceeded {} steps", self.max_steps),
+                );
+                break ExecEnd::Violated;
+            }
+            let mut enabled: Vec<usize> = Vec::new();
+            let mut ops: BTreeMap<usize, PendingOp> = BTreeMap::new();
+            for (tid, ts) in c.threads.iter().enumerate().skip(1) {
+                if let Status::Waiting { op, cond } = &ts.status {
+                    ops.insert(tid, *op);
+                    let ready = match cond {
+                        Cond::None => true,
+                        Cond::LocChanged { loc, version } => c.locs[*loc].version != *version,
+                        Cond::MutexFree { m } => c.mutexes[*m].held_by.is_none(),
+                    };
+                    if ready {
+                        enabled.push(tid);
+                    }
+                }
+            }
+            if enabled.is_empty() {
+                let waiting: Vec<String> = ops
+                    .iter()
+                    .map(|(tid, op)| format!("t{tid} waiting on {}", op.name))
+                    .collect();
+                c.record_violation(
+                    ViolationKind::Deadlock,
+                    format!("deadlock / lost wakeup: {}", waiting.join("; ")),
+                );
+                break ExecEnd::Violated;
+            }
+            let chosen = if depth < stack.len() {
+                sleep = stack[depth].sleep.clone();
+                debug_assert!(
+                    enabled.contains(&stack[depth].chosen),
+                    "replay desync: scenario setup must be deterministic"
+                );
+                stack[depth].chosen
+            } else {
+                match enabled.iter().copied().find(|t| !sleep.contains_key(t)) {
+                    Some(t) => {
+                        stack.push(Frame {
+                            enabled: enabled.clone(),
+                            ops: ops.clone(),
+                            sleep: sleep.clone(),
+                            explored: BTreeSet::from([t]),
+                            chosen: t,
+                        });
+                        t
+                    }
+                    None => break ExecEnd::SleepBlocked,
+                }
+            };
+            let chosen_op = ops[&chosen];
+            c.baton = Baton::Thread(chosen);
+            exec.cv.notify_all();
+            drop(c);
+            sleep.retain(|_, op| !dependent(op, &chosen_op));
+            depth += 1;
+        };
+
+        // Tear down: wake everything, let parked threads unwind, drain the
+        // pool so workers are reusable, then run the final check.
+        let violation = {
+            let mut c = exec.lock();
+            if !matches!(end, ExecEnd::Completed) {
+                c.abort = true;
+            }
+            exec.cv.notify_all();
+            c.violation.clone()
+        };
+        for i in 0..n {
+            // Worker signals completion of each job exactly once.
+            let _ = pool.workers[i].done_rx.recv();
+        }
+        let violation = violation.or_else(|| exec.lock().violation.clone());
+        if violation.is_none() {
+            if let (ExecEnd::Completed, Some(finally)) = (&end, scenario.finally) {
+                {
+                    let mut c = exec.lock();
+                    let joined: Clock = c.threads.iter().skip(1).fold(Vec::new(), |mut acc, t| {
+                        join_clock(&mut acc, &t.clock);
+                        acc
+                    });
+                    join_clock(&mut c.threads[ROOT].clock, &joined);
+                    c.threads[ROOT].clock[ROOT] += 1;
+                }
+                let quiet = QuietPanics::enter();
+                let outcome = catch_unwind(AssertUnwindSafe(finally));
+                drop(quiet);
+                if let Err(payload) = outcome {
+                    let msg = panic_message(payload.as_ref());
+                    let mut c = exec.lock();
+                    c.record_violation(
+                        ViolationKind::FinalCheck,
+                        format!("final check failed: {msg}"),
+                    );
+                    return (ExecEnd::Violated, c.violation.clone());
+                }
+            }
+        }
+        (end, violation)
+    }
+}
+
+fn quiescent(c: &Central) -> bool {
+    c.threads
+        .iter()
+        .skip(1)
+        .all(|t| matches!(t.status, Status::Waiting { .. } | Status::Finished))
+}
+
+fn all_finished(c: &Central) -> bool {
+    c.threads
+        .iter()
+        .skip(1)
+        .all(|t| matches!(t.status, Status::Finished))
+}
+
+/// Backtracks to the deepest frame with an unexplored, non-sleeping
+/// alternative; returns false when the whole tree is exhausted.
+fn advance(stack: &mut Vec<Frame>) -> bool {
+    while let Some(top) = stack.last_mut() {
+        let old = top.chosen;
+        if let Some(op) = top.ops.get(&old).copied() {
+            top.sleep.insert(old, op);
+        }
+        let next = top
+            .enabled
+            .iter()
+            .copied()
+            .find(|t| !top.explored.contains(t) && !top.sleep.contains_key(t));
+        if let Some(t) = next {
+            top.explored.insert(t);
+            top.chosen = t;
+            return true;
+        }
+        stack.pop();
+    }
+    false
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}

@@ -1,0 +1,140 @@
+//! Epoch-stamped CAS map, extracted from the server's snapshot registry.
+//!
+//! Values are immutable handles (in production `Arc<TemporalGraph>`);
+//! each name carries a monotone epoch bumped on every replacement.
+//! [`EpochMap::replace_if_current`] is the compare-and-swap: a writer
+//! that computed its replacement against a since-replaced value is
+//! rejected instead of silently clobbering the newer one. The `(value,
+//! epoch)` pair is published atomically — both live in one entry read
+//! under a single lock section, which is exactly the property the
+//! checker's torn-read mutation ([`EpochSpec::coupled_get`]) falsifies.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use crate::atomics::{Atomics, MutexT};
+use crate::real::RealAtomics;
+
+/// Pointer-style identity for CAS comparison (production: `Arc::ptr_eq`).
+pub trait Identity {
+    /// Whether `self` and `other` are the same object.
+    fn same(&self, other: &Self) -> bool;
+}
+
+impl<T: ?Sized> Identity for Arc<T> {
+    fn same(&self, other: &Self) -> bool {
+        Arc::ptr_eq(self, other)
+    }
+}
+
+/// Protocol shape switches; production uses [`EpochSpec::default`] (both
+/// on). Each `false` seeds a classic registry bug for the mutation tests:
+/// a blind replace (lost update) or a torn `(value, epoch)` read.
+#[derive(Clone, Copy, Debug)]
+pub struct EpochSpec {
+    /// Whether `replace_if_current` verifies identity before replacing.
+    pub cas_checks_identity: bool,
+    /// Whether `get` reads value and epoch under one lock section.
+    pub coupled_get: bool,
+}
+
+impl Default for EpochSpec {
+    fn default() -> Self {
+        EpochSpec {
+            cas_checks_identity: true,
+            coupled_get: true,
+        }
+    }
+}
+
+/// A concurrent name → `(value, epoch)` map with CAS replacement.
+pub struct EpochMap<T: Send, A: Atomics = RealAtomics> {
+    inner: A::Mutex<BTreeMap<String, (T, u64)>>,
+    spec: EpochSpec,
+}
+
+impl<T: Send + Identity + Clone> EpochMap<T, RealAtomics> {
+    /// Production map with the audited protocol shape.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with(&RealAtomics, EpochSpec::default())
+    }
+}
+
+impl<T: Send + Identity + Clone> Default for EpochMap<T, RealAtomics> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + Identity + Clone, A: Atomics> EpochMap<T, A> {
+    /// Builds a map over `env`'s mutex with an explicit protocol shape.
+    pub fn with(env: &A, spec: EpochSpec) -> Self {
+        EpochMap {
+            inner: env.mutex(BTreeMap::new(), "epoch.map"),
+            spec,
+        }
+    }
+
+    /// Registers (or replaces) `name`, returning the new epoch: 1 for a
+    /// fresh name, previous + 1 on replacement.
+    pub fn insert(&self, name: &str, value: T) -> u64 {
+        let mut map = self.inner.lock();
+        let epoch = map.get(name).map_or(1, |(_, e)| e + 1);
+        map.insert(name.to_owned(), (value, epoch));
+        epoch
+    }
+
+    /// Returns the value under `name` with its epoch, if any. The value is
+    /// cloned and the lock released before returning.
+    pub fn get(&self, name: &str) -> Option<(T, u64)> {
+        if self.spec.coupled_get {
+            self.inner.lock().get(name).map(|(v, e)| (v.clone(), *e))
+        } else {
+            // Seeded bug: value and epoch read in separate lock sections,
+            // so a concurrent replacement yields a torn pair.
+            let value = self.inner.lock().get(name).map(|(v, _)| v.clone())?;
+            let epoch = self.inner.lock().get(name).map(|(_, e)| *e)?;
+            Some((value, epoch))
+        }
+    }
+
+    /// Atomically replaces `name` with `next` **only if** the registered
+    /// value is still exactly `current` (identity, not equality). Returns
+    /// the new epoch on success; `None` when the entry is missing or was
+    /// replaced in the meantime.
+    pub fn replace_if_current(&self, name: &str, current: &T, next: T) -> Option<u64> {
+        let mut map = self.inner.lock();
+        let entry = map.get_mut(name)?;
+        if self.spec.cas_checks_identity && !entry.0.same(current) {
+            return None;
+        }
+        entry.0 = next;
+        entry.1 += 1;
+        Some(entry.1)
+    }
+
+    /// Removes `name`; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.lock().remove(name).is_some()
+    }
+
+    /// Lists `(name, value, epoch)` triples in name order.
+    pub fn list(&self) -> Vec<(String, T, u64)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, (v, e))| (k.clone(), v.clone(), *e))
+            .collect()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}

@@ -1,0 +1,57 @@
+//! `tempo-race` driver: sweeps the clean protocol models (must enumerate
+//! completely with zero violations) and the seeded mutation catalog
+//! (every mutation must be detected). Exit code 0 only when both hold.
+
+use tempo_race::scenarios::{mutation_cases, protocol_cases};
+use tempo_race::Checker;
+
+fn main() {
+    let checker = Checker::default();
+    let mut failures = 0usize;
+
+    println!("== protocol sweeps (must be clean and complete) ==");
+    for case in protocol_cases() {
+        let report = case.run(&checker);
+        let status = if report.passed() {
+            "ok"
+        } else {
+            failures += 1;
+            "FAIL"
+        };
+        println!(
+            "{status:>4}  {:<28} {} schedules{}",
+            case.name,
+            report.executions,
+            if report.complete { "" } else { " (INCOMPLETE)" }
+        );
+        if let Some(v) = &report.violation {
+            println!("{v}");
+        }
+    }
+
+    println!("== seeded mutations (must be detected) ==");
+    for case in mutation_cases() {
+        let report = case.run(&checker);
+        let detected = report.violation.is_some();
+        let status = if detected {
+            "ok"
+        } else {
+            failures += 1;
+            "FAIL"
+        };
+        let kind = report
+            .violation
+            .as_ref()
+            .map_or_else(|| "NOT DETECTED".to_owned(), |v| format!("{:?}", v.kind));
+        println!(
+            "{status:>4}  {:<48} {} after {} schedules",
+            case.name, kind, report.executions
+        );
+    }
+
+    if failures > 0 {
+        eprintln!("tempo-race: {failures} case(s) failed");
+        std::process::exit(1);
+    }
+    println!("tempo-race: all cases passed");
+}

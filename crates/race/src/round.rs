@@ -1,0 +1,150 @@
+//! Driver→workers round broadcast with sum/done reduction, extracted
+//! from the sharded evaluator's `GroupComms`.
+//!
+//! Per round: the driver resets the reduction cells, stores the operand,
+//! and bumps `round` with release semantics — the single edge that
+//! publishes the operand (and any plain data prepared before `begin`) to
+//! workers spinning on `round` with acquire loads. Workers deposit their
+//! partial into `sum` (relaxed is enough: the values are collected only
+//! after the `done` handshake) and announce completion on `done` with a
+//! release `fetch_add`; all of those RMWs form one release sequence, so
+//! the driver's single acquire wait on `done` synchronizes with every
+//! worker at once.
+
+use crate::atomics::{AtomicBoolT, AtomicU64T, AtomicUsizeT, Atomics, Ordering};
+use crate::real::RealAtomics;
+
+/// Memory orderings (and one ordering-sensitive code shape) of the round
+/// protocol sites. Production uses [`RoundSpec::default`].
+#[derive(Clone, Copy, Debug)]
+pub struct RoundSpec {
+    /// Driver's round bump (release edge of the broadcast).
+    pub publish: Ordering,
+    /// Workers' round spin load (acquire edge of the broadcast).
+    pub observe: Ordering,
+    /// Operand / stop-flag accesses (ordered by the round edge).
+    pub payload: Ordering,
+    /// Workers' `sum` contribution (ordered by the done handshake).
+    pub submit: Ordering,
+    /// Workers' `done` increment (release edge of the reduction).
+    pub finish: Ordering,
+    /// Driver's `done` wait (acquire edge of the reduction).
+    pub collect: Ordering,
+    /// Driver's `sum`/`done` reset (pre-publication, same-thread ordered).
+    pub reset: Ordering,
+    /// Whether `begin` resets the reduction cells before bumping `round`.
+    /// Resetting after publication races the first worker of the round;
+    /// kept as a seedable bug for the checker's mutation tests.
+    pub reset_before_publish: bool,
+}
+
+impl Default for RoundSpec {
+    fn default() -> Self {
+        RoundSpec {
+            publish: Ordering::Release,
+            observe: Ordering::Acquire,
+            payload: Ordering::Relaxed,
+            submit: Ordering::Relaxed,
+            finish: Ordering::Release,
+            collect: Ordering::Acquire,
+            reset: Ordering::Relaxed,
+            reset_before_publish: true,
+        }
+    }
+}
+
+/// A message observed by a worker at the top of a round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoundMsg {
+    /// Evaluate the packed operand.
+    Op(u64),
+    /// Shut down; no more rounds will be published.
+    Stop,
+}
+
+/// One driver, many workers, one in-flight round at a time.
+pub struct RoundChannel<A: Atomics = RealAtomics> {
+    round: A::U64,
+    op: A::U64,
+    stop: A::Bool,
+    sum: A::U64,
+    done: A::Usize,
+    spec: RoundSpec,
+}
+
+impl RoundChannel<RealAtomics> {
+    /// Production channel with the default (audited) orderings.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with(&RealAtomics, RoundSpec::default())
+    }
+}
+
+impl Default for RoundChannel<RealAtomics> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Atomics> RoundChannel<A> {
+    /// Builds a channel over `env`'s atomics with explicit orderings.
+    pub fn with(env: &A, spec: RoundSpec) -> Self {
+        RoundChannel {
+            round: env.u64(0, "round.round"),
+            op: env.u64(0, "round.op"),
+            stop: env.boolean(false, "round.stop"),
+            sum: env.u64(0, "round.sum"),
+            done: env.usize(0, "round.done"),
+            spec,
+        }
+    }
+
+    /// Driver: publishes a new round evaluating `op`. Must not be called
+    /// again before [`RoundChannel::collect`] returns for this round.
+    pub fn begin(&self, op: u64) {
+        if self.spec.reset_before_publish {
+            self.sum.store(0, self.spec.reset);
+            self.done.store(0, self.spec.reset);
+            self.op.store(op, self.spec.payload);
+            self.round.fetch_add(1, self.spec.publish);
+        } else {
+            self.op.store(op, self.spec.payload);
+            self.round.fetch_add(1, self.spec.publish);
+            self.sum.store(0, self.spec.reset);
+            self.done.store(0, self.spec.reset);
+        }
+    }
+
+    /// Driver: publishes the shutdown round; workers observe
+    /// [`RoundMsg::Stop`] and exit.
+    pub fn publish_stop(&self) {
+        self.stop.store(true, self.spec.payload);
+        self.round.fetch_add(1, self.spec.publish);
+    }
+
+    /// Worker: blocks for the next round after `*seen`, advancing it.
+    pub fn next(&self, seen: &mut u64) -> RoundMsg {
+        let prev = *seen;
+        self.round.wait_until(self.spec.observe, |r| r != prev);
+        *seen = prev.wrapping_add(1);
+        if self.stop.load(self.spec.payload) {
+            RoundMsg::Stop
+        } else {
+            RoundMsg::Op(self.op.load(self.spec.payload))
+        }
+    }
+
+    /// Worker: deposits this round's partial and announces completion.
+    pub fn finish(&self, partial: u64) {
+        if partial != 0 {
+            self.sum.fetch_add(partial, self.spec.submit);
+        }
+        self.done.fetch_add(1, self.spec.finish);
+    }
+
+    /// Driver: waits for `workers` completions and returns the reduced sum.
+    pub fn collect(&self, workers: usize) -> u64 {
+        self.done.wait_until(self.spec.collect, |d| d == workers);
+        self.sum.load(self.spec.submit)
+    }
+}

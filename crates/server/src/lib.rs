@@ -108,14 +108,17 @@ struct ServiceState {
 impl ServiceState {
     /// Raises the shutdown flag and pokes the accept loop awake.
     fn request_shutdown(&self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        // ordering: the flag is purely advisory — it guards no other data,
+        // and the wake-up connection below synchronizes through the socket.
+        self.shutdown.store(true, Ordering::Relaxed);
         // The accept loop blocks in accept(); a throw-away connection to
         // ourselves unblocks it so the flag is observed promptly.
         let _ = TcpStream::connect(self.addr);
     }
 
     fn shutting_down(&self) -> bool {
-        self.shutdown.load(Ordering::SeqCst)
+        // ordering: advisory flag, no data published under it (see store).
+        self.shutdown.load(Ordering::Relaxed)
     }
 }
 

@@ -11,22 +11,31 @@
 //! [`SnapshotRegistry::replace_if_current`] gives writers a compare-and-swap
 //! primitive: an append computed against an epoch that has since been
 //! replaced is rejected instead of silently clobbering the newer graph.
+//!
+//! The registry is a thin façade over [`tempo_race::EpochMap`] — the CAS +
+//! epoch-publication protocol itself lives there, where the interleaving
+//! checker exhaustively enumerates concurrent writer schedules against it
+//! (torn `(value, epoch)` reads, lost updates) on every `cargo run -p
+//! tempo-race` sweep. The façade pins the value type and keeps this
+//! module's API (and its tests) independent of the checker crate's
+//! generics.
 
-use std::collections::BTreeMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use tempo_graph::TemporalGraph;
-
-/// One registered snapshot: the immutable graph plus its epoch id.
-#[derive(Clone, Debug)]
-struct Entry {
-    graph: Arc<TemporalGraph>,
-    epoch: u64,
-}
+use tempo_race::EpochMap;
 
 /// A concurrent map from snapshot name to an immutable shared graph.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct SnapshotRegistry {
-    inner: Mutex<BTreeMap<String, Entry>>,
+    inner: EpochMap<Arc<TemporalGraph>>,
+}
+
+impl std::fmt::Debug for SnapshotRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotRegistry")
+            .field("len", &self.len())
+            .finish()
+    }
 }
 
 impl SnapshotRegistry {
@@ -35,30 +44,17 @@ impl SnapshotRegistry {
         Self::default()
     }
 
-    /// Locks the map, recovering from a poisoned lock: the data is a plain
-    /// map of `Arc`s and stays structurally valid even if a holder panicked.
-    fn lock(&self) -> MutexGuard<'_, BTreeMap<String, Entry>> {
-        self.inner
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
     /// Registers (or replaces) a snapshot under `name`, returning the new
     /// epoch id: 1 for a fresh name, the previous epoch + 1 on replacement.
     pub fn insert(&self, name: &str, graph: Arc<TemporalGraph>) -> u64 {
-        let mut map = self.lock();
-        let epoch = map.get(name).map_or(1, |e| e.epoch + 1);
-        map.insert(name.to_owned(), Entry { graph, epoch });
-        epoch
+        self.inner.insert(name, graph)
     }
 
     /// Returns the snapshot registered under `name` with its epoch, if any.
     /// The `Arc` is cloned and the lock released before returning, so
     /// callers never hold the registry across query execution.
     pub fn get(&self, name: &str) -> Option<(Arc<TemporalGraph>, u64)> {
-        self.lock()
-            .get(name)
-            .map(|e| (Arc::clone(&e.graph), e.epoch))
+        self.inner.get(name)
     }
 
     /// Atomically replaces `name` with `next` **only if** the registered
@@ -71,37 +67,27 @@ impl SnapshotRegistry {
         current: &Arc<TemporalGraph>,
         next: Arc<TemporalGraph>,
     ) -> Option<u64> {
-        let mut map = self.lock();
-        let entry = map.get_mut(name)?;
-        if !Arc::ptr_eq(&entry.graph, current) {
-            return None;
-        }
-        entry.graph = next;
-        entry.epoch += 1;
-        Some(entry.epoch)
+        self.inner.replace_if_current(name, current, next)
     }
 
     /// Removes a snapshot; returns whether it existed.
     pub fn remove(&self, name: &str) -> bool {
-        self.lock().remove(name).is_some()
+        self.inner.remove(name)
     }
 
     /// Lists `(name, graph, epoch)` triples in name order.
     pub fn list(&self) -> Vec<(String, Arc<TemporalGraph>, u64)> {
-        self.lock()
-            .iter()
-            .map(|(k, e)| (k.clone(), Arc::clone(&e.graph), e.epoch))
-            .collect()
+        self.inner.list()
     }
 
     /// Number of registered snapshots.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.inner.len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.inner.is_empty()
     }
 }
 

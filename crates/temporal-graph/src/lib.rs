@@ -40,6 +40,7 @@ pub mod fixtures;
 mod graph;
 pub mod io;
 pub mod metrics;
+pub mod seams;
 mod shards;
 mod stats;
 mod time;
